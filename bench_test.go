@@ -1,0 +1,300 @@
+package fedcdp
+
+// The bench harness: one benchmark per table and figure of the paper
+// (regenerating its rows via internal/experiments at a reduced "quick" grid
+// — run cmd/tables for the full versions), ablation benchmarks for the
+// design decisions called out in DESIGN.md, and micro-benchmarks for the
+// performance-critical primitives.
+//
+// Experiment benchmarks print their report once (first iteration) so that
+// bench output doubles as a record of the regenerated rows.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"fedcdp/internal/accountant"
+	"fedcdp/internal/attack"
+	"fedcdp/internal/core"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/dp"
+	"fedcdp/internal/experiments"
+	"fedcdp/internal/fl"
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, name string, scale float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(name, experiments.Options{Scale: scale, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(name, true); !done {
+			rep.Fprint(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (dataset setup, non-private accuracy
+// and per-iteration cost).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1", 1) }
+
+// BenchmarkTable2 regenerates Table II (accuracy by K, Kt/K and method) on
+// the quick grid.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2", 0.5) }
+
+// BenchmarkTable3 regenerates Table III (ms per local iteration by method).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3", 1) }
+
+// BenchmarkTable4 regenerates Table IV (accuracy by clipping bound) on the
+// quick benchmark subset.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4", 0.5) }
+
+// BenchmarkTable5 regenerates Table V (accuracy by noise scale) on the quick
+// benchmark subset.
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5", 0.5) }
+
+// BenchmarkTable6 regenerates Table VI (privacy composition) at the paper's
+// exact parameters.
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6", 1) }
+
+// BenchmarkTable7 regenerates Table VII (attack effectiveness by defense).
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7", 0.5) }
+
+// BenchmarkFig1 regenerates Figure 1b (attack demos on non-private FL).
+func BenchmarkFig1(b *testing.B) { runExperiment(b, "fig1", 0.5) }
+
+// BenchmarkFig3 regenerates Figure 3 (gradient-norm decay).
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3", 1) }
+
+// BenchmarkFig4 regenerates Figure 4 (per-defense resilience matrix, LFW).
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4", 0.5) }
+
+// BenchmarkFig5 regenerates Figure 5 (communication-efficient FL).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5", 0.5) }
+
+// --- Ablation benches (design decisions from DESIGN.md) ---
+
+// BenchmarkAblationPerExampleVsBatch quantifies the cost of per-example
+// gradient materialization (required by Fed-CDP) against batched
+// accumulation (the non-private fast path) — the mechanism behind Table III.
+func BenchmarkAblationPerExampleVsBatch(b *testing.B) {
+	spec, err := dataset.Get("mnist")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.New(spec, 1)
+	cd := ds.Client(0)
+	m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+	xs, ys := cd.Batch(0, 5)
+
+	b.Run("per-example", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch := tensor.ZerosLike(m.Grads())
+			for j, x := range xs {
+				_, g := m.ExampleGradient(x, ys[j])
+				tensor.AddAllScaled(batch, 0.2, g)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.ZeroGrads()
+			for j, x := range xs {
+				logits := m.Forward(x)
+				_, g := nn.SoftmaxCrossEntropy(logits, ys[j])
+				m.BackwardFromLoss(g)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFlatVsLayerClip compares the paper's per-layer clipping
+// against flat whole-gradient clipping (Abadi et al.), reporting final
+// accuracy for each.
+func BenchmarkAblationFlatVsLayerClip(b *testing.B) {
+	run := func(b *testing.B, flat bool) {
+		for i := 0; i < b.N; i++ {
+			spec, _ := dataset.Get("mnist")
+			ds := dataset.New(spec, 42)
+			hist, err := fl.Run(fl.Config{
+				Data: ds, Model: spec.ModelSpec(),
+				K: 12, Kt: 6, Rounds: 12,
+				Round:       fl.RoundConfig{BatchSize: 5, LocalIters: 20, LR: spec.LR},
+				Strategy:    core.FedCDP{Clip: dp.FixedClip{C: 4}, Sigma: 0.06, FlatClip: flat},
+				Seed:        42,
+				ValExamples: 150,
+				EvalEvery:   100,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(hist.FinalAccuracy(), "final-acc")
+		}
+	}
+	b.Run("layer-clip", func(b *testing.B) { run(b, false) })
+	b.Run("flat-clip", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationDecaySchedules compares clipping-decay schedules for
+// Fed-CDP(decay), reporting final accuracy.
+func BenchmarkAblationDecaySchedules(b *testing.B) {
+	schedules := map[string]dp.ClipPolicy{
+		"fixed":  dp.FixedClip{C: 4},
+		"linear": dp.LinearDecay{From: 6, To: 2},
+		"exp":    dp.ExpDecay{From: 6, Rate: 0.9, Min: 2},
+		"step":   dp.StepDecay{From: 6, Factor: 0.5, Every: 5, Min: 2},
+	}
+	for name, policy := range schedules {
+		policy := policy
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, _ := dataset.Get("mnist")
+				ds := dataset.New(spec, 42)
+				hist, err := fl.Run(fl.Config{
+					Data: ds, Model: spec.ModelSpec(),
+					K: 12, Kt: 6, Rounds: 12,
+					Round:       fl.RoundConfig{BatchSize: 5, LocalIters: 20, LR: spec.LR},
+					Strategy:    core.FedCDP{Clip: policy, Sigma: 0.06},
+					Seed:        42,
+					ValExamples: 150,
+					EvalEvery:   100,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(hist.FinalAccuracy(), "final-acc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAttackOptimizer compares L-BFGS (the paper's choice)
+// against Adam on the same type-2 reconstruction, reporting the distance.
+func BenchmarkAblationAttackOptimizer(b *testing.B) {
+	spec, _ := dataset.Get("mnist")
+	ds := dataset.New(spec, 3)
+	x, y := ds.Client(0).Get(0)
+	m := attack.NewMLP([]int{spec.Features, 32, spec.Classes}, attack.ActSigmoid, tensor.NewRNG(3))
+	_, gw, gb := m.Gradients(x, y)
+
+	for _, opt := range []string{attack.OptLBFGS, attack.OptAdam} {
+		opt := opt
+		b.Run(opt, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := attack.Reconstruct(m, gw, gb, []int{y}, []*tensor.Tensor{x},
+					attack.Config{Seed: 3, Optimizer: opt, MaxIters: 100})
+				b.ReportMetric(res.Distance, "distance")
+				b.ReportMetric(float64(res.Iterations), "iters")
+			}
+		})
+	}
+}
+
+// --- Micro-benches for the performance-critical primitives ---
+
+// BenchmarkPerExampleGradientCNN measures one forward/backward pass of the
+// paper's MNIST CNN.
+func BenchmarkPerExampleGradientCNN(b *testing.B) {
+	spec, _ := dataset.Get("mnist")
+	m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+	x := tensor.New(1, 28, 28)
+	tensor.NewRNG(2).FillUniform(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ExampleGradient(x, i%10)
+	}
+}
+
+// BenchmarkSanitize measures per-example clip+noise on CNN-sized gradients.
+func BenchmarkSanitize(b *testing.B) {
+	spec, _ := dataset.Get("mnist")
+	m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+	grads := tensor.CloneAll(m.Grads())
+	rng := tensor.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp.Sanitize(grads, 4, 6, rng)
+	}
+}
+
+// BenchmarkRDPAccountant measures a full ε computation over the default
+// order grid at the paper's MNIST scale (q=0.01, σ=6, 10000 steps).
+func BenchmarkRDPAccountant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eps, _ := accountant.Epsilon(0.01, 6, 10000, 1e-5, nil)
+		if eps <= 0 {
+			b.Fatal("epsilon must be positive")
+		}
+	}
+}
+
+// BenchmarkGradMatch measures one attack-objective evaluation (value +
+// input gradient) on the MNIST attack MLP.
+func BenchmarkGradMatch(b *testing.B) {
+	spec, _ := dataset.Get("mnist")
+	m := attack.NewMLP([]int{spec.Features, 32, spec.Classes}, attack.ActSigmoid, tensor.NewRNG(1))
+	x := tensor.New(spec.Features)
+	tensor.NewRNG(2).FillUniform(x, 0, 1)
+	_, gw, gb := m.Gradients(x, 3)
+	cand := x.Clone()
+	tensor.NewRNG(4).AddNormal(cand, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GradMatch([]*tensor.Tensor{cand}, []int{3}, gw, gb)
+	}
+}
+
+// BenchmarkFederatedRound measures one complete non-private federated round
+// (8 clients in parallel, 20 local iterations each) on synthetic MNIST.
+func BenchmarkFederatedRound(b *testing.B) {
+	spec, _ := dataset.Get("mnist")
+	ds := dataset.New(spec, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := fl.Run(fl.Config{
+			Data: ds, Model: spec.ModelSpec(),
+			K: 16, Kt: 8, Rounds: 1,
+			Round:       fl.RoundConfig{BatchSize: 5, LocalIters: 20, LR: spec.LR},
+			Strategy:    core.NonPrivate{},
+			Seed:        int64(i),
+			ValExamples: 10,
+			EvalEvery:   100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGobTransportRound measures a full TCP round trip of a federated
+// round over loopback with gob encoding.
+func BenchmarkGobTransportRound(b *testing.B) {
+	spec, _ := dataset.Get("cancer")
+	ds := dataset.New(spec, 1)
+	model := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+	cfg := fl.RoundConfig{BatchSize: 4, LocalIters: 2, LR: 0.1, TotalRounds: 1}
+	srv, err := fl.NewRoundServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan error, 1)
+		go func() {
+			done <- fl.RunRemoteClient(srv.Addr(), 0, core.NonPrivate{}, ds.Client(0), spec.ModelSpec(), 1)
+		}()
+		if _, err := srv.RunRound(i, model.Params(), cfg, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command fedclient joins a fedserve task as one client: each round it
+// downloads the global model, trains locally with the chosen privacy method,
+// and uploads its (possibly sanitized) update.
+//
+//	fedclient -addr 127.0.0.1:7070 -dataset cancer -id 0 -method fedcdp -rounds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fedcdp/internal/core"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/fl"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	dsName := flag.String("dataset", "cancer", "benchmark dataset (must match server)")
+	id := flag.Int("id", 0, "client id (selects the local shard)")
+	method := flag.String("method", core.MethodFedCDP, "privacy method: "+strings.Join(core.Methods(), ", "))
+	rounds := flag.Int("rounds", 3, "rounds to participate in")
+	clip := flag.Float64("clip", 4, "clipping bound C")
+	sigma := flag.Float64("sigma", 0.06, "noise scale")
+	secure := flag.Bool("secure", false, "encrypted channel (must match server)")
+	seed := flag.Int64("seed", 42, "root seed (must match server for data)")
+	flag.Parse()
+
+	spec, err := dataset.Get(*dsName)
+	if err != nil {
+		fatal(err)
+	}
+	ds := dataset.New(spec, *seed)
+	strat, err := core.Config{Method: *method, Clip: *clip, Sigma: *sigma}.Strategy()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("fedclient %d: joining %s as %s\n", *id, *addr, strat.Name())
+	for round := 0; round < *rounds; round++ {
+		var err error
+		for attempt := 0; attempt < 20; attempt++ {
+			if *secure {
+				err = fl.RunSecureRemoteClient(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed)
+			} else {
+				err = fl.RunRemoteClient(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed)
+			}
+			if err == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond) // server between rounds
+		}
+		if err != nil {
+			fatal(fmt.Errorf("round %d: %w", round, err))
+		}
+		fmt.Printf("fedclient %d: round %d update sent\n", *id, round)
+	}
+	fmt.Printf("fedclient %d: done\n", *id)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedclient:", err)
+	os.Exit(1)
+}

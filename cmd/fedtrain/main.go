@@ -1,0 +1,81 @@
+// Command fedtrain runs one federated-learning experiment with full control
+// over the method, benchmark and privacy parameters, printing per-round
+// accuracy and privacy spending.
+//
+// Examples:
+//
+//	fedtrain -dataset mnist -method fedcdp -rounds 20 -iters 20
+//	fedtrain -dataset cancer -method fedsdp -k 100 -kt 10 -sigma 1
+//	fedtrain -dataset mnist -method fedcdp-decay -compress 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fedcdp/internal/core"
+	"fedcdp/internal/dataset"
+)
+
+func main() {
+	var cfg core.Config
+	flag.StringVar(&cfg.Dataset, "dataset", "mnist", "benchmark: "+strings.Join(dataset.Names(), ", "))
+	flag.StringVar(&cfg.Method, "method", core.MethodFedCDP, "method: "+strings.Join(core.Methods(), ", "))
+	flag.IntVar(&cfg.K, "k", 16, "total client population")
+	flag.IntVar(&cfg.Kt, "kt", 8, "participating clients per round")
+	flag.IntVar(&cfg.Rounds, "rounds", 20, "federated rounds T")
+	flag.IntVar(&cfg.BatchSize, "batch", 0, "local batch size B (0 = benchmark default)")
+	flag.IntVar(&cfg.LocalIters, "iters", 20, "local iterations L")
+	flag.Float64Var(&cfg.LR, "lr", 0, "learning rate (0 = benchmark default)")
+	flag.Float64Var(&cfg.Clip, "clip", 4, "clipping bound C")
+	flag.Float64Var(&cfg.Sigma, "sigma", 0.06, "noise scale (paper σ=6; see DESIGN.md on scaling)")
+	flag.Float64Var(&cfg.DecayFrom, "decay-from", 6, "decay schedule initial bound")
+	flag.Float64Var(&cfg.DecayTo, "decay-to", 2, "decay schedule final bound")
+	flag.Float64Var(&cfg.CompressRatio, "compress", 0, "gradient prune ratio (communication-efficient FL)")
+	flag.Float64Var(&cfg.ShareFraction, "share", 0.1, "DSSGD share fraction")
+	flag.Int64Var(&cfg.Seed, "seed", 42, "root seed")
+	flag.IntVar(&cfg.ValExamples, "val", 300, "validation examples")
+	evalEvery := flag.Int("eval-every", 1, "evaluate every n rounds")
+	ckptOut := flag.String("checkpoint-out", "", "write a resumable checkpoint here after the run")
+	ckptIn := flag.String("checkpoint-in", "", "resume from this checkpoint instead of starting fresh")
+	flag.Parse()
+	cfg.EvalEvery = *evalEvery
+
+	var res *core.Result
+	var err error
+	if *ckptIn != "" {
+		ckpt, lerr := core.LoadCheckpointFile(*ckptIn)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "fedtrain:", lerr)
+			os.Exit(1)
+		}
+		res, err = ckpt.Resume(cfg.Rounds)
+	} else {
+		res, err = core.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedtrain:", err)
+		os.Exit(1)
+	}
+	if *ckptOut != "" {
+		if cerr := core.CheckpointFrom(res).SaveFile(*ckptOut); cerr != nil {
+			fmt.Fprintln(os.Stderr, "fedtrain:", cerr)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *ckptOut)
+	}
+	fmt.Printf("dataset=%s method=%s K=%d Kt=%d T=%d L=%d\n",
+		cfg.Dataset, res.Strategy, res.Cfg.K, res.Cfg.Kt, res.Cfg.Rounds, res.Cfg.LocalIters)
+	fmt.Println("round  accuracy  grad-norm  ms/iter  epsilon")
+	for _, r := range res.Rounds {
+		acc := "      -"
+		if r.Evaluated {
+			acc = fmt.Sprintf("%7.4f", r.Accuracy)
+		}
+		fmt.Printf("%5d  %s  %9.4f  %7.2f  %7.4f\n", r.Round, acc, r.MeanGradNorm, r.MsPerIter, r.Epsilon)
+	}
+	fmt.Printf("final: accuracy=%.4f best=%.4f epsilon=%.4f mean-ms/iter=%.2f\n",
+		res.FinalAccuracy(), res.BestAccuracy(), res.FinalEpsilon(), res.MeanMsPerIter())
+}

@@ -1,0 +1,61 @@
+// Command tables regenerates the paper's tables and figures from the
+// reproduction library.
+//
+// Usage:
+//
+//	tables -exp table6            # one experiment
+//	tables -exp all -scale 0.5    # everything, at half the default effort
+//
+// Scale trades fidelity for time: 1 is the CPU-friendly default, larger
+// values approach the paper's GPU-scale parameters. Table VI always runs at
+// the paper's exact parameters (it is a pure computation).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fedcdp/internal/experiments"
+)
+
+// writeCSV emits the report rows as CSV (experiment id prefixed), for
+// downstream plotting.
+func writeCSV(rep *experiments.Report) {
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	w.Write(append([]string{"experiment"}, rep.Header...))
+	for _, row := range rep.Rows {
+		w.Write(append([]string{rep.Name}, row...))
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig1, fig3, fig4, fig5) or 'all'")
+	scale := flag.Float64("scale", 1, "effort multiplier (1 = default scaled-down run)")
+	seed := flag.Int64("seed", 42, "root random seed")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	names := experiments.Names()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		start := time.Now()
+		rep, err := experiments.Run(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			writeCSV(rep)
+		} else {
+			rep.Fprint(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "(%s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

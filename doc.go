@@ -1,0 +1,27 @@
+// Package fedcdp is a from-scratch Go reproduction of "Gradient-Leakage
+// Resilient Federated Learning" (Wei et al., ICDCS 2021): the Fed-CDP
+// per-example client differential privacy algorithm, its Fed-SDP and DSSGD
+// baselines, the gradient-leakage reconstruction attacks of the paper's
+// threat model, the moments/RDP privacy accountant, and the complete
+// experiment harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// Layout:
+//
+//   - internal/core — Fed-CDP (Algorithm 2), Fed-SDP (Algorithm 1),
+//     Fed-CDP(decay), DSSGD, and the Run orchestration entry point.
+//   - internal/fl — the federated-learning substrate (server, clients,
+//     FedSGD aggregation, TCP/gob transport).
+//   - internal/nn — neural-network stack with per-example gradients.
+//   - internal/attack — DLG-style gradient-matching reconstruction attacks
+//     with analytic double backpropagation, L-BFGS and Adam.
+//   - internal/accountant — RDP/moments accountant for the sampled Gaussian
+//     mechanism.
+//   - internal/dp — clipping policies, the Gaussian mechanism, compression.
+//   - internal/dataset — deterministic synthetic benchmark family.
+//   - internal/experiments — one driver per paper table/figure.
+//
+// The benchmarks in bench_test.go regenerate each table/figure; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for paper-vs-
+// measured results.
+package fedcdp

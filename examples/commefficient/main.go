@@ -1,0 +1,68 @@
+// Commefficient: communication-efficient federated learning (Figure 5 of
+// the paper). Clients prune the smallest gradient entries before sharing;
+// the example sweeps prune ratios and shows that compression barely hurts
+// accuracy but does NOT stop type-2 leakage unless Fed-CDP is used.
+//
+//	go run ./examples/commefficient
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedcdp/internal/attack"
+	"fedcdp/internal/core"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/dp"
+	"fedcdp/internal/tensor"
+)
+
+func main() {
+	spec, err := dataset.Get("mnist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := dataset.New(spec, 11)
+	x, y := ds.Client(0).Get(0)
+	victim := attack.NewMLP([]int{spec.Features, 32, spec.Classes}, attack.ActSigmoid, tensor.NewRNG(11))
+
+	fmt.Println("prune%  acc(non-private)  acc(fed-cdp)  t2-dist(non-private)  t2-dist(fed-cdp)")
+	for _, ratio := range []float64{0, 0.3, 0.7} {
+		accNP := trainWith(core.MethodNonPrivate, ratio)
+		accCDP := trainWith(core.MethodFedCDP, ratio)
+
+		distNP := attackCompressed(victim, x, y, ratio, false)
+		distCDP := attackCompressed(victim, x, y, ratio, true)
+		fmt.Printf("%5.0f%%  %16.3f  %12.3f  %20.4f  %16.4f\n",
+			ratio*100, accNP, accCDP, distNP, distCDP)
+	}
+	fmt.Println("\ncompressed non-private gradients still reconstruct the private image;")
+	fmt.Println("Fed-CDP sanitization defeats the attack at every compression level.")
+}
+
+// trainWith runs a small federated job with gradient pruning at the ratio.
+func trainWith(method string, ratio float64) float64 {
+	res, err := core.Run(core.Config{
+		Dataset: "mnist", Method: method,
+		K: 12, Kt: 6, Rounds: 10, LocalIters: 20,
+		Sigma: 0.06, CompressRatio: ratio,
+		Seed: 11, ValExamples: 150, EvalEvery: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.FinalAccuracy()
+}
+
+// attackCompressed runs the mask-aware type-2 attack on a compressed
+// per-example gradient, optionally Fed-CDP sanitized first.
+func attackCompressed(m *attack.MLP, x *tensor.Tensor, y int, ratio float64, sanitized bool) float64 {
+	_, gw, gb := m.Gradients(x, y)
+	if sanitized {
+		dp.Sanitize(append(gw, gb...), 4, 6, tensor.NewRNG(99))
+	}
+	dp.Compress(append(gw, gb...), ratio)
+	res := attack.Reconstruct(m, gw, gb, []int{y}, []*tensor.Tensor{x},
+		attack.Config{Seed: 3, MaskNonzero: ratio > 0, MaxIters: 200})
+	return res.Distance
+}

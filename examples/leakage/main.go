@@ -1,0 +1,75 @@
+// Leakage: demonstrate the type-2 gradient leakage attack (Figure 1 of the
+// paper) against non-private training, then show Fed-CDP defeating it.
+// Writes the private image, its reconstruction from raw gradients, and the
+// failed reconstruction from sanitized gradients as PGM files.
+//
+//	go run ./examples/leakage
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fedcdp/internal/attack"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/dp"
+	"fedcdp/internal/tensor"
+)
+
+func main() {
+	spec, err := dataset.Get("mnist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := dataset.New(spec, 7)
+
+	// The victim: one client's training example and the global model.
+	x, y := ds.Client(0).Get(0)
+	model := attack.NewMLP([]int{spec.Features, 32, spec.Classes}, attack.ActSigmoid, tensor.NewRNG(7))
+
+	// --- Attack 1: raw per-example gradient (non-private / Fed-SDP). ---
+	_, gw, gb := model.Gradients(x, y)
+	label := attack.InferLabel(gb[model.Layers()-1]) // iDLG label inference
+	raw := attack.Reconstruct(model, gw, gb, []int{label}, []*tensor.Tensor{x}, attack.Config{Seed: 1})
+	fmt.Printf("raw gradients:       revealed=%v distance=%.4f iterations=%d (label inferred: %d, true: %d)\n",
+		raw.Revealed, raw.Distance, raw.Iterations, label, y)
+
+	// --- Attack 2: Fed-CDP sanitized gradient (C=4, σ=6). ---
+	_, gw2, gb2 := model.Gradients(x, y)
+	dp.Sanitize(append(gw2, gb2...), 4, 6, tensor.NewRNG(99))
+	defended := attack.Reconstruct(model, gw2, gb2, []int{label}, []*tensor.Tensor{x}, attack.Config{Seed: 1})
+	fmt.Printf("fed-cdp gradients:   revealed=%v distance=%.4f iterations=%d\n",
+		defended.Revealed, defended.Distance, defended.Iterations)
+
+	// Render the evidence.
+	if err := os.MkdirAll("leakage_out", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	writePGM("leakage_out/private.pgm", x.Data(), spec.Width, spec.Height)
+	writePGM("leakage_out/reconstructed_raw.pgm", raw.Reconstruction[0].Data(), spec.Width, spec.Height)
+	writePGM("leakage_out/reconstructed_fedcdp.pgm", defended.Reconstruction[0].Data(), spec.Width, spec.Height)
+	fmt.Println("wrote leakage_out/{private,reconstructed_raw,reconstructed_fedcdp}.pgm")
+	fmt.Println("the raw reconstruction matches the private image; the Fed-CDP one is noise.")
+}
+
+func writePGM(path string, d []float64, w, h int) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "P2\n%d %d\n255\n", w, h)
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			v := int(d[yy*w+xx] * 255)
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			fmt.Fprintf(f, "%d ", v)
+		}
+		fmt.Fprintln(f)
+	}
+}

@@ -1,0 +1,73 @@
+// Medical: cross-silo federated learning on the synthetic breast-cancer
+// benchmark — the paper's smallest dataset, where every hospital (client)
+// holds a full copy of the data and trains for only 3 rounds. Compares all
+// methods' accuracy and privacy, and runs the round-update leakage attack a
+// curious aggregation server could mount.
+//
+//	go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedcdp/internal/core"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/fl"
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+func main() {
+	fmt.Println("cross-silo FL: 8 hospitals, breast-cancer data, 3 rounds (paper Table I)")
+	fmt.Println("method          accuracy  epsilon")
+	for _, method := range []string{
+		core.MethodNonPrivate, core.MethodFedSDP, core.MethodFedCDP, core.MethodFedCDPDecay,
+	} {
+		res, err := core.Run(core.Config{
+			Dataset: "cancer", Method: method,
+			K: 8, Kt: 8, Rounds: 3, LocalIters: 50,
+			Sigma: 0.06, AccountantSigma: 6, // see DESIGN.md on noise scaling
+			Seed: 5, ValExamples: 143, EvalEvery: 100,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eps := "      -"
+		if res.FinalEpsilon() > 0 {
+			eps = fmt.Sprintf("%7.4f", res.FinalEpsilon())
+		}
+		fmt.Printf("%-14s  %8.4f  %s\n", res.Strategy, res.FinalAccuracy(), eps)
+	}
+
+	// What does the server actually see from one hospital?
+	spec, _ := dataset.Get("cancer")
+	ds := dataset.New(spec, 5)
+	env := &fl.ClientEnv{
+		ClientID: 0, Round: 0,
+		Model: buildModel(spec), Data: ds.Client(0),
+		RNG: tensor.Split(5, 4, 0, 0),
+		Cfg: fl.RoundConfig{BatchSize: 4, LocalIters: 10, LR: 0.1, TotalRounds: 3},
+	}
+	raw, err := core.LeakRoundUpdate(env, core.Config{Method: core.MethodNonPrivate}, true, tensor.NewRNG(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	env2 := &fl.ClientEnv{
+		ClientID: 0, Round: 0,
+		Model: buildModel(spec), Data: ds.Client(0),
+		RNG: tensor.Split(5, 4, 0, 0),
+		Cfg: fl.RoundConfig{BatchSize: 4, LocalIters: 10, LR: 0.1, TotalRounds: 3},
+	}
+	safe, err := core.LeakRoundUpdate(env2, core.Config{Method: core.MethodFedCDP, Clip: 4, Sigma: 6}, true, tensor.NewRNG(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver-side view of one hospital's update (L2 norm):\n")
+	fmt.Printf("  non-private: %.4f (structured — reconstructable)\n", tensor.GroupL2Norm(raw))
+	fmt.Printf("  fed-cdp:     %.4f (noise-dominated)\n", tensor.GroupL2Norm(safe))
+}
+
+func buildModel(spec dataset.Spec) *nn.Model {
+	return nn.Build(spec.ModelSpec(), tensor.NewRNG(5))
+}

@@ -1,0 +1,79 @@
+// Membership: the second gradient-leakage threat class from the paper's
+// related work — membership inference against a trained model. A client
+// that overfits its small local shard leaks membership through the loss
+// gap; Fed-CDP-style per-example sanitization during training suppresses
+// it. This example trains both ways and mounts the loss-threshold attack.
+//
+//	go run ./examples/membership
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedcdp/internal/attack"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/dp"
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+func main() {
+	spec, err := dataset.Get("adult")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := dataset.New(spec, 33)
+	cd := ds.Client(0)
+
+	// A small member shard invites memorization; non-members come from the
+	// same distribution but were never trained on.
+	const nMembers = 60
+	var members, nonMembers []attack.Sample
+	for i := 0; i < nMembers; i++ {
+		x, y := cd.Get(i)
+		members = append(members, attack.Sample{X: x, Y: y})
+	}
+	valX, valY := ds.Validation(nMembers)
+	for i := range valX {
+		nonMembers = append(nonMembers, attack.Sample{X: valX[i], Y: valY[i]})
+	}
+
+	train := func(sanitize bool) *nn.Model {
+		m := nn.Build(spec.ModelSpec(), tensor.NewRNG(33))
+		noise := tensor.NewRNG(99)
+		for epoch := 0; epoch < 120; epoch++ {
+			for _, s := range members {
+				_, g := m.ExampleGradient(s.X, s.Y)
+				if sanitize {
+					dp.Sanitize(g, 2, 0.02, noise) // Fed-CDP per-example step
+				}
+				m.SGDStep(0.1, g)
+			}
+		}
+		return m
+	}
+
+	for _, mode := range []struct {
+		name     string
+		sanitize bool
+	}{
+		{"non-private", false},
+		{"fed-cdp", true},
+	} {
+		m := train(mode.sanitize)
+		mi := attack.MembershipInference(func(x *tensor.Tensor, y int) float64 {
+			return m.Loss(x, y)
+		}, members, nonMembers)
+		acc := 0
+		for i := range valX {
+			if m.Predict(valX[i]) == valY[i] {
+				acc++
+			}
+		}
+		fmt.Printf("%-12s val-accuracy=%.3f  membership advantage=%.3f  AUC=%.3f\n",
+			mode.name, float64(acc)/float64(len(valX)), mi.Advantage, mi.AUC)
+	}
+	fmt.Println("\nthe overfit non-private model separates members by loss; per-example")
+	fmt.Println("clipping+noise (Fed-CDP's local step) collapses the gap the attack needs.")
+}

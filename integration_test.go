@@ -1,0 +1,126 @@
+package fedcdp
+
+// End-to-end integration: the complete story of the paper in one test file.
+// A federated task trains under each privacy regime; the three adversaries
+// of the threat model mount their reconstruction attacks; the accountant
+// prices the privacy. These tests cross every module boundary the way a
+// downstream user would.
+
+import (
+	"testing"
+
+	"fedcdp/internal/attack"
+	"fedcdp/internal/core"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/dp"
+	"fedcdp/internal/tensor"
+)
+
+// TestEndToEndPrivacyStory trains non-private and Fed-CDP models on the
+// same task and verifies the paper's three headline claims: comparable
+// utility, bounded privacy spending, and type-2 attack resilience.
+func TestEndToEndPrivacyStory(t *testing.T) {
+	base := core.Config{
+		Dataset: "cancer",
+		K:       8, Kt: 4, Rounds: 4, LocalIters: 20,
+		Sigma: 0.06, AccountantSigma: 6,
+		Seed: 77, ValExamples: 100, EvalEvery: 100,
+	}
+
+	nonPrivate := base
+	nonPrivate.Method = core.MethodNonPrivate
+	np, err := core.Run(nonPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	private := base
+	private.Method = core.MethodFedCDP
+	cdp, err := core.Run(private)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Claim 1: competitive accuracy.
+	if np.FinalAccuracy() < 0.9 {
+		t.Fatalf("non-private reference accuracy %v too low", np.FinalAccuracy())
+	}
+	if cdp.FinalAccuracy() < np.FinalAccuracy()-0.15 {
+		t.Fatalf("Fed-CDP accuracy %v not competitive with %v", cdp.FinalAccuracy(), np.FinalAccuracy())
+	}
+	// Claim 2: a finite, increasing privacy budget.
+	if eps := cdp.FinalEpsilon(); eps <= 0 || eps > 1 {
+		t.Fatalf("Fed-CDP ε = %v, want small positive (paper-scale accounting)", eps)
+	}
+	if np.FinalEpsilon() != 0 {
+		t.Fatal("non-private training must not report a guarantee")
+	}
+}
+
+// TestEndToEndAttackMatrix replays Table VII's key row pair: type-2 leakage
+// defeats Fed-SDP but not Fed-CDP, on the same victim.
+func TestEndToEndAttackMatrix(t *testing.T) {
+	spec, err := dataset.Get("mnist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.New(spec, 7)
+	x, y := ds.Client(0).Get(0)
+	victim := attack.NewMLP([]int{spec.Features, 32, spec.Classes}, attack.ActSigmoid, tensor.NewRNG(7))
+
+	// Fed-SDP: the per-example gradient leaks raw during local training.
+	_, gw, gb := victim.Gradients(x, y)
+	label := attack.InferLabel(gb[victim.Layers()-1])
+	if label != y {
+		t.Fatalf("iDLG inferred %d, want %d", label, y)
+	}
+	sdpView := attack.Reconstruct(victim, gw, gb, []int{label}, []*tensor.Tensor{x},
+		attack.Config{Seed: 1, MaxIters: 200})
+	if !sdpView.Revealed {
+		t.Fatalf("type-2 attack must succeed against Fed-SDP (dist %v)", sdpView.Distance)
+	}
+
+	// Fed-CDP: the same adversary sees only sanitized gradients.
+	_, gw2, gb2 := victim.Gradients(x, y)
+	dp.Sanitize(append(gw2, gb2...), 4, 6, tensor.NewRNG(99))
+	cdpView := attack.Reconstruct(victim, gw2, gb2, []int{label}, []*tensor.Tensor{x},
+		attack.Config{Seed: 1, MaxIters: 200})
+	if cdpView.Revealed {
+		t.Fatalf("type-2 attack must fail against Fed-CDP (dist %v)", cdpView.Distance)
+	}
+	if cdpView.Distance < 4*sdpView.Distance {
+		t.Fatalf("defense margin too small: %v vs %v", cdpView.Distance, sdpView.Distance)
+	}
+}
+
+// TestEndToEndCheckpointedDeployment exercises the operational path: train,
+// checkpoint, resume, and verify the resumed model serves predictions.
+func TestEndToEndCheckpointedDeployment(t *testing.T) {
+	cfg := core.Config{
+		Dataset: "cancer", Method: core.MethodFedCDPDecay,
+		K: 6, Kt: 3, Rounds: 2, PlannedRounds: 4, LocalIters: 10,
+		Sigma: 0.06, Seed: 5, ValExamples: 60, EvalEvery: 1,
+	}
+	first, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := core.CheckpointFrom(first).Resume(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resumed.Rounds); got != 2 {
+		t.Fatalf("resumed run recorded %d rounds, want 2", got)
+	}
+	if resumed.FinalAccuracy() < 0.85 {
+		t.Fatalf("deployed model accuracy %v after resume", resumed.FinalAccuracy())
+	}
+	spec, _ := dataset.Get("cancer")
+	ds := dataset.New(spec, 5)
+	xs, ys := ds.Validation(10)
+	for i, x := range xs {
+		if p := resumed.Final.Predict(x); p < 0 || p >= spec.Classes {
+			t.Fatalf("prediction %d out of range for example %d (label %d)", p, i, ys[i])
+		}
+	}
+}

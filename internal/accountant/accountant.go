@@ -1,0 +1,111 @@
+package accountant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accountant tracks cumulative RDP across the rounds of a federated-learning
+// run and converts to (ε,δ) on demand. It supports heterogeneous steps (the
+// sampling rate or noise scale may change between rounds, e.g. under a
+// decaying clipping bound the *sensitivity* changes but σ and q do not, so
+// the composition is unaffected — see Section VI of the paper).
+type Accountant struct {
+	Delta  float64
+	orders []float64
+	rdp    []float64 // cumulative RDP per order
+	steps  int
+}
+
+// New returns an accountant for a fixed δ using the default order grid.
+func New(delta float64) *Accountant {
+	orders := DefaultOrders()
+	return &Accountant{
+		Delta:  delta,
+		orders: orders,
+		rdp:    make([]float64, len(orders)),
+	}
+}
+
+// Accumulate adds `steps` compositions of the sampled Gaussian mechanism
+// with sampling rate q and noise scale sigma.
+func (a *Accountant) Accumulate(q, sigma float64, steps int) {
+	if steps < 0 {
+		panic(fmt.Sprintf("accountant: negative steps %d", steps))
+	}
+	for i, o := range a.orders {
+		a.rdp[i] += float64(steps) * RDPAtOrder(q, sigma, o)
+	}
+	a.steps += steps
+}
+
+// Steps returns the number of accumulated compositions.
+func (a *Accountant) Steps() int { return a.steps }
+
+// Epsilon returns the current privacy spending ε and the optimal RDP order.
+func (a *Accountant) Epsilon() (eps, optOrder float64) {
+	best := -1.0
+	bestOrder := a.orders[0]
+	for i, o := range a.orders {
+		e := a.rdp[i] + logInv(a.Delta)/(o-1)
+		if best < 0 || e < best {
+			best = e
+			bestOrder = o
+		}
+	}
+	return best, bestOrder
+}
+
+func logInv(delta float64) float64 {
+	return -math.Log(delta)
+}
+
+// Params bundles the federated configuration needed for accounting.
+type Params struct {
+	TotalData  int     // N: total training examples across all clients
+	TotalK     int     // K: total clients
+	PerRoundKt int     // Kt: participating clients per round
+	BatchSize  int     // B
+	LocalIters int     // L
+	Rounds     int     // T
+	Sigma      float64 // noise scale
+	Delta      float64
+}
+
+// FedCDPSamplingRate returns the instance-level sampling rate q = B·Kt/N
+// (Section V: local sampling with replacement across clients is equivalent
+// to global sampling with replacement).
+func (p Params) FedCDPSamplingRate() float64 {
+	return float64(p.BatchSize*p.PerRoundKt) / float64(p.TotalData)
+}
+
+// FedSDPSamplingRate returns the client-level sampling rate q₂ = Kt/K used
+// by Fed-SDP accounting.
+func (p Params) FedSDPSamplingRate() float64 {
+	return float64(p.PerRoundKt) / float64(p.TotalK)
+}
+
+// FedCDPEpsilon returns the (ε,δ) spending of Fed-CDP after T rounds of L
+// local iterations: T·L compositions at rate B·Kt/N.
+func FedCDPEpsilon(p Params) float64 {
+	eps, _ := Epsilon(p.FedCDPSamplingRate(), p.Sigma, p.Rounds*p.LocalIters, p.Delta, nil)
+	return eps
+}
+
+// FedSDPEpsilon returns the (ε,δ) spending of Fed-SDP after T rounds: T
+// compositions at rate Kt/K. The number of local iterations L does not
+// enter, because Fed-SDP adds noise once per round to the client update.
+func FedSDPEpsilon(p Params) float64 {
+	eps, _ := Epsilon(p.FedSDPSamplingRate(), p.Sigma, p.Rounds, p.Delta, nil)
+	return eps
+}
+
+// FedCDPAbadi returns the paper's Equation (2) closed form for Fed-CDP.
+func FedCDPAbadi(p Params) float64 {
+	return AbadiBound(p.FedCDPSamplingRate(), p.Sigma, p.Rounds*p.LocalIters, p.Delta, DefaultC2)
+}
+
+// FedSDPAbadi returns the paper's Equation (2) closed form for Fed-SDP.
+func FedSDPAbadi(p Params) float64 {
+	return AbadiBound(p.FedSDPSamplingRate(), p.Sigma, p.Rounds, p.Delta, DefaultC2)
+}

@@ -1,0 +1,141 @@
+package accountant
+
+import (
+	"math"
+	"testing"
+)
+
+func paperParams(rounds, localIters int) Params {
+	return Params{
+		TotalData:  50000,
+		TotalK:     1000,
+		PerRoundKt: 100,
+		BatchSize:  5,
+		LocalIters: localIters,
+		Rounds:     rounds,
+		Sigma:      6,
+		Delta:      1e-5,
+	}
+}
+
+func TestSamplingRates(t *testing.T) {
+	p := paperParams(100, 100)
+	if q := p.FedCDPSamplingRate(); q != 0.01 {
+		t.Fatalf("Fed-CDP q = %v, want 0.01", q)
+	}
+	if q := p.FedSDPSamplingRate(); q != 0.1 {
+		t.Fatalf("Fed-SDP q = %v, want 0.1", q)
+	}
+}
+
+func TestAccountantMatchesOneShot(t *testing.T) {
+	a := New(1e-5)
+	a.Accumulate(0.01, 6, 400)
+	a.Accumulate(0.01, 6, 600)
+	got, _ := a.Epsilon()
+	want, _ := Epsilon(0.01, 6, 1000, 1e-5, nil)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("incremental ε = %v, one-shot = %v", got, want)
+	}
+	if a.Steps() != 1000 {
+		t.Fatalf("Steps = %d, want 1000", a.Steps())
+	}
+}
+
+func TestAccountantHeterogeneousComposition(t *testing.T) {
+	// Mixing rates must cost at least as much as the cheaper rate alone.
+	a := New(1e-5)
+	a.Accumulate(0.01, 6, 100)
+	low, _ := a.Epsilon()
+	a.Accumulate(0.05, 6, 100)
+	mixed, _ := a.Epsilon()
+	if mixed <= low {
+		t.Fatalf("adding steps reduced ε: %v -> %v", low, mixed)
+	}
+}
+
+func TestAccountantNegativeStepsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative steps")
+		}
+	}()
+	New(1e-5).Accumulate(0.01, 6, -1)
+}
+
+func TestFedCDPLocalItersMatter(t *testing.T) {
+	// Table VI: Fed-CDP with L=1 spends far less than with L=100.
+	e1 := FedCDPEpsilon(paperParams(100, 1))
+	e100 := FedCDPEpsilon(paperParams(100, 100))
+	if e1 >= e100 {
+		t.Fatalf("ε(L=1)=%v must be < ε(L=100)=%v", e1, e100)
+	}
+	if e100/e1 < 3 {
+		t.Fatalf("ε(L=100)/ε(L=1) = %v, want substantial gap", e100/e1)
+	}
+}
+
+func TestFedSDPLocalItersIrrelevant(t *testing.T) {
+	// Table VI: Fed-SDP ε is identical for L=1 and L=100.
+	e1 := FedSDPEpsilon(paperParams(100, 1))
+	e100 := FedSDPEpsilon(paperParams(100, 100))
+	if e1 != e100 {
+		t.Fatalf("Fed-SDP ε must not depend on L: %v vs %v", e1, e100)
+	}
+}
+
+func TestTableVIOrdering(t *testing.T) {
+	// The paper's qualitative Table VI finding at matching round budgets:
+	// Fed-CDP (L=100) ≤ Fed-SDP, and both shrink with fewer rounds.
+	for _, rounds := range []int{100, 60, 10} {
+		p := paperParams(rounds, 100)
+		cdp := FedCDPEpsilon(p)
+		sdp := FedSDPEpsilon(p)
+		if cdp >= sdp {
+			t.Fatalf("T=%d: Fed-CDP ε=%v must be < Fed-SDP ε=%v", rounds, cdp, sdp)
+		}
+	}
+}
+
+func TestTableVIRoundsMonotone(t *testing.T) {
+	prevCDP, prevSDP := 0.0, 0.0
+	for _, rounds := range []int{3, 10, 60, 100} {
+		p := paperParams(rounds, 100)
+		cdp, sdp := FedCDPEpsilon(p), FedSDPEpsilon(p)
+		if cdp <= prevCDP || sdp <= prevSDP {
+			t.Fatalf("ε must grow with T: T=%d cdp=%v sdp=%v", rounds, cdp, sdp)
+		}
+		prevCDP, prevSDP = cdp, sdp
+	}
+}
+
+func TestAbadiHelpersMatchBound(t *testing.T) {
+	p := paperParams(100, 100)
+	if got, want := FedCDPAbadi(p), AbadiBound(0.01, 6, 10000, 1e-5, DefaultC2); got != want {
+		t.Fatalf("FedCDPAbadi = %v, want %v", got, want)
+	}
+	if got, want := FedSDPAbadi(p), AbadiBound(0.1, 6, 100, 1e-5, DefaultC2); got != want {
+		t.Fatalf("FedSDPAbadi = %v, want %v", got, want)
+	}
+}
+
+func TestPaperTableVIAbadiValues(t *testing.T) {
+	// Eq.(2) with the calibrated c₂ reproduces the paper's large-T Table VI
+	// entries within a few percent.
+	cases := []struct {
+		rounds int
+		want   float64
+		tol    float64
+	}{
+		{100, 0.8227, 0.03}, // MNIST / CIFAR-10
+		{60, 0.6356, 0.03},  // LFW
+		{10, 0.2761, 0.07},  // adult
+		{3, 0.1469, 0.05},   // cancer
+	}
+	for _, tc := range cases {
+		got := FedCDPAbadi(paperParams(tc.rounds, 100))
+		if math.Abs(got-tc.want)/tc.want > tc.tol {
+			t.Errorf("T=%d: Eq2 ε = %v, paper %v (tol %v)", tc.rounds, got, tc.want, tc.tol)
+		}
+	}
+}

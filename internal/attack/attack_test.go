@@ -1,0 +1,310 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"fedcdp/internal/dp"
+	"fedcdp/internal/tensor"
+)
+
+func TestRMSE(t *testing.T) {
+	a := tensor.FromSlice([]float64{0, 0}, 2)
+	b := tensor.FromSlice([]float64{3, 4}, 2)
+	want := math.Sqrt(12.5)
+	if got := RMSE(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	if RMSE(a, a) != 0 {
+		t.Fatal("RMSE of identical tensors must be 0")
+	}
+}
+
+func TestRMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMSE(tensor.New(2), tensor.New(3))
+}
+
+func TestPatternedSeedTiles(t *testing.T) {
+	s := PatternedSeed(64, tensor.NewRNG(1))
+	d := s.Data()
+	for i := 16; i < 64; i++ {
+		if d[i] != d[i%16] {
+			t.Fatal("patterned seed must tile a 16-value patch")
+		}
+	}
+	for _, v := range d {
+		if v < 0 || v >= 1 {
+			t.Fatalf("seed value %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestInferLabel(t *testing.T) {
+	// Last-layer bias gradient is p - onehot(y): only the y entry negative.
+	g := tensor.FromSlice([]float64{0.2, 0.3, -0.7, 0.2}, 4)
+	if got := InferLabel(g); got != 2 {
+		t.Fatalf("InferLabel = %d, want 2", got)
+	}
+}
+
+func TestInferLabelFromRealGradient(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := NewMLP([]int{10, 8, 4}, ActSigmoid, rng)
+	x := tensor.New(10)
+	rng.FillUniform(x, 0, 1)
+	for label := 0; label < 4; label++ {
+		_, _, gb := m.Gradients(x, label)
+		if got := InferLabel(gb[m.Layers()-1]); got != label {
+			t.Fatalf("iDLG inferred %d, want %d", got, label)
+		}
+	}
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	obj := func(x []float64) (float64, []float64) {
+		var loss float64
+		g := make([]float64, len(x))
+		for i, v := range x {
+			d := v - float64(i)
+			loss += d * d
+			g[i] = 2 * d
+		}
+		return loss, g
+	}
+	x := []float64{5, 5, 5}
+	_, loss := Adam(obj, x, 0.3, 500, nil)
+	if loss > 1e-3 {
+		t.Fatalf("Adam final loss %v", loss)
+	}
+}
+
+func TestLBFGSMinimizesQuadratic(t *testing.T) {
+	obj := func(x []float64) (float64, []float64) {
+		var loss float64
+		g := make([]float64, len(x))
+		for i, v := range x {
+			d := v - float64(i)
+			w := float64(i + 1) // ill-conditioned diagonal
+			loss += w * d * d
+			g[i] = 2 * w * d
+		}
+		return loss, g
+	}
+	x := make([]float64, 10)
+	iters, loss := LBFGS(obj, x, 200, nil)
+	if loss > 1e-8 {
+		t.Fatalf("LBFGS final loss %v after %d iters", loss, iters)
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	obj := func(x []float64) (float64, []float64) {
+		a, b := x[0], x[1]
+		loss := (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+		return loss, []float64{
+			-2*(1-a) - 400*a*(b-a*a),
+			200 * (b - a*a),
+		}
+	}
+	x := []float64{-1.2, 1}
+	_, loss := LBFGS(obj, x, 500, nil)
+	if loss > 1e-6 {
+		t.Fatalf("LBFGS Rosenbrock loss %v (x=%v)", loss, x)
+	}
+}
+
+func TestStopCallbackHalts(t *testing.T) {
+	obj := func(x []float64) (float64, []float64) {
+		return x[0] * x[0], []float64{2 * x[0]}
+	}
+	calls := 0
+	stop := func(iter int, loss float64) bool {
+		calls++
+		return true // halt on first callback
+	}
+	x := []float64{100}
+	iters, _ := LBFGS(obj, x, 100, stop)
+	if iters != 1 || calls != 1 {
+		t.Fatalf("LBFGS ran %d iters with %d callbacks, want stop at 1", iters, calls)
+	}
+	calls = 0
+	stop3 := func(iter int, loss float64) bool {
+		calls++
+		return calls >= 3
+	}
+	x = []float64{100}
+	iters, _ = Adam(obj, x, 0.1, 100, stop3)
+	if iters != 3 {
+		t.Fatalf("Adam ran %d iters, want stop at 3", iters)
+	}
+}
+
+// victimSetup builds an MLP, a private input, and its leaked gradients.
+func victimSetup(t *testing.T, seed int64, n, classes int) (*MLP, *tensor.Tensor, int, []*tensor.Tensor, []*tensor.Tensor) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	m := NewMLP([]int{n, 12, classes}, ActSigmoid, rng)
+	x := tensor.New(n)
+	rng.FillUniform(x, 0, 1)
+	label := 1
+	_, gw, gb := m.Gradients(x, label)
+	return m, x, label, gw, gb
+}
+
+func TestReconstructSucceedsOnRawGradients(t *testing.T) {
+	// Type-2 leakage on non-private training: the attack must reconstruct
+	// the input with low distance, like the paper's Table VII non-private row.
+	m, x, label, gw, gb := victimSetup(t, 10, 24, 4)
+	res := Reconstruct(m, gw, gb, []int{label}, []*tensor.Tensor{x}, Config{Seed: 1})
+	if !res.Success {
+		t.Fatalf("attack failed on raw gradients (loss %v, dist %v)", res.FinalLoss, res.Distance)
+	}
+	if res.Distance > 0.05 {
+		t.Fatalf("reconstruction distance %v, want < 0.05", res.Distance)
+	}
+	if res.Iterations >= 300 {
+		t.Fatalf("attack took %d iterations, want fast convergence", res.Iterations)
+	}
+}
+
+func TestReconstructWithInferredLabel(t *testing.T) {
+	m, x, label, gw, gb := victimSetup(t, 11, 24, 4)
+	inferred := InferLabel(gb[m.Layers()-1])
+	if inferred != label {
+		t.Fatalf("label inference failed: %d vs %d", inferred, label)
+	}
+	res := Reconstruct(m, gw, gb, []int{inferred}, []*tensor.Tensor{x}, Config{Seed: 2})
+	if !res.Success {
+		t.Fatal("attack with inferred label failed on raw gradients")
+	}
+}
+
+func TestReconstructFailsOnFedCDPGradients(t *testing.T) {
+	// Gradients sanitized per example (Fed-CDP, C=4, σ=6) must defeat the
+	// attack: high reconstruction distance, no convergence.
+	m, x, label, gw, gb := victimSetup(t, 12, 24, 4)
+	noiseRNG := tensor.NewRNG(99)
+	dp.Sanitize(append(gw, gb...), 4, 6, noiseRNG) // sanitizes both lists in place
+	res := Reconstruct(m, gw, gb, []int{label}, []*tensor.Tensor{x}, Config{Seed: 3})
+	if res.Success {
+		t.Fatalf("attack succeeded against Fed-CDP sanitized gradients (dist %v)", res.Distance)
+	}
+	if res.Distance < 0.1 {
+		t.Fatalf("reconstruction distance %v suspiciously low under σ=6 noise", res.Distance)
+	}
+}
+
+func TestReconstructBatch(t *testing.T) {
+	// Type-0/1 leakage: batch-averaged gradients, joint reconstruction of
+	// B=2 inputs.
+	rng := tensor.NewRNG(13)
+	m := NewMLP([]int{16, 10, 4}, ActSigmoid, rng)
+	const B = 2
+	truth := make([]*tensor.Tensor, B)
+	labels := []int{0, 2}
+	targetW := make([]*tensor.Tensor, m.Layers())
+	targetB := make([]*tensor.Tensor, m.Layers())
+	for l := 0; l < m.Layers(); l++ {
+		targetW[l] = tensor.New(m.Sizes[l+1], m.Sizes[l])
+		targetB[l] = tensor.New(m.Sizes[l+1])
+	}
+	for j := 0; j < B; j++ {
+		truth[j] = tensor.New(16)
+		rng.FillUniform(truth[j], 0, 1)
+		_, gw, gb := m.Gradients(truth[j], labels[j])
+		for l := 0; l < m.Layers(); l++ {
+			targetW[l].AddScaled(1.0/B, gw[l])
+			targetB[l].AddScaled(1.0/B, gb[l])
+		}
+	}
+	res := Reconstruct(m, targetW, targetB, labels, truth, Config{Seed: 4, MaxIters: 500})
+	if res.Distance > 0.15 {
+		t.Fatalf("batch reconstruction distance %v, want < 0.15", res.Distance)
+	}
+}
+
+func TestReconstructAdamAlsoWorks(t *testing.T) {
+	m, x, label, gw, gb := victimSetup(t, 14, 16, 3)
+	res := Reconstruct(m, gw, gb, []int{label}, []*tensor.Tensor{x},
+		Config{Seed: 5, Optimizer: OptAdam, MaxIters: 2000, AdamLR: 0.05, LossThreshold: 1e-5})
+	if res.Distance > 0.15 {
+		t.Fatalf("Adam reconstruction distance %v", res.Distance)
+	}
+}
+
+func TestReconstructUnknownOptimizerPanics(t *testing.T) {
+	m, x, label, gw, gb := victimSetup(t, 15, 8, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown optimizer")
+		}
+	}()
+	Reconstruct(m, gw, gb, []int{label}, []*tensor.Tensor{x}, Config{Optimizer: "sgd"})
+}
+
+func TestReconstructPanicsOnBadArgs(t *testing.T) {
+	m, x, _, gw, gb := victimSetup(t, 16, 8, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched labels/truth")
+		}
+	}()
+	Reconstruct(m, gw, gb, []int{0, 1}, []*tensor.Tensor{x}, Config{})
+}
+
+func TestReconstructionClampedToUnitRange(t *testing.T) {
+	m, x, label, gw, gb := victimSetup(t, 17, 12, 3)
+	res := Reconstruct(m, gw, gb, []int{label}, []*tensor.Tensor{x}, Config{Seed: 6, MaxIters: 20})
+	for _, r := range res.Reconstruction {
+		for _, v := range r.Data() {
+			if v < 0 || v > 1 {
+				t.Fatalf("reconstruction value %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestMeanBestRMSEOrderFree(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, 0}, 2)
+	b := tensor.FromSlice([]float64{0, 1}, 2)
+	// Reconstructions in swapped order must still match perfectly.
+	if got := meanBestRMSE([]*tensor.Tensor{b, a}, []*tensor.Tensor{a, b}); got != 0 {
+		t.Fatalf("order-free RMSE = %v, want 0", got)
+	}
+}
+
+func TestTrajectoryRecording(t *testing.T) {
+	m, x, label, gw, gb := victimSetup(t, 18, 16, 3)
+	res := Reconstruct(m, gw, gb, []int{label}, []*tensor.Tensor{x},
+		Config{Seed: 8, MaxIters: 50, RecordEvery: 5, LossThreshold: 1e-30})
+	if len(res.Trajectory) == 0 {
+		t.Fatal("RecordEvery must record trajectory points")
+	}
+	prevIter := 0
+	for _, p := range res.Trajectory {
+		if p.Iteration%5 != 0 || p.Iteration <= prevIter-5 {
+			t.Fatalf("bad trajectory point %+v", p)
+		}
+		if p.Loss < 0 {
+			t.Fatalf("negative loss in trajectory: %+v", p)
+		}
+		prevIter = p.Iteration
+	}
+	// Convergent attack: final recorded loss below the first.
+	if res.Trajectory[len(res.Trajectory)-1].Loss >= res.Trajectory[0].Loss {
+		t.Fatal("attack loss did not decrease along the trajectory")
+	}
+}
+
+func TestTrajectoryOffByDefault(t *testing.T) {
+	m, x, label, gw, gb := victimSetup(t, 19, 8, 3)
+	res := Reconstruct(m, gw, gb, []int{label}, []*tensor.Tensor{x}, Config{Seed: 9, MaxIters: 10})
+	if res.Trajectory != nil {
+		t.Fatal("trajectory must be nil when RecordEvery is 0")
+	}
+}

@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"testing"
+
+	"fedcdp/internal/dp"
+	"fedcdp/internal/tensor"
+)
+
+func TestNonzeroMask(t *testing.T) {
+	ts := []*tensor.Tensor{tensor.FromSlice([]float64{0, 2, 0, -3}, 4)}
+	m := NonzeroMask(ts)
+	want := []float64{0, 1, 0, 1}
+	for i, v := range m[0].Data() {
+		if v != want[i] {
+			t.Fatalf("mask[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestApplyMask(t *testing.T) {
+	v := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	mask := tensor.FromSlice([]float64{1, 0, 1}, 3)
+	applyMask(v, mask)
+	if v.At(0) != 1 || v.At(1) != 0 || v.At(2) != 3 {
+		t.Fatalf("applyMask = %v", v.Data())
+	}
+}
+
+func TestGradMatchMaskedIgnoresPrunedEntries(t *testing.T) {
+	rng := tensor.NewRNG(20)
+	m := NewMLP([]int{8, 6, 3}, ActSigmoid, rng)
+	x := tensor.New(8)
+	rng.FillUniform(x, 0, 1)
+	_, gw, gb := m.Gradients(x, 1)
+
+	// Prune most entries, as DSSGD would.
+	pruned := append(cloneAll(gw), cloneAll(gb)...)
+	dp.Compress(pruned, 0.8)
+	prunedW, prunedB := pruned[:len(gw)], pruned[len(gw):]
+
+	// Unmasked matching at the truth is penalized for the pruned entries...
+	lossUnmasked, _ := m.GradMatch([]*tensor.Tensor{x}, []int{1}, prunedW, prunedB)
+	if lossUnmasked <= 0 {
+		t.Fatal("unmasked loss at truth vs pruned target should be positive")
+	}
+	// ...while masked matching is exactly zero at the truth.
+	maskW, maskB := NonzeroMask(prunedW), NonzeroMask(prunedB)
+	lossMasked, grads := m.GradMatchMasked([]*tensor.Tensor{x}, []int{1}, prunedW, prunedB, maskW, maskB)
+	if lossMasked > 1e-18 {
+		t.Fatalf("masked loss at truth = %v, want 0", lossMasked)
+	}
+	if grads[0].L2Norm() > 1e-9 {
+		t.Fatalf("masked gradient at truth = %v, want ~0", grads[0].L2Norm())
+	}
+}
+
+func TestReconstructMaskedAgainstCompressedGradients(t *testing.T) {
+	// A mask-aware attack on moderately compressed gradients still
+	// reconstructs — the DSSGD vulnerability of Figure 4.
+	rng := tensor.NewRNG(21)
+	m := NewMLP([]int{16, 12, 4}, ActSigmoid, rng)
+	x := tensor.New(16)
+	rng.FillUniform(x, 0, 1)
+	_, gw, gb := m.Gradients(x, 2)
+	leaked := append(cloneAll(gw), cloneAll(gb)...)
+	dp.Compress(leaked, 0.5)
+	lw, lb := leaked[:len(gw)], leaked[len(gw):]
+
+	res := Reconstruct(m, lw, lb, []int{2}, []*tensor.Tensor{x},
+		Config{Seed: 7, MaskNonzero: true, MaxIters: 500, LossThreshold: 1e-9})
+	if res.Distance > 0.25 {
+		t.Fatalf("mask-aware attack on 50%%-compressed gradients: distance %v", res.Distance)
+	}
+}
+
+func TestGradMatchMaskedBadMaskPanics(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	m := NewMLP([]int{4, 2}, ActSigmoid, rng)
+	x := tensor.New(4)
+	_, gw, gb := m.Gradients(x, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong mask layer count")
+		}
+	}()
+	m.GradMatchMasked([]*tensor.Tensor{x}, []int{0}, gw, gb, []*tensor.Tensor{}, nil)
+}
+
+func cloneAll(ts []*tensor.Tensor) []*tensor.Tensor {
+	return tensor.CloneAll(ts)
+}

@@ -1,0 +1,91 @@
+package attack
+
+import (
+	"testing"
+
+	"fedcdp/internal/tensor"
+)
+
+func makeSamples(rng *tensor.RNG, n, dim int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		x := tensor.New(dim)
+		rng.FillUniform(x, 0, 1)
+		out[i] = Sample{X: x, Y: i % 3}
+	}
+	return out
+}
+
+func TestMembershipPerfectSeparation(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	members := makeSamples(rng, 50, 4)
+	nonMembers := makeSamples(rng, 50, 4)
+	memberSet := map[*tensor.Tensor]bool{}
+	for _, s := range members {
+		memberSet[s.X] = true
+	}
+	// Oracle loss: members 0.1, non-members 0.9.
+	loss := func(x *tensor.Tensor, y int) float64 {
+		if memberSet[x] {
+			return 0.1
+		}
+		return 0.9
+	}
+	res := MembershipInference(loss, members, nonMembers)
+	if res.Advantage < 0.99 {
+		t.Fatalf("perfect oracle advantage = %v, want 1", res.Advantage)
+	}
+	if res.AUC < 0.99 {
+		t.Fatalf("perfect oracle AUC = %v, want 1", res.AUC)
+	}
+}
+
+func TestMembershipNoSignal(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	members := makeSamples(rng, 200, 4)
+	nonMembers := makeSamples(rng, 200, 4)
+	scoreRNG := tensor.NewRNG(3)
+	loss := func(x *tensor.Tensor, y int) float64 { return scoreRNG.Float64() }
+	res := MembershipInference(loss, members, nonMembers)
+	if res.Advantage > 0.25 {
+		t.Fatalf("random-score advantage = %v, want near 0", res.Advantage)
+	}
+	if res.AUC < 0.35 || res.AUC > 0.65 {
+		t.Fatalf("random-score AUC = %v, want ≈ 0.5", res.AUC)
+	}
+}
+
+func TestMembershipOverfittedMLPLeaks(t *testing.T) {
+	// Train an MLP to near-zero loss on a tiny member set; the
+	// loss-threshold attack must then distinguish members from fresh data.
+	rng := tensor.NewRNG(4)
+	m := NewMLP([]int{8, 16, 3}, ActSigmoid, rng)
+	members := makeSamples(rng, 12, 8)
+	nonMembers := makeSamples(rng, 12, 8)
+	for epoch := 0; epoch < 400; epoch++ {
+		for _, s := range members {
+			_, gw, gb := m.Gradients(s.X, s.Y)
+			for l := 0; l < m.Layers(); l++ {
+				m.Ws[l].AddScaled(-0.5, gw[l])
+				m.Bs[l].AddScaled(-0.5, gb[l])
+			}
+		}
+	}
+	loss := func(x *tensor.Tensor, y int) float64 {
+		l, _, _ := m.Gradients(x, y)
+		return l
+	}
+	res := MembershipInference(loss, members, nonMembers)
+	if res.Advantage < 0.4 {
+		t.Fatalf("overfitted model advantage = %v, want substantial leakage", res.Advantage)
+	}
+}
+
+func TestMembershipPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty sets")
+		}
+	}()
+	MembershipInference(func(*tensor.Tensor, int) float64 { return 0 }, nil, nil)
+}

@@ -1,0 +1,194 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"fedcdp/internal/tensor"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"too few sizes": func() { NewMLP([]int{4}, ActSigmoid, tensor.NewRNG(1)) },
+		"bad act":       func() { NewMLP([]int{4, 2}, "relu", tensor.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMLPGradientsMatchFiniteDifference(t *testing.T) {
+	// First-order check: dLoss/dW against central differences.
+	rng := tensor.NewRNG(1)
+	m := NewMLP([]int{6, 5, 3}, ActSigmoid, rng)
+	x := tensor.New(6)
+	rng.FillNormal(x, 0.5, 0.5)
+	label := 2
+	_, gw, gb := m.Gradients(x, label)
+
+	eps := 1e-6
+	for l := 0; l < m.Layers(); l++ {
+		wd := m.Ws[l].Data()
+		for i := 0; i < len(wd); i += 3 { // sample every 3rd weight
+			orig := wd[i]
+			wd[i] = orig + eps
+			lp, _, _ := m.Gradients(x, label)
+			wd[i] = orig - eps
+			lm, _, _ := m.Gradients(x, label)
+			wd[i] = orig
+			want := (lp - lm) / (2 * eps)
+			if math.Abs(gw[l].Data()[i]-want) > 1e-4 {
+				t.Fatalf("W[%d][%d]: analytic %v, numeric %v", l, i, gw[l].Data()[i], want)
+			}
+		}
+		bd := m.Bs[l].Data()
+		for i := range bd {
+			orig := bd[i]
+			bd[i] = orig + eps
+			lp, _, _ := m.Gradients(x, label)
+			bd[i] = orig - eps
+			lm, _, _ := m.Gradients(x, label)
+			bd[i] = orig
+			want := (lp - lm) / (2 * eps)
+			if math.Abs(gb[l].Data()[i]-want) > 1e-4 {
+				t.Fatalf("b[%d][%d]: analytic %v, numeric %v", l, i, gb[l].Data()[i], want)
+			}
+		}
+	}
+}
+
+// checkGradMatchGradient validates the second-order chain ∇ₓ GradMatch
+// against central finite differences.
+func checkGradMatchGradient(t *testing.T, act string, sizes []int, batch int) {
+	t.Helper()
+	rng := tensor.NewRNG(7)
+	m := NewMLP(sizes, act, rng)
+
+	// Build leaked target gradients from a "victim" batch.
+	truth := make([]*tensor.Tensor, batch)
+	labels := make([]int, batch)
+	targetW := make([]*tensor.Tensor, m.Layers())
+	targetB := make([]*tensor.Tensor, m.Layers())
+	for l := 0; l < m.Layers(); l++ {
+		targetW[l] = tensor.New(m.Sizes[l+1], m.Sizes[l])
+		targetB[l] = tensor.New(m.Sizes[l+1])
+	}
+	for j := 0; j < batch; j++ {
+		truth[j] = tensor.New(sizes[0])
+		rng.FillUniform(truth[j], 0, 1)
+		labels[j] = j % sizes[len(sizes)-1]
+		_, gw, gb := m.Gradients(truth[j], labels[j])
+		for l := 0; l < m.Layers(); l++ {
+			targetW[l].AddScaled(1/float64(batch), gw[l])
+			targetB[l].AddScaled(1/float64(batch), gb[l])
+		}
+	}
+
+	// Candidate batch (different from truth).
+	xs := make([]*tensor.Tensor, batch)
+	for j := range xs {
+		xs[j] = tensor.New(sizes[0])
+		rng.FillUniform(xs[j], 0, 1)
+	}
+	_, grads := m.GradMatch(xs, labels, targetW, targetB)
+
+	eps := 1e-6
+	for j := 0; j < batch; j++ {
+		xd := xs[j].Data()
+		for i := range xd {
+			orig := xd[i]
+			xd[i] = orig + eps
+			lp, _ := m.GradMatch(xs, labels, targetW, targetB)
+			xd[i] = orig - eps
+			lm, _ := m.GradMatch(xs, labels, targetW, targetB)
+			xd[i] = orig
+			want := (lp - lm) / (2 * eps)
+			got := grads[j].Data()[i]
+			if math.Abs(got-want) > 1e-4*math.Max(1, math.Abs(want)) {
+				t.Fatalf("x[%d][%d]: analytic %v, numeric %v", j, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGradMatchGradientSigmoidSingle(t *testing.T) {
+	checkGradMatchGradient(t, ActSigmoid, []int{8, 6, 4}, 1)
+}
+
+func TestGradMatchGradientTanhSingle(t *testing.T) {
+	checkGradMatchGradient(t, ActTanh, []int{7, 5, 3}, 1)
+}
+
+func TestGradMatchGradientDeep(t *testing.T) {
+	checkGradMatchGradient(t, ActSigmoid, []int{6, 8, 6, 4}, 1)
+}
+
+func TestGradMatchGradientBatch(t *testing.T) {
+	checkGradMatchGradient(t, ActSigmoid, []int{6, 5, 3}, 3)
+}
+
+func TestGradMatchGradientSingleLayer(t *testing.T) {
+	checkGradMatchGradient(t, ActSigmoid, []int{5, 3}, 1)
+}
+
+func TestGradMatchZeroAtTruth(t *testing.T) {
+	// The objective at the true input with true labels is exactly zero.
+	rng := tensor.NewRNG(2)
+	m := NewMLP([]int{6, 4, 3}, ActSigmoid, rng)
+	x := tensor.New(6)
+	rng.FillUniform(x, 0, 1)
+	_, gw, gb := m.Gradients(x, 1)
+	loss, grads := m.GradMatch([]*tensor.Tensor{x}, []int{1}, gw, gb)
+	if loss > 1e-20 {
+		t.Fatalf("GradMatch at truth = %v, want 0", loss)
+	}
+	if grads[0].L2Norm() > 1e-9 {
+		t.Fatalf("gradient at truth = %v, want ~0", grads[0].L2Norm())
+	}
+}
+
+func TestGradMatchPanics(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m := NewMLP([]int{4, 2}, ActSigmoid, rng)
+	x := tensor.New(4)
+	for name, f := range map[string]func(){
+		"empty batch":    func() { m.GradMatch(nil, nil, nil, nil) },
+		"label mismatch": func() { m.GradMatch([]*tensor.Tensor{x}, []int{0, 1}, nil, nil) },
+		"target layers": func() {
+			m.GradMatch([]*tensor.Tensor{x}, []int{0}, []*tensor.Tensor{}, []*tensor.Tensor{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMLPPredictConsistentWithGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := NewMLP([]int{5, 4, 3}, ActTanh, rng)
+	x := tensor.New(5)
+	rng.FillUniform(x, 0, 1)
+	// The loss of the predicted class must be the smallest across labels.
+	pred := m.Predict(x)
+	lossAt := func(label int) float64 {
+		l, _, _ := m.Gradients(x, label)
+		return l
+	}
+	for c := 0; c < 3; c++ {
+		if lossAt(pred) > lossAt(c)+1e-12 {
+			t.Fatalf("predicted class %d has higher loss than %d", pred, c)
+		}
+	}
+}

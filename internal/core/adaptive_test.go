@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fedcdp/internal/tensor"
+)
+
+func TestFedCDPMedianProducesUpdate(t *testing.T) {
+	env := testEnv(t, 20)
+	delta, stats := FedCDPMedian{Sigma: 0.1}.ClientUpdate(env)
+	if tensor.GroupL2Norm(delta) == 0 {
+		t.Fatal("median-clip update must be non-zero")
+	}
+	if stats.Iters != env.Cfg.LocalIters || stats.MeanGradNorm <= 0 {
+		t.Fatalf("stats incomplete: %+v", stats)
+	}
+}
+
+func TestFedCDPMedianName(t *testing.T) {
+	if got := (FedCDPMedian{}).Name(); got != "fed-cdp(median)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestFedCDPMedianDeterministic(t *testing.T) {
+	d1, _ := FedCDPMedian{Sigma: 0.5}.ClientUpdate(testEnv(t, 21))
+	d2, _ := FedCDPMedian{Sigma: 0.5}.ClientUpdate(testEnv(t, 21))
+	for i := range d1 {
+		if !d1[i].Equal(d2[i], 0) {
+			t.Fatal("median-clip strategy must be deterministic per seed")
+		}
+	}
+}
+
+func TestFedCDPMedianCapsBound(t *testing.T) {
+	// With a tiny MaxC and no noise, the update shrinks toward zero, like a
+	// tiny fixed bound would.
+	big, _ := FedCDPMedian{Sigma: 0}.ClientUpdate(testEnv(t, 22))
+	capped, _ := FedCDPMedian{Sigma: 0, MaxC: 1e-6}.ClientUpdate(testEnv(t, 22))
+	if tensor.GroupL2Norm(capped) > 1e-3*tensor.GroupL2Norm(big) {
+		t.Fatalf("MaxC had no effect: %v vs %v",
+			tensor.GroupL2Norm(capped), tensor.GroupL2Norm(big))
+	}
+}
+
+func TestFedCDPMedianSanitizes(t *testing.T) {
+	raw, _ := NonPrivate{}.ClientUpdate(testEnv(t, 23))
+	med, _ := FedCDPMedian{Sigma: 1}.ClientUpdate(testEnv(t, 23))
+	same := true
+	for i := range raw {
+		if !raw[i].Equal(med[i], 1e-9) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("median-clip strategy must perturb the update")
+	}
+}
+
+func TestFedCDPMedianServerSanitizeNoop(t *testing.T) {
+	u := [][]*tensor.Tensor{{tensor.FromSlice([]float64{1}, 1)}}
+	FedCDPMedian{Sigma: 1}.ServerSanitize(0, u, tensor.NewRNG(1))
+	if u[0][0].At(0) != 1 {
+		t.Fatal("median-clip sanitizes per example only")
+	}
+}
+
+func TestLRScaledClipSchedule(t *testing.T) {
+	p := LRScaledClip{Alpha: 40, LR0: 0.1, Decay: 0.5, Min: 0.5}
+	if got := p.Bound(0, 10); got != 4 {
+		t.Fatalf("round 0 bound = %v, want 4", got)
+	}
+	if got := p.Bound(1, 10); got != 2 {
+		t.Fatalf("round 1 bound = %v, want 2", got)
+	}
+	if got := p.Bound(20, 10); got != 0.5 {
+		t.Fatalf("floored bound = %v, want 0.5", got)
+	}
+	if p.String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+}
+
+func TestLRScaledClipMonotone(t *testing.T) {
+	p := LRScaledClip{Alpha: 60, LR0: 0.1, Decay: 0.9, Min: 1}
+	prev := math.Inf(1)
+	for r := 0; r < 50; r++ {
+		b := p.Bound(r, 50)
+		if b > prev {
+			t.Fatalf("bound increased at round %d", r)
+		}
+		prev = b
+	}
+}
+
+func TestFedCDPWithLRScaledClip(t *testing.T) {
+	// The lr-scaled policy slots into FedCDP like any other ClipPolicy.
+	s := FedCDP{Clip: LRScaledClip{Alpha: 40, LR0: 0.1, Decay: 0.9, Min: 0.5}, Sigma: 0.1}
+	delta, _ := s.ClientUpdate(testEnv(t, 24))
+	if tensor.GroupL2Norm(delta) == 0 {
+		t.Fatal("update must be non-zero")
+	}
+}
+
+func TestFedCDPFlatClipBehaviour(t *testing.T) {
+	// Flat clipping with a tiny bound shrinks the whole-gradient norm; the
+	// per-layer variant clips each layer independently.
+	flat, _ := FedCDP{Clip: fixedClip(1e-6), Sigma: 0, FlatClip: true}.ClientUpdate(testEnv(t, 25))
+	layer, _ := FedCDP{Clip: fixedClip(1e-6), Sigma: 0}.ClientUpdate(testEnv(t, 25))
+	if tensor.GroupL2Norm(flat) > 1e-3 || tensor.GroupL2Norm(layer) > 1e-3 {
+		t.Fatal("both clip variants must bound the update")
+	}
+}
+
+// fixedClip is a test helper for a constant clipping bound.
+func fixedClip(c float64) interface {
+	Bound(int, int) float64
+	String() string
+} {
+	return dpFixed{c}
+}
+
+type dpFixed struct{ c float64 }
+
+func (d dpFixed) Bound(int, int) float64 { return d.c }
+func (d dpFixed) String() string         { return "test-fixed" }

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/dp"
+	"fedcdp/internal/fl"
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+// testEnv builds a small ClientEnv on the cancer benchmark.
+func testEnv(t *testing.T, seed int64) *fl.ClientEnv {
+	t.Helper()
+	spec, err := dataset.Get("cancer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.New(spec, seed)
+	m := nn.Build(spec.ModelSpec(), tensor.Split(seed, 1))
+	return &fl.ClientEnv{
+		ClientID: 0,
+		Round:    0,
+		Model:    m,
+		Data:     ds.Client(0),
+		RNG:      tensor.Split(seed, 4, 0, 0),
+		Cfg:      fl.RoundConfig{BatchSize: 4, LocalIters: 3, LR: 0.1, TotalRounds: 10},
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	cases := map[string]fl.Strategy{
+		"non-private":      NonPrivate{},
+		"fed-sdp":          FedSDP{C: 4, Sigma: 6},
+		"fed-sdp(server)":  FedSDP{C: 4, Sigma: 6, AtServer: true},
+		"fed-cdp":          NewFedCDP(4, 6),
+		"fed-cdp(decay)":   NewFedCDPDecay(6, 2, 6),
+		"dssgd":            DSSGD{ShareFraction: 0.1},
+		"dssgd+compress":   Compressed{Inner: DSSGD{ShareFraction: 0.1}, PruneRatio: 0.3},
+		"fed-cdp+compress": Compressed{Inner: NewFedCDP(4, 6), PruneRatio: 0.3},
+	}
+	for want, s := range cases {
+		if got := s.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestNonPrivateProducesUpdate(t *testing.T) {
+	env := testEnv(t, 1)
+	delta, stats := NonPrivate{}.ClientUpdate(env)
+	if tensor.GroupL2Norm(delta) == 0 {
+		t.Fatal("non-private update must be non-zero")
+	}
+	if stats.Iters != 3 {
+		t.Fatalf("stats.Iters = %d, want 3", stats.Iters)
+	}
+	if stats.MeanGradNorm <= 0 {
+		t.Fatal("stats must record gradient norms")
+	}
+}
+
+func TestFedCDPNoiseChangesUpdate(t *testing.T) {
+	// Same seed, non-private vs Fed-CDP must differ (noise applied).
+	d1, _ := NonPrivate{}.ClientUpdate(testEnv(t, 2))
+	d2, _ := NewFedCDP(4, 6).ClientUpdate(testEnv(t, 2))
+	same := true
+	for i := range d1 {
+		if !d1[i].Equal(d2[i], 1e-9) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Fed-CDP update identical to non-private — no sanitization applied")
+	}
+}
+
+func TestFedCDPZeroNoiseStillClips(t *testing.T) {
+	// With σ=0 and a tiny clipping bound, the Fed-CDP update must be much
+	// smaller than the non-private one.
+	dNP, _ := NonPrivate{}.ClientUpdate(testEnv(t, 3))
+	dCDP, _ := FedCDP{Clip: dp.FixedClip{C: 1e-6}, Sigma: 0}.ClientUpdate(testEnv(t, 3))
+	if tensor.GroupL2Norm(dCDP) > 1e-3*tensor.GroupL2Norm(dNP) {
+		t.Fatalf("clipping had no effect: %v vs %v", tensor.GroupL2Norm(dCDP), tensor.GroupL2Norm(dNP))
+	}
+}
+
+func TestFedCDPDeterministicPerSeed(t *testing.T) {
+	d1, _ := NewFedCDP(4, 6).ClientUpdate(testEnv(t, 4))
+	d2, _ := NewFedCDP(4, 6).ClientUpdate(testEnv(t, 4))
+	for i := range d1 {
+		if !d1[i].Equal(d2[i], 0) {
+			t.Fatal("Fed-CDP must be deterministic for a fixed env seed")
+		}
+	}
+}
+
+func TestFedCDPDecayUsesSchedule(t *testing.T) {
+	// At round 0 of 10 with schedule 6→2, bound is 6; at the last round it
+	// is 2. Verify via σ=0 clipping on a synthetic large-gradient env.
+	s := NewFedCDPDecay(6, 2, 0)
+	env0 := testEnv(t, 5)
+	envLast := testEnv(t, 5)
+	envLast.Round = 9
+	d0, _ := s.ClientUpdate(env0)
+	dLast, _ := s.ClientUpdate(envLast)
+	// Not a strict guarantee for any data, but with equal seeds the only
+	// difference is the clipping bound; the last-round update cannot exceed
+	// the first-round one by the clip ratio argument.
+	if tensor.GroupL2Norm(dLast) > tensor.GroupL2Norm(d0)*1.01 {
+		t.Fatalf("decayed bound produced larger update: %v > %v",
+			tensor.GroupL2Norm(dLast), tensor.GroupL2Norm(d0))
+	}
+}
+
+func TestFedSDPClientSanitizesUpdate(t *testing.T) {
+	// With σ=0 and a tiny C, the shared update must be clipped per layer.
+	s := FedSDP{C: 0.001, Sigma: 0}
+	delta, _ := s.ClientUpdate(testEnv(t, 6))
+	for i, d := range delta {
+		if d.L2Norm() > 0.001*(1+1e-9) {
+			t.Fatalf("layer %d norm %v exceeds Fed-SDP clip", i, d.L2Norm())
+		}
+	}
+}
+
+func TestFedSDPServerLeavesClientUpdateRaw(t *testing.T) {
+	sServer := FedSDP{C: 4, Sigma: 6, AtServer: true}
+	np := NonPrivate{}
+	d1, _ := sServer.ClientUpdate(testEnv(t, 7))
+	d2, _ := np.ClientUpdate(testEnv(t, 7))
+	for i := range d1 {
+		if !d1[i].Equal(d2[i], 0) {
+			t.Fatal("server-side Fed-SDP must not sanitize at the client")
+		}
+	}
+	// But ServerSanitize perturbs.
+	updates := [][]*tensor.Tensor{tensor.CloneAll(d1)}
+	sServer.ServerSanitize(0, updates, tensor.NewRNG(1))
+	changed := false
+	for i := range d1 {
+		if !updates[0][i].Equal(d1[i], 1e-12) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("ServerSanitize must modify updates")
+	}
+}
+
+func TestFedSDPClientServerSanitizeNoop(t *testing.T) {
+	s := FedSDP{C: 4, Sigma: 6} // client-side
+	u := [][]*tensor.Tensor{{tensor.FromSlice([]float64{1, 2}, 2)}}
+	s.ServerSanitize(0, u, tensor.NewRNG(1))
+	if u[0][0].At(0) != 1 {
+		t.Fatal("client-side Fed-SDP must not sanitize at the server")
+	}
+}
+
+func TestDSSGDSharesFraction(t *testing.T) {
+	s := DSSGD{ShareFraction: 0.1}
+	delta, _ := s.ClientUpdate(testEnv(t, 8))
+	var nonzero, total int
+	for _, d := range delta {
+		for _, v := range d.Data() {
+			if v != 0 {
+				nonzero++
+			}
+			total++
+		}
+	}
+	frac := float64(nonzero) / float64(total)
+	if frac > 0.12 {
+		t.Fatalf("DSSGD shared %.3f of entries, want <= ~0.1", frac)
+	}
+	if nonzero == 0 {
+		t.Fatal("DSSGD must share something")
+	}
+}
+
+func TestCompressedWrapper(t *testing.T) {
+	inner := NonPrivate{}
+	c := Compressed{Inner: inner, PruneRatio: 0.9}
+	dRaw, _ := inner.ClientUpdate(testEnv(t, 9))
+	dCmp, _ := c.ClientUpdate(testEnv(t, 9))
+	var rawNZ, cmpNZ int
+	for i := range dRaw {
+		for _, v := range dRaw[i].Data() {
+			if v != 0 {
+				rawNZ++
+			}
+		}
+		for _, v := range dCmp[i].Data() {
+			if v != 0 {
+				cmpNZ++
+			}
+		}
+	}
+	if cmpNZ >= rawNZ {
+		t.Fatalf("compression kept %d of %d entries", cmpNZ, rawNZ)
+	}
+}
+
+func TestConfigStrategyResolution(t *testing.T) {
+	for _, m := range Methods() {
+		cfg := Config{Method: m, Clip: 4, Sigma: 6}
+		if _, err := cfg.Strategy(); err != nil {
+			t.Errorf("method %q: %v", m, err)
+		}
+	}
+	if _, err := (Config{Method: "pate"}).Strategy(); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+	// Empty method defaults to non-private.
+	s, err := (Config{}).Strategy()
+	if err != nil || s.Name() != "non-private" {
+		t.Fatalf("empty method -> %v, %v", s, err)
+	}
+	// Compression wraps.
+	s, err = (Config{Method: MethodFedCDP, CompressRatio: 0.3}).Strategy()
+	if err != nil || s.Name() != "fed-cdp+compress" {
+		t.Fatalf("compressed strategy = %v, %v", s, err)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if _, err := Run(Config{Dataset: "imagenet"}); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestRunEndToEndNonPrivate(t *testing.T) {
+	res, err := Run(Config{
+		Dataset: "cancer", Method: MethodNonPrivate,
+		K: 8, Kt: 4, Rounds: 3, LocalIters: 10,
+		ValExamples: 60, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(res.Rounds))
+	}
+	if res.FinalAccuracy() < 0.5 {
+		t.Fatalf("cancer non-private accuracy %v, want > 0.5 after 3 rounds", res.FinalAccuracy())
+	}
+	if res.FinalEpsilon() != 0 {
+		t.Fatal("non-private run must not report privacy spending")
+	}
+}
+
+func TestRunEndToEndFedCDPAccounting(t *testing.T) {
+	res, err := Run(Config{
+		Dataset: "cancer", Method: MethodFedCDP,
+		K: 8, Kt: 4, Rounds: 3, LocalIters: 5,
+		ValExamples: 40, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, r := range res.Rounds {
+		if r.Epsilon <= prev {
+			t.Fatalf("round %d: ε %v not increasing from %v", i, r.Epsilon, prev)
+		}
+		prev = r.Epsilon
+	}
+}
+
+func TestRunFedSDPEpsilonIndependentOfL(t *testing.T) {
+	run := func(L int) float64 {
+		res, err := Run(Config{
+			Dataset: "cancer", Method: MethodFedSDP,
+			K: 8, Kt: 4, Rounds: 2, LocalIters: L,
+			ValExamples: 20, Seed: 1, EvalEvery: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalEpsilon()
+	}
+	if e1, e5 := run(1), run(5); e1 != e5 {
+		t.Fatalf("Fed-SDP ε depends on L: %v vs %v", e1, e5)
+	}
+}
+
+func TestRunFedCDPEpsilonGrowsWithL(t *testing.T) {
+	run := func(L int) float64 {
+		res, err := Run(Config{
+			Dataset: "cancer", Method: MethodFedCDP,
+			K: 8, Kt: 4, Rounds: 2, LocalIters: L,
+			ValExamples: 20, Seed: 1, EvalEvery: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalEpsilon()
+	}
+	if e1, e5 := run(1), run(5); e5 <= e1 {
+		t.Fatalf("Fed-CDP ε must grow with L: ε(1)=%v ε(5)=%v", e1, e5)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	spec, _ := dataset.Get("mnist")
+	c := Config{Dataset: "mnist"}.withDefaults(spec)
+	if c.K != 100 || c.Kt != 10 {
+		t.Fatalf("defaults K=%d Kt=%d", c.K, c.Kt)
+	}
+	if c.Rounds != spec.Rounds || c.BatchSize != spec.BatchSize || c.LocalIters != spec.LocalIters {
+		t.Fatal("defaults must inherit benchmark spec")
+	}
+	if c.Clip != 4 || c.Sigma != 6 || c.Delta != 1e-5 {
+		t.Fatalf("privacy defaults C=%v σ=%v δ=%v", c.Clip, c.Sigma, c.Delta)
+	}
+	if c.DecayFrom != 6 || c.DecayTo != 2 {
+		t.Fatal("decay defaults must be 6→2")
+	}
+}
+
+func TestLeakPerExampleRawForNonCDP(t *testing.T) {
+	env := testEnv(t, 10)
+	x, y := env.Data.Get(0)
+	raw, err := LeakPerExample(env.Model, x, y, Config{Method: MethodNonPrivate}, 0, 10, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := env.Model.ExampleGradient(x, y)
+	for i := range raw {
+		if !raw[i].Equal(want[i], 0) {
+			t.Fatal("type-2 leak under non-private must be the raw gradient")
+		}
+	}
+	// Fed-SDP also leaks raw per-example gradients (the paper's key point).
+	sdp, err := LeakPerExample(env.Model, x, y, Config{Method: MethodFedSDP, Clip: 4, Sigma: 6}, 0, 10, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sdp {
+		if !sdp[i].Equal(want[i], 0) {
+			t.Fatal("type-2 leak under Fed-SDP must be the raw per-example gradient")
+		}
+	}
+}
+
+func TestLeakPerExampleSanitizedForCDP(t *testing.T) {
+	env := testEnv(t, 11)
+	x, y := env.Data.Get(0)
+	_, raw := env.Model.ExampleGradient(x, y)
+	got, err := LeakPerExample(env.Model, x, y, Config{Method: MethodFedCDP, Clip: 4, Sigma: 6}, 0, 10, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range got {
+		if !got[i].Equal(raw[i], 1e-9) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("type-2 leak under Fed-CDP must be sanitized")
+	}
+	// Decay variant also sanitizes.
+	got2, err := LeakPerExample(env.Model, x, y, Config{Method: MethodFedCDPDecay}, 5, 10, tensor.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same = true
+	for i := range got2 {
+		if !got2[i].Equal(raw[i], 1e-9) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("type-2 leak under Fed-CDP(decay) must be sanitized")
+	}
+}
+
+func TestLeakPerExampleUnknownMethod(t *testing.T) {
+	env := testEnv(t, 12)
+	x, y := env.Data.Get(0)
+	if _, err := LeakPerExample(env.Model, x, y, Config{Method: "bogus"}, 0, 1, tensor.NewRNG(1)); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestLeakRoundUpdateViews(t *testing.T) {
+	// Type-1 (client view) of server-side Fed-SDP is raw; type-0 (server
+	// view) is sanitized.
+	cfgSrv := Config{Method: MethodFedSDPSrv, Clip: 4, Sigma: 6}
+	type1, err := LeakRoundUpdate(testEnv(t, 13), cfgSrv, false, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := NonPrivate{}.ClientUpdate(testEnv(t, 13))
+	for i := range type1 {
+		if !type1[i].Equal(raw[i], 0) {
+			t.Fatal("type-1 view of server-side Fed-SDP must be raw")
+		}
+	}
+	type0, err := LeakRoundUpdate(testEnv(t, 13), cfgSrv, true, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range type0 {
+		if !type0[i].Equal(raw[i], 1e-9) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("type-0 view of server-side Fed-SDP must be sanitized")
+	}
+}
+
+func TestLeakRoundUpdateUnknownMethod(t *testing.T) {
+	if _, err := LeakRoundUpdate(testEnv(t, 14), Config{Method: "bogus"}, false, tensor.NewRNG(1)); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestGradNormDecaysOverTraining(t *testing.T) {
+	// Figure 3's qualitative shape: the mean per-example gradient norm
+	// decreases as federated training progresses.
+	res, err := Run(Config{
+		Dataset: "cancer", Method: MethodNonPrivate,
+		K: 8, Kt: 8, Rounds: 6, LocalIters: 10,
+		ValExamples: 20, Seed: 3, EvalEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.GradNormSeries()
+	first, last := series[0], series[len(series)-1]
+	if last >= first {
+		t.Fatalf("gradient norm did not decay: %v -> %v", first, last)
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if orDefault(0, 4) != 4 || orDefault(2, 4) != 2 {
+		t.Fatal("orDefault broken")
+	}
+}
+
+func TestFedCDPSmallerUpdateNormThanNonPrivate(t *testing.T) {
+	// Sanity: with clipping at C=4 per example and noise averaged over the
+	// batch, the Fed-CDP update is bounded; compare against a run with a
+	// huge learning-rate-free bound.
+	dNP, _ := NonPrivate{}.ClientUpdate(testEnv(t, 15))
+	dCDP, _ := FedCDP{Clip: dp.FixedClip{C: 0.5}, Sigma: 0}.ClientUpdate(testEnv(t, 15))
+	if math.IsNaN(tensor.GroupL2Norm(dCDP)) || math.IsNaN(tensor.GroupL2Norm(dNP)) {
+		t.Fatal("NaN update norms")
+	}
+}

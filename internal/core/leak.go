@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"fedcdp/internal/dp"
+	"fedcdp/internal/fl"
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+// Leakage extraction: these helpers reproduce exactly what each adversary of
+// the paper's threat model observes (Section III), so attack experiments can
+// be run against any defense.
+//
+//   - type-2: the per-example gradient during local training. Under Fed-CDP
+//     this is the sanitized gradient (clipping and noise are applied the
+//     moment a layer's gradient is computed); under every other method the
+//     raw gradient is exposed.
+//   - type-1: the client's round update after local training. Fed-SDP with
+//     client-side noise exposes the sanitized update; Fed-SDP with
+//     server-side noise exposes the raw one.
+//   - type-0: the round update as intercepted at the server, i.e. after any
+//     client-side or server-side sanitization.
+
+// LeakPerExample returns the per-example gradient a type-2 adversary reads
+// at a client running the given method. round/totalRounds position any
+// clipping-decay schedule.
+func LeakPerExample(m *nn.Model, x *tensor.Tensor, label int, cfg Config, round, totalRounds int, rng *tensor.RNG) ([]*tensor.Tensor, error) {
+	_, g := m.ExampleGradient(x, label)
+	switch cfg.Method {
+	case MethodNonPrivate, MethodFedSDP, MethodFedSDPSrv, MethodDSSGD, "":
+		// Per-example gradients are untouched by per-client mechanisms.
+		return g, nil
+	case MethodFedCDP:
+		dp.Sanitize(g, orDefault(cfg.Clip, 4), orDefault(cfg.Sigma, 6), rng)
+		return g, nil
+	case MethodFedCDPDecay:
+		c := dp.LinearDecay{From: orDefault(cfg.DecayFrom, 6), To: orDefault(cfg.DecayTo, 2)}.Bound(round, totalRounds)
+		dp.Sanitize(g, c, orDefault(cfg.Sigma, 6), rng)
+		return g, nil
+	}
+	return nil, fmt.Errorf("core: unknown method %q", cfg.Method)
+}
+
+// LeakRoundUpdate returns the client round update observed by a type-0 or
+// type-1 adversary. atServer reports the type-0 view (post any server-side
+// sanitization); type-1 is the client-side view.
+func LeakRoundUpdate(env *fl.ClientEnv, cfg Config, atServer bool, rng *tensor.RNG) ([]*tensor.Tensor, error) {
+	strat, err := cfg.Strategy()
+	if err != nil {
+		return nil, err
+	}
+	delta, _ := strat.ClientUpdate(env)
+	if atServer {
+		updates := [][]*tensor.Tensor{delta}
+		strat.ServerSanitize(env.Round, updates, rng)
+		delta = updates[0]
+	}
+	return delta, nil
+}
+
+func orDefault(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}

@@ -1,0 +1,325 @@
+package dataset
+
+import (
+	"testing"
+
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+func TestBenchmarksMatchTableI(t *testing.T) {
+	b := Benchmarks()
+	cases := []struct {
+		name              string
+		features, classes int
+		perClient, batch  int
+		iters, rounds     int
+	}{
+		{"mnist", 28 * 28, 10, 500, 5, 100, 100},
+		{"cifar10", 32 * 32 * 3, 10, 400, 4, 100, 100},
+		{"lfw", 32 * 32 * 3, 62, 300, 3, 100, 60},
+		{"adult", 105, 2, 300, 3, 100, 10},
+		{"cancer", 30, 2, 400, 4, 100, 3},
+	}
+	for _, tc := range cases {
+		s, ok := b[tc.name]
+		if !ok {
+			t.Fatalf("missing benchmark %q", tc.name)
+		}
+		if s.Features != tc.features {
+			t.Errorf("%s features = %d, want %d", tc.name, s.Features, tc.features)
+		}
+		if s.Classes != tc.classes {
+			t.Errorf("%s classes = %d, want %d", tc.name, s.Classes, tc.classes)
+		}
+		if s.PerClient != tc.perClient {
+			t.Errorf("%s perClient = %d, want %d", tc.name, s.PerClient, tc.perClient)
+		}
+		if s.BatchSize != tc.batch {
+			t.Errorf("%s batch = %d, want %d", tc.name, s.BatchSize, tc.batch)
+		}
+		if s.LocalIters != tc.iters {
+			t.Errorf("%s L = %d, want %d", tc.name, s.LocalIters, tc.iters)
+		}
+		if s.Rounds != tc.rounds {
+			t.Errorf("%s T = %d, want %d", tc.name, s.Rounds, tc.rounds)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("imagenet"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	if _, err := Get("mnist"); err != nil {
+		t.Fatalf("Get(mnist): %v", err)
+	}
+}
+
+func TestNamesCoverAllBenchmarks(t *testing.T) {
+	names := Names()
+	b := Benchmarks()
+	if len(names) != len(b) {
+		t.Fatalf("Names has %d entries, Benchmarks %d", len(names), len(b))
+	}
+	for _, n := range names {
+		if _, ok := b[n]; !ok {
+			t.Fatalf("Names contains %q which is not a benchmark", n)
+		}
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	spec, _ := Get("mnist")
+	d1 := New(spec, 42)
+	d2 := New(spec, 42)
+	a := d1.Sample(3, 7, 2)
+	b := d2.Sample(3, 7, 2)
+	if !a.Equal(b, 0) {
+		t.Fatal("same (seed, stream, idx, class) must give identical samples")
+	}
+	c := d1.Sample(3, 8, 2)
+	if a.Equal(c, 1e-9) {
+		t.Fatal("different idx should give different samples")
+	}
+	d3 := New(spec, 43)
+	e := d3.Sample(3, 7, 2)
+	if a.Equal(e, 1e-9) {
+		t.Fatal("different dataset seed should give different samples")
+	}
+}
+
+func TestSamplesInUnitRange(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := Get(name)
+		d := New(spec, 1)
+		for i := int64(0); i < 10; i++ {
+			x := d.Sample(0, i, int(i)%spec.Classes)
+			for _, v := range x.Data() {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s sample value %v outside [0,1]", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPrototypesDiffer(t *testing.T) {
+	spec, _ := Get("mnist")
+	d := New(spec, 7)
+	p0, p1 := d.Prototype(0), d.Prototype(1)
+	diff := p0.Clone()
+	diff.Sub(p1)
+	if diff.L2Norm() < 0.5 {
+		t.Fatalf("class prototypes nearly identical (norm %v)", diff.L2Norm())
+	}
+}
+
+func TestValidationBalancedAndDeterministic(t *testing.T) {
+	spec, _ := Get("mnist")
+	spec.LabelFlip = 0 // exact balance only holds without label noise
+	d := New(spec, 5)
+	xs, ys := d.Validation(40)
+	if len(xs) != 40 || len(ys) != 40 {
+		t.Fatalf("validation size %d/%d", len(xs), len(ys))
+	}
+	counts := map[int]int{}
+	for _, y := range ys {
+		counts[y]++
+	}
+	for c := 0; c < 10; c++ {
+		if counts[c] != 4 {
+			t.Fatalf("class %d has %d validation examples, want 4", c, counts[c])
+		}
+	}
+	xs2, _ := d.Validation(40)
+	if !xs[0].Equal(xs2[0], 0) {
+		t.Fatal("validation must be deterministic")
+	}
+}
+
+func TestValidationCappedAtValN(t *testing.T) {
+	spec, _ := Get("cancer") // ValN = 143
+	d := New(spec, 1)
+	xs, _ := d.Validation(10000)
+	if len(xs) != 143 {
+		t.Fatalf("validation size %d, want capped 143", len(xs))
+	}
+}
+
+func TestClientNonIIDShards(t *testing.T) {
+	spec, _ := Get("mnist") // 2 classes per client
+	spec.LabelFlip = 0      // flips deliberately move labels off-shard
+	d := New(spec, 9)
+	c0 := d.Client(0)
+	if got := c0.Classes(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("client 0 classes = %v, want [0 1]", got)
+	}
+	c3 := d.Client(3)
+	if got := c3.Classes(); got[0] != 6 || got[1] != 7 {
+		t.Fatalf("client 3 classes = %v, want [6 7]", got)
+	}
+	// Client labels must come only from its shard classes.
+	for i := 0; i < 50; i++ {
+		_, y := c3.Get(i)
+		if y != 6 && y != 7 {
+			t.Fatalf("client 3 produced label %d outside its shard", y)
+		}
+	}
+}
+
+func TestClientShardWraparound(t *testing.T) {
+	spec, _ := Get("mnist")
+	d := New(spec, 9)
+	c := d.Client(7) // base = 14 mod 10 = 4
+	if got := c.Classes(); got[0] != 4 || got[1] != 5 {
+		t.Fatalf("client 7 classes = %v, want [4 5]", got)
+	}
+}
+
+func TestFullCopyClientSeesAllClasses(t *testing.T) {
+	spec, _ := Get("cancer")
+	d := New(spec, 9)
+	c := d.Client(5)
+	if len(c.Classes()) != 2 {
+		t.Fatalf("cancer client classes = %v, want all 2", c.Classes())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 60; i++ {
+		_, y := c.Get(i)
+		seen[y] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("full-copy client saw classes %v, want both", seen)
+	}
+}
+
+func TestClientGetDeterministic(t *testing.T) {
+	spec, _ := Get("lfw")
+	d := New(spec, 11)
+	c := d.Client(2)
+	x1, y1 := c.Get(5)
+	x2, y2 := c.Get(5)
+	if y1 != y2 || !x1.Equal(x2, 0) {
+		t.Fatal("client Get must be deterministic")
+	}
+}
+
+func TestClientGetPanicsOutOfRange(t *testing.T) {
+	spec, _ := Get("mnist")
+	d := New(spec, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	d.Client(0).Get(spec.PerClient)
+}
+
+func TestBatchShapeAndWraparound(t *testing.T) {
+	spec, _ := Get("mnist")
+	d := New(spec, 1)
+	c := d.Client(0)
+	xs, ys := c.Batch(0, 5)
+	if len(xs) != 5 || len(ys) != 5 {
+		t.Fatalf("batch size %d/%d, want 5", len(xs), len(ys))
+	}
+	// Batch past the end wraps around to index 0.
+	lastBatch := spec.PerClient / 5 // first out-of-range batch
+	xw, _ := c.Batch(lastBatch, 5)
+	x0, _ := c.Get(0)
+	if !xw[0].Equal(x0, 0) {
+		t.Fatal("batch must wrap around the shard")
+	}
+}
+
+func TestLabelFlipRate(t *testing.T) {
+	spec, _ := Get("mnist")
+	spec.LabelFlip = 0.3
+	d := New(spec, 13)
+	flipped := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if d.flipLabel(3, 7, int64(i)) != 3 {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("flip rate %v, want ≈0.3", rate)
+	}
+}
+
+func TestLabelFlipNeverSameClass(t *testing.T) {
+	spec, _ := Get("mnist")
+	spec.LabelFlip = 1 // always flip
+	d := New(spec, 14)
+	for i := 0; i < 200; i++ {
+		y := d.flipLabel(5, 0, int64(i))
+		if y == 5 {
+			t.Fatal("flip must choose a different class")
+		}
+		if y < 0 || y >= spec.Classes {
+			t.Fatalf("flipped label %d out of range", y)
+		}
+	}
+}
+
+func TestLabelFlipDeterministic(t *testing.T) {
+	spec, _ := Get("cifar10")
+	d := New(spec, 15)
+	for i := 0; i < 100; i++ {
+		if d.flipLabel(2, 4, int64(i)) != d.flipLabel(2, 4, int64(i)) {
+			t.Fatal("flipLabel must be deterministic")
+		}
+	}
+}
+
+func TestLabelFlipZeroIsIdentity(t *testing.T) {
+	spec, _ := Get("cancer")
+	spec.LabelFlip = 0
+	d := New(spec, 16)
+	for i := 0; i < 100; i++ {
+		if d.flipLabel(1, 0, int64(i)) != 1 {
+			t.Fatal("zero flip rate must never flip")
+		}
+	}
+}
+
+func TestModelSpecShapes(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := Get(name)
+		m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+		x := tensor.New(spec.InputShape()...)
+		y := m.Forward(x)
+		if y.Len() != spec.Classes {
+			t.Fatalf("%s model output %d, want %d", name, y.Len(), spec.Classes)
+		}
+	}
+}
+
+func TestSyntheticTaskIsLearnable(t *testing.T) {
+	// A few SGD epochs on the cancer benchmark should reach high accuracy —
+	// this pins the difficulty calibration for the easiest dataset.
+	spec, _ := Get("cancer")
+	d := New(spec, 123)
+	m := nn.Build(spec.ModelSpec(), tensor.NewRNG(7))
+	c := d.Client(0)
+	for epoch := 0; epoch < 3; epoch++ {
+		for i := 0; i < 200; i++ {
+			x, y := c.Get(i % c.Len())
+			_, g := m.ExampleGradient(x, y)
+			m.SGDStep(0.1, g)
+		}
+	}
+	xs, ys := d.Validation(100)
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.9 {
+		t.Fatalf("cancer accuracy after training = %v, want >= 0.9", acc)
+	}
+}

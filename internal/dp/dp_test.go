@@ -1,0 +1,241 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedcdp/internal/tensor"
+)
+
+func TestFixedClip(t *testing.T) {
+	p := FixedClip{C: 4}
+	for _, r := range []int{0, 50, 99} {
+		if p.Bound(r, 100) != 4 {
+			t.Fatalf("fixed bound changed at round %d", r)
+		}
+	}
+}
+
+func TestLinearDecayEndpoints(t *testing.T) {
+	p := LinearDecay{From: 6, To: 2}
+	if got := p.Bound(0, 100); got != 6 {
+		t.Fatalf("round 0 bound = %v, want 6", got)
+	}
+	if got := p.Bound(99, 100); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("final bound = %v, want 2", got)
+	}
+	mid := p.Bound(49, 100)
+	if mid >= 6 || mid <= 2 {
+		t.Fatalf("mid bound %v not strictly between", mid)
+	}
+}
+
+func TestLinearDecayMonotone(t *testing.T) {
+	p := LinearDecay{From: 6, To: 2}
+	prev := math.Inf(1)
+	for r := 0; r < 100; r++ {
+		b := p.Bound(r, 100)
+		if b > prev {
+			t.Fatalf("linear decay increased at round %d", r)
+		}
+		prev = b
+	}
+}
+
+func TestLinearDecaySingleRound(t *testing.T) {
+	p := LinearDecay{From: 6, To: 2}
+	if got := p.Bound(0, 1); got != 6 {
+		t.Fatalf("single-round bound = %v, want From", got)
+	}
+}
+
+func TestExpDecayFloor(t *testing.T) {
+	p := ExpDecay{From: 8, Rate: 0.5, Min: 1}
+	if got := p.Bound(0, 10); got != 8 {
+		t.Fatalf("round 0 = %v", got)
+	}
+	if got := p.Bound(10, 10); got != 1 {
+		t.Fatalf("floored bound = %v, want 1", got)
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	p := StepDecay{From: 8, Factor: 0.5, Every: 10, Min: 1}
+	if got := p.Bound(9, 100); got != 8 {
+		t.Fatalf("bound before first step = %v, want 8", got)
+	}
+	if got := p.Bound(10, 100); got != 4 {
+		t.Fatalf("bound after first step = %v, want 4", got)
+	}
+	if got := p.Bound(95, 100); got != 1 {
+		t.Fatalf("floored step bound = %v, want 1", got)
+	}
+	// Every <= 0 degrades to fixed.
+	if got := (StepDecay{From: 3}).Bound(50, 100); got != 3 {
+		t.Fatalf("Every=0 bound = %v, want 3", got)
+	}
+}
+
+func TestPolicyStringsNonEmpty(t *testing.T) {
+	for _, p := range []ClipPolicy{
+		FixedClip{4}, LinearDecay{6, 2}, ExpDecay{8, 0.9, 1}, StepDecay{8, 0.5, 10, 1},
+	} {
+		if p.String() == "" {
+			t.Fatalf("%T has empty String()", p)
+		}
+	}
+}
+
+func TestClipLayersIndependent(t *testing.T) {
+	a := tensor.FromSlice([]float64{3, 4}, 2)   // norm 5
+	b := tensor.FromSlice([]float64{0.3, 0}, 2) // norm .3
+	norms := ClipLayers([]*tensor.Tensor{a, b}, 1)
+	if norms[0] != 5 || math.Abs(norms[1]-0.3) > 1e-12 {
+		t.Fatalf("pre-clip norms = %v", norms)
+	}
+	if math.Abs(a.L2Norm()-1) > 1e-9 {
+		t.Fatalf("layer a norm after clip = %v, want 1", a.L2Norm())
+	}
+	if math.Abs(b.L2Norm()-0.3) > 1e-12 {
+		t.Fatal("layer b inside ball must be unchanged")
+	}
+}
+
+func TestClipLayersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		grads := []*tensor.Tensor{tensor.New(10), tensor.New(20)}
+		for _, g := range grads {
+			rng.FillNormal(g, 0, 5)
+		}
+		ClipLayers(grads, 2)
+		for _, g := range grads {
+			if g.L2Norm() > 2*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddGaussianStatistics(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	g := tensor.New(100000)
+	AddGaussian([]*tensor.Tensor{g}, 2, 3, rng) // std = 6
+	var sum, sumSq float64
+	for _, v := range g.Data() {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(g.Len())
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("noise mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-6) > 0.1 {
+		t.Fatalf("noise std = %v, want ~6", std)
+	}
+}
+
+func TestAddGaussianZeroSigmaNoop(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	g := tensor.FromSlice([]float64{1, 2}, 2)
+	AddGaussian([]*tensor.Tensor{g}, 0, 4, rng)
+	if g.At(0) != 1 || g.At(1) != 2 {
+		t.Fatal("sigma=0 must not perturb gradients")
+	}
+}
+
+func TestSanitizeBoundsSignal(t *testing.T) {
+	// After Sanitize, the signal part is clipped: check the deterministic
+	// component by sanitizing with sigma=0.
+	rng := tensor.NewRNG(3)
+	g := tensor.New(50)
+	rng.FillNormal(g, 0, 10)
+	Sanitize([]*tensor.Tensor{g}, 4, 0, rng)
+	if g.L2Norm() > 4*(1+1e-9) {
+		t.Fatalf("sanitized norm %v exceeds bound", g.L2Norm())
+	}
+}
+
+func TestSanitizeAddsNoise(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	g1 := tensor.New(100)
+	g2 := g1.Clone()
+	Sanitize([]*tensor.Tensor{g1}, 4, 6, rng)
+	if g1.Equal(g2, 1e-12) {
+		t.Fatal("Sanitize with sigma>0 must perturb gradients")
+	}
+}
+
+func TestMedianNorm(t *testing.T) {
+	if got := MedianNorm([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := MedianNorm([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+	if got := MedianNorm(nil); got != 0 {
+		t.Fatalf("empty median = %v, want 0", got)
+	}
+}
+
+func TestCompressPrunesSmallest(t *testing.T) {
+	g := tensor.FromSlice([]float64{0.1, -5, 0.2, 3, -0.05, 1}, 6)
+	kept := Compress([]*tensor.Tensor{g}, 0.5)
+	if kept != 3 {
+		t.Fatalf("kept %d, want 3", kept)
+	}
+	want := []float64{0, -5, 0, 3, 0, 1}
+	for i, v := range g.Data() {
+		if v != want[i] {
+			t.Fatalf("compress[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestCompressEdgeRatios(t *testing.T) {
+	g := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	if kept := Compress([]*tensor.Tensor{g}, 0); kept != 3 {
+		t.Fatalf("ratio 0 kept %d, want 3", kept)
+	}
+	if kept := Compress([]*tensor.Tensor{g}, 1); kept != 0 {
+		t.Fatalf("ratio 1 kept %d, want 0", kept)
+	}
+	for _, v := range g.Data() {
+		if v != 0 {
+			t.Fatal("ratio 1 must zero everything")
+		}
+	}
+}
+
+func TestCompressAcrossLayers(t *testing.T) {
+	a := tensor.FromSlice([]float64{10, 0.1}, 2)
+	b := tensor.FromSlice([]float64{0.2, 20}, 2)
+	Compress([]*tensor.Tensor{a, b}, 0.5)
+	if a.At(0) != 10 || b.At(1) != 20 {
+		t.Fatal("large entries must survive cross-layer compression")
+	}
+	if a.At(1) != 0 || b.At(0) != 0 {
+		t.Fatal("small entries must be pruned cross-layer")
+	}
+}
+
+func TestCompressPropertyKeepsLargest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		g := tensor.New(100)
+		rng.FillNormal(g, 0, 1)
+		maxAbs := g.MaxAbs()
+		Compress([]*tensor.Tensor{g}, 0.9)
+		return g.MaxAbs() == maxAbs // the largest entry always survives
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package dp_test
+
+import (
+	"fmt"
+
+	"fedcdp/internal/dp"
+	"fedcdp/internal/tensor"
+)
+
+// Sanitizing one example's gradients the Fed-CDP way: clip each layer to
+// C = 4 in L2 norm, then add Gaussian noise with sensitivity C.
+func ExampleSanitize() {
+	layer1 := tensor.FromSlice([]float64{30, 40}, 2) // norm 50 -> clipped to 4
+	layer2 := tensor.FromSlice([]float64{0.3, 0.4}, 2)
+	grads := []*tensor.Tensor{layer1, layer2}
+
+	dp.Sanitize(grads, 4, 0 /* σ=0 to show clipping deterministically */, tensor.NewRNG(1))
+	fmt.Printf("layer1 norm: %.1f (clipped)\n", layer1.L2Norm())
+	fmt.Printf("layer2 norm: %.1f (inside the ball, untouched)\n", layer2.L2Norm())
+	// Output:
+	// layer1 norm: 4.0 (clipped)
+	// layer2 norm: 0.5 (inside the ball, untouched)
+}
+
+// The decaying clipping bound of Fed-CDP(decay): 6 → 2 over 100 rounds.
+func ExampleLinearDecay() {
+	policy := dp.LinearDecay{From: 6, To: 2}
+	for _, round := range []int{0, 49, 99} {
+		fmt.Printf("round %2d: C = %.2f\n", round, policy.Bound(round, 100))
+	}
+	// Output:
+	// round  0: C = 6.00
+	// round 49: C = 4.02
+	// round 99: C = 2.00
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedcdp/internal/attack"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/tensor"
+)
+
+// Thin aliases keeping the test bodies readable.
+
+type tensorT = tensor.Tensor
+
+func datasetGet(name string) (dataset.Spec, error) { return dataset.Get(name) }
+
+func datasetNew(spec dataset.Spec, seed int64) *dataset.Dataset { return dataset.New(spec, seed) }
+
+func rngSplit(seed int64, labels ...int64) *tensor.RNG { return tensor.Split(seed, labels...) }
+
+func sscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func resultWith(revealed bool, dist float64, iters int) attack.Result {
+	return attack.Result{Revealed: revealed, Distance: dist, Iterations: iters}
+}

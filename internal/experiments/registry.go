@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Driver runs one experiment at the given options.
+type Driver func(Options) (*Report, error)
+
+// Registry maps experiment ids (table/figure numbers) to their drivers.
+func Registry() map[string]Driver {
+	return map[string]Driver{
+		"table1": Table1,
+		"table2": Table2,
+		"table3": Table3,
+		"table4": Table4,
+		"table5": Table5,
+		"table6": Table6,
+		"table7": Table7,
+		"fig1":   Fig1,
+		"fig3":   Fig3,
+		"fig4":   Fig4,
+		"fig5":   Fig5,
+	}
+}
+
+// Names returns all experiment ids in sorted order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the named experiment.
+func Run(name string, o Options) (*Report, error) {
+	d, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return d(o)
+}

@@ -1,0 +1,74 @@
+package fl
+
+import (
+	"testing"
+
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+func TestAggregationEquivalence(t *testing.T) {
+	// The paper treats FedSGD and FedAveraging as mathematically equivalent
+	// (Section IV-A). With identical seeds the two aggregation rules must
+	// produce the same global model.
+	run := func(agg string) *History {
+		cfg := smallConfig(t, sgdStrategy{})
+		cfg.Aggregation = agg
+		h, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	hSGD := run(AggFedSGD)
+	hAvg := run(AggFedAvg)
+	pa, pb := hSGD.Final.Params(), hAvg.Final.Params()
+	for i := range pa {
+		if !pa[i].Equal(pb[i], 1e-9) {
+			t.Fatalf("FedSGD and FedAvg diverge at tensor %d", i)
+		}
+	}
+}
+
+func TestAggregationDefaultIsFedSGD(t *testing.T) {
+	cfg := smallConfig(t, sgdStrategy{})
+	cfg.Aggregation = ""
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("empty aggregation must default to FedSGD: %v", err)
+	}
+}
+
+func TestAggregationUnknownRejected(t *testing.T) {
+	cfg := smallConfig(t, sgdStrategy{})
+	cfg.Aggregation = "krum"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown aggregation must be rejected")
+	}
+}
+
+func TestApplyFedAvgDirect(t *testing.T) {
+	spec, _ := dataset.Get("cancer")
+	m := nn.Build(spec.ModelSpec(), tensor.NewRNG(3))
+	before := tensor.CloneAll(m.Params())
+	u1 := tensor.ZerosLike(m.Params())
+	u2 := tensor.ZerosLike(m.Params())
+	for _, u := range u1 {
+		u.Fill(2)
+	}
+	for _, u := range u2 {
+		u.Fill(4)
+	}
+	applyFedAvg(m, [][]*tensor.Tensor{u1, u2})
+	for i, p := range m.Params() {
+		diff := p.Clone()
+		diff.Sub(before[i])
+		for _, v := range diff.Data() {
+			if v < 3-1e-9 || v > 3+1e-9 { // mean of W+2 and W+4 is W+3
+				t.Fatalf("FedAvg delta %v, want 3", v)
+			}
+		}
+	}
+	// Empty update list: unchanged.
+	applyFedAvg(m, nil)
+}

@@ -1,0 +1,113 @@
+package fl
+
+import "testing"
+
+func TestDropoutReducesCohort(t *testing.T) {
+	cfg := smallConfig(t, sgdStrategy{})
+	cfg.K, cfg.Kt = 10, 10
+	cfg.DropoutRate = 0.5
+	hist, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDrop := false
+	for _, r := range hist.Rounds {
+		if r.Clients < 10 {
+			sawDrop = true
+		}
+		if r.Clients > 10 {
+			t.Fatalf("round %d has %d clients, cap is 10", r.Round, r.Clients)
+		}
+	}
+	if !sawDrop {
+		t.Fatal("dropout 0.5 never removed a client across 3 rounds of 10")
+	}
+}
+
+func TestDropoutZeroKeepsAll(t *testing.T) {
+	cfg := smallConfig(t, sgdStrategy{})
+	cfg.DropoutRate = 0
+	hist, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range hist.Rounds {
+		if r.Clients != cfg.Kt {
+			t.Fatalf("round %d lost clients without dropout", r.Round)
+		}
+	}
+}
+
+func TestDropoutFullStillRuns(t *testing.T) {
+	// Every client dropping leaves the model unchanged but must not crash.
+	cfg := smallConfig(t, sgdStrategy{})
+	cfg.DropoutRate = 1
+	hist, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range hist.Rounds {
+		if r.Clients != 0 {
+			t.Fatalf("dropout=1 round %d still had %d clients", r.Round, r.Clients)
+		}
+	}
+}
+
+func TestDropoutDeterministic(t *testing.T) {
+	run := func() *History {
+		cfg := smallConfig(t, sgdStrategy{})
+		cfg.DropoutRate = 0.3
+		h, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h1, h2 := run(), run()
+	for i := range h1.Rounds {
+		if h1.Rounds[i].Clients != h2.Rounds[i].Clients {
+			t.Fatal("dropout must be deterministic per seed")
+		}
+	}
+	p1, p2 := h1.Final.Params(), h2.Final.Params()
+	for i := range p1 {
+		if !p1[i].Equal(p2[i], 0) {
+			t.Fatal("dropout runs must be reproducible")
+		}
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	cfg := smallConfig(t, sgdStrategy{})
+	cfg.DropoutRate = 1.5
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("dropout > 1 must be rejected")
+	}
+	cfg.DropoutRate = -0.1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative dropout must be rejected")
+	}
+}
+
+func TestStartRoundValidation(t *testing.T) {
+	cfg := smallConfig(t, sgdStrategy{})
+	cfg.StartRound = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative start round must be rejected")
+	}
+}
+
+func TestStartRoundOffsetsHistory(t *testing.T) {
+	cfg := smallConfig(t, sgdStrategy{})
+	cfg.StartRound = 5
+	hist, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Rounds[0].Round != 5 {
+		t.Fatalf("first round = %d, want 5", hist.Rounds[0].Round)
+	}
+	if !hist.Rounds[len(hist.Rounds)-1].Evaluated {
+		t.Fatal("final round of an offset run must still be evaluated")
+	}
+}

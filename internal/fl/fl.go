@@ -1,0 +1,336 @@
+// Package fl is the federated-learning substrate: a publish-subscribe style
+// simulation of a federated server and a (possibly very large) population of
+// clients, with FedSGD aggregation, per-round client sampling, parallel local
+// training, and run history collection.
+//
+// The privacy behaviour of a run is supplied by a Strategy (implemented in
+// internal/core: non-private, Fed-SDP, Fed-CDP, Fed-CDP(decay), DSSGD); the
+// substrate itself is privacy-agnostic. Clients are materialized lazily from
+// the dataset, so populations of 10,000 clients cost only the Kt shards
+// actually sampled each round.
+package fl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+// RoundConfig carries the local-training hyperparameters published by the
+// server when a client subscribes to the task (Section IV-A).
+type RoundConfig struct {
+	BatchSize   int
+	LocalIters  int
+	LR          float64
+	TotalRounds int
+}
+
+// ClientEnv is everything a strategy needs to run one client's local
+// training for one round.
+type ClientEnv struct {
+	ClientID int
+	Round    int
+	Model    *nn.Model // private copy initialized with the global weights
+	Data     *dataset.ClientData
+	RNG      *tensor.RNG // derived from (seed, round, client): schedule-independent
+	Cfg      RoundConfig
+}
+
+// ClientStats reports per-client training measurements used by the paper's
+// evaluation (Table III timing, Figure 3 gradient norms).
+type ClientStats struct {
+	// MeanGradNorm is the mean pre-clip L2 norm of per-example gradients
+	// observed during the first local iteration.
+	MeanGradNorm float64
+	// Iters is the number of local iterations executed.
+	Iters int
+	// Duration is the wall-clock local training time.
+	Duration time.Duration
+}
+
+// MsPerIter returns the local-training cost in milliseconds per iteration.
+func (s ClientStats) MsPerIter() float64 {
+	if s.Iters == 0 {
+		return 0
+	}
+	return s.Duration.Seconds() * 1000 / float64(s.Iters)
+}
+
+// Strategy defines how a client computes its shared update and how the
+// server treats collected updates before aggregation.
+type Strategy interface {
+	// Name identifies the strategy in histories and experiment output.
+	Name() string
+	// ClientUpdate runs local training and returns ΔW = W_local − W_global.
+	ClientUpdate(env *ClientEnv) ([]*tensor.Tensor, ClientStats)
+	// ServerSanitize may modify the collected updates in place before
+	// FedSGD aggregation (e.g. Fed-SDP server-side noise). round is the
+	// current 0-based round.
+	ServerSanitize(round int, updates [][]*tensor.Tensor, rng *tensor.RNG)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Data  *dataset.Dataset
+	Model nn.Spec
+
+	K      int // total client population
+	Kt     int // participating clients per round
+	Rounds int
+
+	Round RoundConfig
+
+	Strategy Strategy
+
+	Seed        int64
+	ValExamples int // validation subset size (0 = dataset default cap 500)
+	EvalEvery   int // evaluate every n rounds (0 = every round)
+	Parallelism int // concurrent client trainers (0 = GOMAXPROCS)
+
+	// SampleWithReplacement selects the per-round cohort with replacement
+	// (the paper's accounting model); the default samples Kt distinct
+	// clients, the standard FL deployment behaviour.
+	SampleWithReplacement bool
+
+	// Aggregation selects the server rule: AggFedSGD (default) applies
+	// W ← W + mean(ΔW); AggFedAvg replaces W with the mean of the client
+	// models W_k = W + ΔW_k. The paper notes the two are mathematically
+	// equivalent (Section IV-A); TestAggregationEquivalence verifies it.
+	Aggregation string
+
+	// DropoutRate is the probability that a selected client fails to return
+	// its update in a round (device churn — the instability that motivates
+	// sampling Kt < K in the first place, Section IV-A). The server
+	// aggregates whatever arrives; a round where every client drops leaves
+	// the global model unchanged.
+	DropoutRate float64
+
+	// InitialParams, when non-nil, warm-starts the global model (checkpoint
+	// resume); StartRound offsets the round counter so cohort sampling,
+	// client RNG streams and clipping-decay schedules continue where the
+	// checkpointed run left off.
+	InitialParams []*tensor.Tensor
+	StartRound    int
+
+	// ScheduleHorizon fixes the round horizon that clipping-decay schedules
+	// span. Zero means StartRound+Rounds (this run is the whole plan); a
+	// run that will later be resumed should declare its full planned length
+	// here so schedules are anchored consistently across segments.
+	ScheduleHorizon int
+}
+
+// Aggregation rules.
+const (
+	AggFedSGD = "fedsgd"
+	AggFedAvg = "fedavg"
+)
+
+func (c *Config) validate() error {
+	switch {
+	case c.Data == nil:
+		return fmt.Errorf("fl: config needs a dataset")
+	case c.Strategy == nil:
+		return fmt.Errorf("fl: config needs a strategy")
+	case c.K <= 0 || c.Kt <= 0 || c.Kt > c.K:
+		return fmt.Errorf("fl: invalid population K=%d, Kt=%d", c.K, c.Kt)
+	case c.Rounds <= 0:
+		return fmt.Errorf("fl: rounds must be positive, got %d", c.Rounds)
+	case c.Round.BatchSize <= 0 || c.Round.LocalIters <= 0:
+		return fmt.Errorf("fl: invalid round config %+v", c.Round)
+	case c.Round.LR <= 0:
+		return fmt.Errorf("fl: learning rate must be positive, got %v", c.Round.LR)
+	case c.Aggregation != "" && c.Aggregation != AggFedSGD && c.Aggregation != AggFedAvg:
+		return fmt.Errorf("fl: unknown aggregation %q", c.Aggregation)
+	case c.DropoutRate < 0 || c.DropoutRate > 1:
+		return fmt.Errorf("fl: dropout rate %v outside [0,1]", c.DropoutRate)
+	case c.StartRound < 0:
+		return fmt.Errorf("fl: negative start round %d", c.StartRound)
+	}
+	return nil
+}
+
+// Run executes the full federated simulation and returns its history.
+func Run(cfg Config) (*History, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// The schedule horizon spans any checkpointed prefix plus this run,
+	// unless the caller declared a longer plan.
+	cfg.Round.TotalRounds = cfg.StartRound + cfg.Rounds
+	if cfg.ScheduleHorizon > 0 {
+		cfg.Round.TotalRounds = cfg.ScheduleHorizon
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	valN := cfg.ValExamples
+	if valN <= 0 {
+		valN = 500
+	}
+
+	global := nn.Build(cfg.Model, tensor.Split(cfg.Seed, 1))
+	if cfg.InitialParams != nil {
+		global.SetParams(cfg.InitialParams)
+	}
+	valX, valY := cfg.Data.Validation(valN)
+	hist := &History{Strategy: cfg.Strategy.Name(), Config: cfg}
+
+	serverRNG := tensor.Split(cfg.Seed, 2)
+	for r := 0; r < cfg.Rounds; r++ {
+		round := cfg.StartRound + r
+		cohort := sampleCohort(cfg, round)
+		cohort = dropClients(cfg, round, cohort)
+		updates, stats := trainCohort(cfg, global, cohort, round, par)
+		cfg.Strategy.ServerSanitize(round, updates, serverRNG)
+		if cfg.Aggregation == AggFedAvg {
+			applyFedAvg(global, updates)
+		} else {
+			applyFedSGD(global, updates)
+		}
+
+		rs := RoundStats{Round: round, Clients: len(cohort)}
+		for _, st := range stats {
+			rs.MeanGradNorm += st.MeanGradNorm
+			rs.MsPerIter += st.MsPerIter()
+		}
+		if n := float64(len(stats)); n > 0 {
+			rs.MeanGradNorm /= n
+			rs.MsPerIter /= n
+		}
+		if round%evalEvery == 0 || r == cfg.Rounds-1 {
+			rs.Accuracy = Evaluate(global, valX, valY)
+			rs.Evaluated = true
+		}
+		hist.Rounds = append(hist.Rounds, rs)
+	}
+	hist.Final = global
+	return hist, nil
+}
+
+// sampleCohort picks the participating client IDs for a round.
+func sampleCohort(cfg Config, round int) []int {
+	rng := tensor.Split(cfg.Seed, 3, int64(round))
+	if cfg.SampleWithReplacement {
+		return rng.SampleWithReplacement(cfg.K, cfg.Kt)
+	}
+	return rng.SampleWithoutReplacement(cfg.K, cfg.Kt)
+}
+
+// dropClients removes clients that fail this round (deterministic per
+// (seed, round, client), so runs remain reproducible).
+func dropClients(cfg Config, round int, cohort []int) []int {
+	if cfg.DropoutRate <= 0 {
+		return cohort
+	}
+	kept := cohort[:0]
+	for _, id := range cohort {
+		coin := tensor.Split(cfg.Seed, 5, int64(round), int64(id))
+		if coin.Float64() >= cfg.DropoutRate {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
+// trainCohort runs local training for every cohort member, up to par
+// concurrently, and returns updates aligned with the cohort order.
+func trainCohort(cfg Config, global *nn.Model, cohort []int, round, par int) ([][]*tensor.Tensor, []ClientStats) {
+	updates := make([][]*tensor.Tensor, len(cohort))
+	stats := make([]ClientStats, len(cohort))
+	globalParams := tensor.CloneAll(global.Params())
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, id := range cohort {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			env := &ClientEnv{
+				ClientID: id,
+				Round:    round,
+				Model:    buildLocal(cfg.Model, globalParams),
+				Data:     cfg.Data.Client(id),
+				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
+				Cfg:      cfg.Round,
+			}
+			updates[i], stats[i] = cfg.Strategy.ClientUpdate(env)
+		}(i, id)
+	}
+	wg.Wait()
+	return updates, stats
+}
+
+func buildLocal(spec nn.Spec, params []*tensor.Tensor) *nn.Model {
+	m := nn.Build(spec, tensor.NewRNG(0))
+	m.SetParams(params)
+	return m
+}
+
+// applyFedSGD performs W ← W + (1/Kt)·ΣΔW (Section IV-A).
+func applyFedSGD(global *nn.Model, updates [][]*tensor.Tensor) {
+	params := global.Params()
+	n := float64(len(updates))
+	if n == 0 {
+		return
+	}
+	for _, u := range updates {
+		tensor.AddAllScaled(params, 1/n, u)
+	}
+}
+
+// applyFedAvg performs W ← (1/Kt)·Σ(W + ΔW_k), i.e. averages the client
+// models directly. With update-style messages this is algebraically the
+// same map as applyFedSGD — the equivalence the paper invokes to treat the
+// two interchangeably.
+func applyFedAvg(global *nn.Model, updates [][]*tensor.Tensor) {
+	params := global.Params()
+	n := float64(len(updates))
+	if n == 0 {
+		return
+	}
+	avg := tensor.ZerosLike(params)
+	for _, u := range updates {
+		for i, a := range avg {
+			a.AddScaled(1/n, params[i])
+			a.AddScaled(1/n, u[i])
+		}
+	}
+	for i, p := range params {
+		p.CopyFrom(avg[i])
+	}
+}
+
+// Evaluate returns validation accuracy of the model on a labelled set.
+func Evaluate(m *nn.Model, xs []*tensor.Tensor, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// Delta returns local − global for aligned parameter lists (ΔW of a round).
+func Delta(local, global []*tensor.Tensor) []*tensor.Tensor {
+	out := tensor.CloneAll(local)
+	for i := range out {
+		out[i].Sub(global[i])
+	}
+	return out
+}

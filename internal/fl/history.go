@@ -1,0 +1,73 @@
+package fl
+
+import "fedcdp/internal/nn"
+
+// RoundStats records the measurements of one federated round.
+type RoundStats struct {
+	Round        int
+	Clients      int
+	Accuracy     float64 // valid when Evaluated
+	Evaluated    bool
+	MeanGradNorm float64 // mean per-example pre-clip gradient L2 norm
+	MsPerIter    float64 // mean client wall-clock ms per local iteration
+	Epsilon      float64 // cumulative privacy spending, filled by core
+}
+
+// History is the full record of one simulation run.
+type History struct {
+	Strategy string
+	Config   Config
+	Rounds   []RoundStats
+	Final    *nn.Model
+}
+
+// FinalAccuracy returns the last evaluated validation accuracy.
+func (h *History) FinalAccuracy() float64 {
+	for i := len(h.Rounds) - 1; i >= 0; i-- {
+		if h.Rounds[i].Evaluated {
+			return h.Rounds[i].Accuracy
+		}
+	}
+	return 0
+}
+
+// BestAccuracy returns the highest evaluated validation accuracy.
+func (h *History) BestAccuracy() float64 {
+	best := 0.0
+	for _, r := range h.Rounds {
+		if r.Evaluated && r.Accuracy > best {
+			best = r.Accuracy
+		}
+	}
+	return best
+}
+
+// MeanMsPerIter returns the run-average local iteration cost in ms.
+func (h *History) MeanMsPerIter() float64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range h.Rounds {
+		s += r.MsPerIter
+	}
+	return s / float64(len(h.Rounds))
+}
+
+// GradNormSeries returns the per-round mean gradient norm trajectory
+// (Figure 3 of the paper).
+func (h *History) GradNormSeries() []float64 {
+	out := make([]float64, len(h.Rounds))
+	for i, r := range h.Rounds {
+		out[i] = r.MeanGradNorm
+	}
+	return out
+}
+
+// FinalEpsilon returns the cumulative privacy spending after the last round.
+func (h *History) FinalEpsilon() float64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	return h.Rounds[len(h.Rounds)-1].Epsilon
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedcdp/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (C,H,W) tensors with square kernels,
+// stride and symmetric zero padding. Weights are shaped
+// (OutC, InC, K, K) and biases (OutC).
+type Conv2D struct {
+	InC, OutC      int
+	K, Stride, Pad int
+	InH, InW       int
+
+	W, B   *tensor.Tensor
+	GW, GB *tensor.Tensor
+	in     *tensor.Tensor
+}
+
+// NewConv2D returns a convolution layer for (inC, inH, inW) inputs.
+func NewConv2D(inC, inH, inW, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
+	if stride < 1 {
+		panic("nn: conv stride must be >= 1")
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		InH: inH, InW: inW,
+		W:  tensor.New(outC, inC, k, k),
+		B:  tensor.New(outC),
+		GW: tensor.New(outC, inC, k, k),
+		GB: tensor.New(outC),
+	}
+	fanIn := inC * k * k
+	fanOut := outC * k * k
+	rng.Xavier(c.W, fanIn, fanOut)
+	return c
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return (c.InH+2*c.Pad-c.K)/c.Stride + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return (c.InW+2*c.Pad-c.K)/c.Stride + 1 }
+
+// OutLen returns the flattened output size OutC*OutH*OutW.
+func (c *Conv2D) OutLen() int { return c.OutC * c.OutH() * c.OutW() }
+
+// Forward convolves one (InC,InH,InW) example.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Len() != c.InC*c.InH*c.InW {
+		panic(fmt.Sprintf("nn: conv expects %d inputs, got %d", c.InC*c.InH*c.InW, x.Len()))
+	}
+	c.in = x
+	oh, ow := c.OutH(), c.OutW()
+	y := tensor.New(c.OutC, oh, ow)
+	xd, wd, yd, bd := x.Data(), c.W.Data(), y.Data(), c.B.Data()
+	k, st, pad := c.K, c.Stride, c.Pad
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := bd[oc]
+				iy0 := oy*st - pad
+				ix0 := ox*st - pad
+				for ic := 0; ic < c.InC; ic++ {
+					xBase := ic * c.InH * c.InW
+					wBase := ((oc*c.InC + ic) * k) * k
+					for ky := 0; ky < k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= c.InH {
+							continue
+						}
+						xRow := xBase + iy*c.InW
+						wRow := wBase + ky*k
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= c.InW {
+								continue
+							}
+							sum += wd[wRow+kx] * xd[xRow+ix]
+						}
+					}
+				}
+				yd[(oc*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	oh, ow := c.OutH(), c.OutW()
+	dx := tensor.New(c.InC, c.InH, c.InW)
+	xd, wd := c.in.Data(), c.W.Data()
+	gd, gwd, gbd, dxd := grad.Data(), c.GW.Data(), c.GB.Data(), dx.Data()
+	k, st, pad := c.K, c.Stride, c.Pad
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := gd[(oc*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				gbd[oc] += g
+				iy0 := oy*st - pad
+				ix0 := ox*st - pad
+				for ic := 0; ic < c.InC; ic++ {
+					xBase := ic * c.InH * c.InW
+					wBase := ((oc*c.InC + ic) * k) * k
+					for ky := 0; ky < k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= c.InH {
+							continue
+						}
+						xRow := xBase + iy*c.InW
+						wRow := wBase + ky*k
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= c.InW {
+								continue
+							}
+							gwd[wRow+kx] += g * xd[xRow+ix]
+							dxd[xRow+ix] += g * wd[wRow+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns {W, b}.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads returns {dW, db}.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+
+// ZeroGrads clears the accumulated gradients.
+func (c *Conv2D) ZeroGrads() {
+	c.GW.Zero()
+	c.GB.Zero()
+}
+
+// Name returns "conv2d".
+func (c *Conv2D) Name() string { return "conv2d" }

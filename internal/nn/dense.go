@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedcdp/internal/tensor"
+)
+
+func exp(x float64) float64 { return math.Exp(x) }
+
+// Dense is a fully connected layer: y = W x + b with W shaped (Out×In).
+type Dense struct {
+	In, Out int
+	W, B    *tensor.Tensor
+	GW, GB  *tensor.Tensor
+	in      *tensor.Tensor
+}
+
+// NewDense returns a dense layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *tensor.RNG) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:  tensor.New(out, in),
+		B:  tensor.New(out),
+		GW: tensor.New(out, in),
+		GB: tensor.New(out),
+	}
+	rng.Xavier(d.W, in, out)
+	return d
+}
+
+var _ Layer = (*Dense)(nil)
+
+// Forward computes Wx + b for a single example.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("nn: dense expects input of length %d, got %d", d.In, x.Len()))
+	}
+	d.in = x
+	y := tensor.MatVec(d.W, x)
+	y.Add(d.B)
+	return y
+}
+
+// Backward accumulates dL/dW = grad·xᵀ and dL/db = grad, and returns
+// dL/dx = Wᵀ·grad.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	tensor.AddOuter(d.GW, 1, grad, d.in)
+	d.GB.Add(grad)
+	return tensor.MatVecT(d.W, grad)
+}
+
+// Params returns {W, b}.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads returns {dW, db}.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.GW, d.GB} }
+
+// ZeroGrads clears the accumulated gradients.
+func (d *Dense) ZeroGrads() {
+	d.GW.Zero()
+	d.GB.Zero()
+}
+
+// Name returns "dense".
+func (d *Dense) Name() string { return "dense" }

@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedcdp/internal/tensor"
+)
+
+// numericalGradient computes dLoss/dTheta for every parameter scalar via
+// central differences, used to validate analytic backprop.
+func numericalGradient(m *Model, x *tensor.Tensor, label int, eps float64) [][]float64 {
+	var out [][]float64
+	for _, p := range m.Params() {
+		g := make([]float64, p.Len())
+		d := p.Data()
+		for i := range d {
+			orig := d[i]
+			d[i] = orig + eps
+			lp := m.Loss(x, label)
+			d[i] = orig - eps
+			lm := m.Loss(x, label)
+			d[i] = orig
+			g[i] = (lp - lm) / (2 * eps)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func checkGradients(t *testing.T, m *Model, x *tensor.Tensor, label int, tol float64) {
+	t.Helper()
+	_, analytic := m.ExampleGradient(x, label)
+	numeric := numericalGradient(m, x, label, 1e-5)
+	for pi, ng := range numeric {
+		ad := analytic[pi].Data()
+		for i, nv := range ng {
+			diff := math.Abs(ad[i] - nv)
+			scale := math.Max(1, math.Abs(nv))
+			if diff/scale > tol {
+				t.Fatalf("param %d[%d]: analytic %.8f vs numeric %.8f (diff %.2e)", pi, i, ad[i], nv, diff)
+			}
+		}
+	}
+}
+
+func TestGradCheckDense(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	m := Build(Spec{Layers: []LayerSpec{
+		{Kind: "dense", In: 6, Out: 4},
+	}}, rng)
+	x := tensor.New(6)
+	rng.FillNormal(x, 0, 1)
+	checkGradients(t, m, x, 2, 1e-5)
+}
+
+func TestGradCheckMLPSigmoid(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	m := Build(Spec{Layers: []LayerSpec{
+		{Kind: "dense", In: 8, Out: 10},
+		{Kind: ActSigmoid},
+		{Kind: "dense", In: 10, Out: 5},
+		{Kind: ActSigmoid},
+		{Kind: "dense", In: 5, Out: 3},
+	}}, rng)
+	x := tensor.New(8)
+	rng.FillNormal(x, 0, 1)
+	checkGradients(t, m, x, 1, 1e-4)
+}
+
+func TestGradCheckMLPTanh(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m := Build(Spec{Layers: []LayerSpec{
+		{Kind: "dense", In: 5, Out: 7},
+		{Kind: ActTanh},
+		{Kind: "dense", In: 7, Out: 4},
+	}}, rng)
+	x := tensor.New(5)
+	rng.FillNormal(x, 0, 1)
+	checkGradients(t, m, x, 0, 1e-4)
+}
+
+func TestGradCheckMLPReLU(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := Build(Spec{Layers: []LayerSpec{
+		{Kind: "dense", In: 6, Out: 8},
+		{Kind: ActReLU},
+		{Kind: "dense", In: 8, Out: 3},
+	}}, rng)
+	x := tensor.New(6)
+	// Keep activations away from the ReLU kink so the numeric check is valid.
+	rng.FillNormal(x, 0, 1)
+	checkGradients(t, m, x, 2, 1e-4)
+}
+
+func TestGradCheckConv(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := Build(Spec{Layers: []LayerSpec{
+		{Kind: "conv2d", InC: 2, InH: 6, InW: 6, OutC: 3, K: 3, Stride: 1, Pad: 1},
+		{Kind: ActSigmoid},
+		{Kind: "flatten"},
+		{Kind: "dense", In: 3 * 6 * 6, Out: 4},
+	}}, rng)
+	x := tensor.New(2, 6, 6)
+	rng.FillNormal(x, 0, 1)
+	checkGradients(t, m, x, 1, 1e-4)
+}
+
+func TestGradCheckConvStridePad(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	m := Build(Spec{Layers: []LayerSpec{
+		{Kind: "conv2d", InC: 1, InH: 8, InW: 8, OutC: 2, K: 5, Stride: 2, Pad: 2},
+		{Kind: ActTanh},
+		{Kind: "flatten"},
+		{Kind: "dense", In: 2 * 4 * 4, Out: 3},
+	}}, rng)
+	x := tensor.New(1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	checkGradients(t, m, x, 0, 1e-4)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m := Build(Spec{Layers: []LayerSpec{
+		{Kind: "conv2d", InC: 1, InH: 8, InW: 8, OutC: 2, K: 3, Stride: 1, Pad: 1},
+		{Kind: ActSigmoid},
+		{Kind: "maxpool2", InC: 2, InH: 8, InW: 8},
+		{Kind: "flatten"},
+		{Kind: "dense", In: 2 * 4 * 4, Out: 3},
+	}}, rng)
+	x := tensor.New(1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	checkGradients(t, m, x, 1, 1e-4)
+}
+
+func TestGradCheckPaperCNN(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	m := Build(ImageCNN(1, 12, 12, 4), rng)
+	x := tensor.New(1, 12, 12)
+	rng.FillNormal(x, 0, 1)
+	checkGradients(t, m, x, 2, 1e-4)
+}
+
+func TestInputGradientDense(t *testing.T) {
+	// Validate dLoss/dx (needed by leakage attacks) against finite differences.
+	rng := tensor.NewRNG(9)
+	m := Build(Spec{Layers: []LayerSpec{
+		{Kind: "dense", In: 5, Out: 6},
+		{Kind: ActSigmoid},
+		{Kind: "dense", In: 6, Out: 3},
+	}}, rng)
+	x := tensor.New(5)
+	rng.FillNormal(x, 0, 1)
+	label := 1
+
+	m.ZeroGrads()
+	logits := m.Forward(x)
+	_, g := SoftmaxCrossEntropy(logits, label)
+	dx := m.BackwardFromLoss(g)
+
+	eps := 1e-6
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		lp := m.Loss(x, label)
+		x.Data()[i] = orig - eps
+		lm := m.Loss(x, label)
+		x.Data()[i] = orig
+		want := (lp - lm) / (2 * eps)
+		if math.Abs(dx.Data()[i]-want) > 1e-4 {
+			t.Fatalf("dx[%d] = %v, numeric %v", i, dx.Data()[i], want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package nn is a small, from-scratch neural-network library: dense and
+// convolutional layers, pooling, smooth and piecewise-linear activations, a
+// softmax cross-entropy loss, SGD, and gob model serialization.
+//
+// The library is built around per-example processing: Forward and Backward
+// operate on a single example, and Backward accumulates parameter gradients
+// into each layer's gradient buffers. This matches the execution model that
+// per-example differential privacy (Fed-CDP) requires — the gradient buffers
+// after one example's backward pass *are* that example's gradient — and is
+// efficient at the paper's batch sizes (3–5).
+//
+// Layers are stateful between Forward and Backward (cached activations), so a
+// model instance must not be shared across goroutines; use Model.Clone to
+// give each federated client its own copy.
+package nn
+
+import (
+	"fmt"
+
+	"fedcdp/internal/tensor"
+)
+
+// Layer is a differentiable module. Forward consumes one example and returns
+// its activation; Backward consumes dLoss/dOutput and returns dLoss/dInput,
+// accumulating parameter gradients (if any) into the layer's Grads buffers.
+type Layer interface {
+	// Forward computes the layer output for a single example.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward computes the input gradient for the most recent Forward call
+	// and accumulates parameter gradients.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient buffers aligned with Params.
+	Grads() []*tensor.Tensor
+	// ZeroGrads resets all gradient buffers.
+	ZeroGrads()
+	// Name identifies the layer kind for diagnostics and serialization.
+	Name() string
+}
+
+// Activation kinds implemented by the element-wise activation layer.
+const (
+	ActReLU    = "relu"
+	ActSigmoid = "sigmoid"
+	ActTanh    = "tanh"
+)
+
+// Activation is a stateless element-wise nonlinearity layer.
+type Activation struct {
+	Kind string
+	in   *tensor.Tensor
+	out  *tensor.Tensor
+}
+
+// NewActivation returns an activation layer of the given kind.
+// It panics on an unknown kind so that misconfigured models fail at build
+// time rather than mid-training.
+func NewActivation(kind string) *Activation {
+	switch kind {
+	case ActReLU, ActSigmoid, ActTanh:
+		return &Activation{Kind: kind}
+	}
+	panic(fmt.Sprintf("nn: unknown activation %q", kind))
+}
+
+var _ Layer = (*Activation)(nil)
+
+// Forward applies the nonlinearity element-wise.
+func (a *Activation) Forward(x *tensor.Tensor) *tensor.Tensor {
+	a.in = x
+	out := x.Clone()
+	d := out.Data()
+	switch a.Kind {
+	case ActReLU:
+		for i, v := range d {
+			if v < 0 {
+				d[i] = 0
+			}
+		}
+	case ActSigmoid:
+		for i, v := range d {
+			d[i] = sigmoid(v)
+		}
+	case ActTanh:
+		for i, v := range d {
+			d[i] = tanh(v)
+		}
+	}
+	a.out = out
+	return out
+}
+
+// Backward multiplies the upstream gradient by the activation derivative.
+func (a *Activation) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	gd := out.Data()
+	switch a.Kind {
+	case ActReLU:
+		in := a.in.Data()
+		for i := range gd {
+			if in[i] <= 0 {
+				gd[i] = 0
+			}
+		}
+	case ActSigmoid:
+		od := a.out.Data()
+		for i := range gd {
+			gd[i] *= od[i] * (1 - od[i])
+		}
+	case ActTanh:
+		od := a.out.Data()
+		for i := range gd {
+			gd[i] *= 1 - od[i]*od[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil: activations are parameter-free.
+func (a *Activation) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil: activations are parameter-free.
+func (a *Activation) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads is a no-op for parameter-free layers.
+func (a *Activation) ZeroGrads() {}
+
+// Name returns the activation kind.
+func (a *Activation) Name() string { return a.Kind }
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		e := exp(-x)
+		return 1 / (1 + e)
+	}
+	e := exp(x)
+	return e / (1 + e)
+}
+
+func tanh(x float64) float64 {
+	// tanh(x) = 2*sigmoid(2x) - 1, numerically stable for large |x|.
+	return 2*sigmoid(2*x) - 1
+}

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedcdp/internal/tensor"
+)
+
+// Softmax returns the softmax distribution of logits, computed stably.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	out := logits.Clone()
+	d := out.Data()
+	maxV := math.Inf(-1)
+	for _, v := range d {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range d {
+		e := math.Exp(v - maxV)
+		d[i] = e
+		sum += e
+	}
+	for i := range d {
+		d[i] /= sum
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of logits against the
+// integer label and the gradient of the loss with respect to the logits
+// (softmax(logits) - onehot(label)).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	if label < 0 || label >= logits.Len() {
+		panic(fmt.Sprintf("nn: label %d out of range for %d classes", label, logits.Len()))
+	}
+	p := Softmax(logits)
+	// Clamp for numerical safety: p is strictly positive analytically but can
+	// underflow to 0 for extreme logits.
+	pl := p.Data()[label]
+	if pl < 1e-300 {
+		pl = 1e-300
+	}
+	loss = -math.Log(pl)
+	grad = p
+	grad.Data()[label] -= 1
+	return loss, grad
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(t *tensor.Tensor) int {
+	best, bestIdx := math.Inf(-1), 0
+	for i, v := range t.Data() {
+		if v > best {
+			best = v
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}

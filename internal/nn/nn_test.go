@@ -1,0 +1,330 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedcdp/internal/tensor"
+)
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		logits := tensor.New(10)
+		g.FillNormal(logits, 0, 5)
+		p := Softmax(logits)
+		var sum float64
+		for _, v := range p.Data() {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStableForLargeLogits(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1000, 999, 998}, 3)
+	p := Softmax(logits)
+	for _, v := range p.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflowed on large logits")
+		}
+	}
+	if p.At(0) < p.At(1) || p.At(1) < p.At(2) {
+		t.Fatal("softmax ordering broken")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradSumsToZero(t *testing.T) {
+	g := tensor.NewRNG(1)
+	logits := tensor.New(7)
+	g.FillNormal(logits, 0, 2)
+	_, grad := SoftmaxCrossEntropy(logits, 3)
+	var sum float64
+	for _, v := range grad.Data() {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("CE gradient sums to %v, want 0", sum)
+	}
+}
+
+func TestSoftmaxCrossEntropyPanicsOnBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range label")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(3), 5)
+}
+
+func TestSoftmaxCrossEntropyLossPositive(t *testing.T) {
+	g := tensor.NewRNG(2)
+	for i := 0; i < 50; i++ {
+		logits := tensor.New(5)
+		g.FillNormal(logits, 0, 3)
+		loss, _ := SoftmaxCrossEntropy(logits, i%5)
+		if loss < 0 {
+			t.Fatalf("negative cross-entropy %v", loss)
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax(tensor.FromSlice([]float64{0.1, 0.7, 0.2}, 3)); got != 1 {
+		t.Fatalf("Argmax = %d, want 1", got)
+	}
+}
+
+func TestActivationUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown activation")
+		}
+	}()
+	NewActivation("gelu")
+}
+
+func TestSigmoidRangeAndSymmetry(t *testing.T) {
+	for _, x := range []float64{-50, -1, 0, 1, 50} {
+		s := sigmoid(x)
+		if s < 0 || s > 1 {
+			t.Fatalf("sigmoid(%v) = %v outside [0,1]", x, s)
+		}
+		if math.Abs(s+sigmoid(-x)-1) > 1e-12 {
+			t.Fatalf("sigmoid symmetry broken at %v", x)
+		}
+	}
+	if sigmoid(0) != 0.5 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+}
+
+func TestTanhMatchesMath(t *testing.T) {
+	for _, x := range []float64{-3, -0.5, 0, 0.5, 3} {
+		if math.Abs(tanh(x)-math.Tanh(x)) > 1e-12 {
+			t.Fatalf("tanh(%v) = %v, want %v", x, tanh(x), math.Tanh(x))
+		}
+	}
+}
+
+func TestDenseShapePanics(t *testing.T) {
+	d := NewDense(4, 2, tensor.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input size")
+		}
+	}()
+	d.Forward(tensor.New(3))
+}
+
+func TestConvOutputShape(t *testing.T) {
+	c := NewConv2D(3, 32, 32, 8, 5, 2, 2, tensor.NewRNG(1))
+	if c.OutH() != 16 || c.OutW() != 16 || c.OutLen() != 8*16*16 {
+		t.Fatalf("conv out = (%d,%d,%d)", c.OutC, c.OutH(), c.OutW())
+	}
+	y := c.Forward(tensor.New(3, 32, 32))
+	if y.Len() != c.OutLen() {
+		t.Fatalf("forward len %d, want %d", y.Len(), c.OutLen())
+	}
+}
+
+func TestConvStridePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for stride 0")
+		}
+	}()
+	NewConv2D(1, 4, 4, 1, 3, 0, 0, tensor.NewRNG(1))
+}
+
+func TestMaxPoolForwardValues(t *testing.T) {
+	p := NewMaxPool2(1, 4, 4)
+	x := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	y := p.Forward(x)
+	want := []float64{6, 8, 14, 16}
+	for i, v := range y.Data() {
+		if v != want[i] {
+			t.Fatalf("pool[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestPerExampleGradientsSumToBatchGradient(t *testing.T) {
+	// Fundamental invariant for Fed-CDP: batch gradient == mean of
+	// per-example gradients.
+	rng := tensor.NewRNG(11)
+	m := Build(TabularMLP(6, 8, 3), rng)
+	xs := make([]*tensor.Tensor, 4)
+	labels := []int{0, 1, 2, 0}
+	for i := range xs {
+		xs[i] = tensor.New(6)
+		rng.FillNormal(xs[i], 0, 1)
+	}
+
+	// Per-example gradients, averaged.
+	sum := tensor.ZerosLike(m.Grads())
+	for i, x := range xs {
+		_, g := m.ExampleGradient(x, labels[i])
+		tensor.AddAllScaled(sum, 1.0/float64(len(xs)), g)
+	}
+
+	// Accumulated batch gradient.
+	m.ZeroGrads()
+	for i, x := range xs {
+		logits := m.Forward(x)
+		_, g := SoftmaxCrossEntropy(logits, labels[i])
+		m.BackwardFromLoss(g)
+	}
+	batch := m.Grads()
+	for i, b := range batch {
+		b := b.Clone()
+		b.Scale(1.0 / float64(len(xs)))
+		if !b.Equal(sum[i], 1e-9) {
+			t.Fatalf("per-example mean != batch mean for tensor %d", i)
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	m := Build(TabularMLP(4, 10, 2), rng)
+	// Simple separable task: class = sign of first feature.
+	xs := make([]*tensor.Tensor, 40)
+	labels := make([]int, 40)
+	for i := range xs {
+		xs[i] = tensor.New(4)
+		rng.FillNormal(xs[i], 0, 1)
+		if xs[i].At(0) > 0 {
+			labels[i] = 1
+		}
+	}
+	lossAt := func() float64 {
+		var s float64
+		for i, x := range xs {
+			s += m.Loss(x, labels[i])
+		}
+		return s / float64(len(xs))
+	}
+	before := lossAt()
+	for epoch := 0; epoch < 30; epoch++ {
+		for i, x := range xs {
+			_, g := m.ExampleGradient(x, labels[i])
+			m.SGDStep(0.2, g)
+		}
+	}
+	after := lossAt()
+	if after >= before {
+		t.Fatalf("training failed to reduce loss: %v -> %v", before, after)
+	}
+	if after > 0.4 {
+		t.Fatalf("loss after training too high: %v", after)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	m := Build(TabularMLP(3, 4, 2), rng)
+	c := m.Clone()
+	mp, cp := m.Params(), c.Params()
+	for i := range mp {
+		if !mp[i].Equal(cp[i], 0) {
+			t.Fatal("clone parameters must match")
+		}
+	}
+	cp[0].Set(99, 0, 0)
+	if mp[0].At(0, 0) == 99 {
+		t.Fatal("clone must not alias original parameters")
+	}
+}
+
+func TestSetParamsMismatchPanics(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	m := Build(TabularMLP(3, 4, 2), rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched SetParams")
+		}
+	}()
+	m.SetParams(nil)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	m := Build(ImageCNN(1, 8, 8, 3), rng)
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	m2, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	x := tensor.New(1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	y1, y2 := m.Forward(x), m2.Forward(x)
+	if !y1.Equal(y2, 1e-12) {
+		t.Fatal("loaded model produces different outputs")
+	}
+}
+
+func TestUnmarshalGarbageFails(t *testing.T) {
+	if _, err := Unmarshal([]byte("not a model")); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	m := Build(TabularMLP(10, 5, 2), tensor.NewRNG(1))
+	// dense(10->5): 55, dense(5->5): 30, dense(5->2): 12
+	if got := m.NumParams(); got != 55+30+12 {
+		t.Fatalf("NumParams = %d, want 97", got)
+	}
+}
+
+func TestImageCNNShapesCompose(t *testing.T) {
+	for _, tc := range []struct{ c, h, w, classes int }{
+		{1, 28, 28, 10}, // MNIST
+		{3, 32, 32, 10}, // CIFAR-10
+		{3, 32, 32, 62}, // LFW
+	} {
+		m := Build(ImageCNN(tc.c, tc.h, tc.w, tc.classes), tensor.NewRNG(1))
+		y := m.Forward(tensor.New(tc.c, tc.h, tc.w))
+		if y.Len() != tc.classes {
+			t.Fatalf("CNN(%v) output %d, want %d classes", tc, y.Len(), tc.classes)
+		}
+	}
+}
+
+func TestBuildUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown layer kind")
+		}
+	}()
+	Build(Spec{Layers: []LayerSpec{{Kind: "transformer"}}}, tensor.NewRNG(1))
+}
+
+func TestSGDStepMovesAgainstGradient(t *testing.T) {
+	rng := tensor.NewRNG(16)
+	m := Build(Spec{Layers: []LayerSpec{{Kind: "dense", In: 2, Out: 2}}}, rng)
+	x := tensor.FromSlice([]float64{1, -1}, 2)
+	before := m.Loss(x, 0)
+	_, g := m.ExampleGradient(x, 0)
+	m.SGDStep(0.5, g)
+	after := m.Loss(x, 0)
+	if after >= before {
+		t.Fatalf("SGD step did not reduce loss: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedcdp/internal/tensor"
+)
+
+// MaxPool2 is a 2×2, stride-2 max-pooling layer over (C,H,W) tensors.
+// Odd trailing rows/columns are dropped (floor semantics).
+type MaxPool2 struct {
+	C, H, W int
+	argmax  []int
+}
+
+// NewMaxPool2 returns a 2×2 max-pool for (c,h,w) inputs.
+func NewMaxPool2(c, h, w int) *MaxPool2 {
+	return &MaxPool2{C: c, H: h, W: w}
+}
+
+var _ Layer = (*MaxPool2)(nil)
+
+// OutH returns the pooled height.
+func (p *MaxPool2) OutH() int { return p.H / 2 }
+
+// OutW returns the pooled width.
+func (p *MaxPool2) OutW() int { return p.W / 2 }
+
+// OutLen returns the flattened output size.
+func (p *MaxPool2) OutLen() int { return p.C * p.OutH() * p.OutW() }
+
+// Forward pools one example, caching argmax indices for Backward.
+func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Len() != p.C*p.H*p.W {
+		panic(fmt.Sprintf("nn: maxpool expects %d inputs, got %d", p.C*p.H*p.W, x.Len()))
+	}
+	oh, ow := p.OutH(), p.OutW()
+	y := tensor.New(p.C, oh, ow)
+	p.argmax = make([]int, y.Len())
+	xd, yd := x.Data(), y.Data()
+	for c := 0; c < p.C; c++ {
+		base := c * p.H * p.W
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bestIdx := base + (2*oy)*p.W + 2*ox
+				best := xd[bestIdx]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := base + (2*oy+dy)*p.W + (2*ox + dx)
+						if xd[idx] > best {
+							best = xd[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := (c*oh+oy)*ow + ox
+				yd[o] = best
+				p.argmax[o] = bestIdx
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes each output gradient to its argmax input position.
+func (p *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.C, p.H, p.W)
+	dxd, gd := dx.Data(), grad.Data()
+	for o, idx := range p.argmax {
+		dxd[idx] += gd[o]
+	}
+	return dx
+}
+
+// Params returns nil: pooling is parameter-free.
+func (p *MaxPool2) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil: pooling is parameter-free.
+func (p *MaxPool2) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads is a no-op for parameter-free layers.
+func (p *MaxPool2) ZeroGrads() {}
+
+// Name returns "maxpool2".
+func (p *MaxPool2) Name() string { return "maxpool2" }
+
+// Flatten reshapes (C,H,W) activations into a flat vector. Because tensors
+// are stored flat, this is a logical marker layer with identity math; it
+// exists so architecture specs read like the paper's model descriptions.
+type Flatten struct{}
+
+var _ Layer = (*Flatten)(nil)
+
+// Forward returns a flat view of x.
+func (Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.FromSlice(x.Data(), x.Len())
+}
+
+// Backward passes the gradient through unchanged.
+func (Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Params returns nil.
+func (Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil.
+func (Flatten) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads is a no-op.
+func (Flatten) ZeroGrads() {}
+
+// Name returns "flatten".
+func (Flatten) Name() string { return "flatten" }

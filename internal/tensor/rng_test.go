@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestSplitStability(t *testing.T) {
+	a := Split(7, 1, 2)
+	b := Split(7, 1, 2)
+	if a.Float64() != b.Float64() {
+		t.Fatal("Split must be deterministic in (seed, labels)")
+	}
+	c := Split(7, 1, 3)
+	d := Split(7, 2, 2)
+	// Different labels should (overwhelmingly) give different streams.
+	if a.Float64() == c.Float64() && c.Float64() == d.Float64() {
+		t.Fatal("Split children look identical across labels")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(1)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := g.Normal(2, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("mean = %v, want ~2", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("std = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	g := NewRNG(2)
+	tt := New(1000)
+	g.FillUniform(tt, -1, 1)
+	for _, v := range tt.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("uniform sample %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestAddNormalZeroStdIsNoop(t *testing.T) {
+	g := NewRNG(3)
+	tt := FromSlice([]float64{1, 2, 3}, 3)
+	g.AddNormal(tt, 0)
+	if tt.At(0) != 1 || tt.At(1) != 2 || tt.At(2) != 3 {
+		t.Fatal("AddNormal with std=0 must not modify the tensor")
+	}
+}
+
+func TestAddNormalChangesValues(t *testing.T) {
+	g := NewRNG(3)
+	tt := New(100)
+	g.AddNormal(tt, 1)
+	if tt.L2Norm() == 0 {
+		t.Fatal("AddNormal with std=1 must perturb the tensor")
+	}
+}
+
+func TestXavierBound(t *testing.T) {
+	g := NewRNG(4)
+	w := New(10, 20)
+	g.Xavier(w, 20, 10)
+	limit := math.Sqrt(6.0 / 30.0)
+	for _, v := range w.Data() {
+		if v < -limit || v > limit {
+			t.Fatalf("xavier sample %v outside ±%v", v, limit)
+		}
+	}
+}
+
+func TestSampleWithReplacementRange(t *testing.T) {
+	g := NewRNG(5)
+	idx := g.SampleWithReplacement(10, 1000)
+	if len(idx) != 1000 {
+		t.Fatalf("got %d samples, want 1000", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 10 {
+			t.Fatalf("index %d out of range", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("with-replacement sampling covered only %d/10 values", len(seen))
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	g := NewRNG(6)
+	idx := g.SampleWithoutReplacement(10, 10)
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when n > pop")
+		}
+	}()
+	NewRNG(7).SampleWithoutReplacement(3, 4)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(8)
+	p := g.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in Perm", v)
+		}
+		seen[v] = true
+	}
+}
