@@ -198,6 +198,109 @@ func BenchmarkAblationAttackOptimizer(b *testing.B) {
 
 // --- Micro-benches for the performance-critical primitives ---
 
+// BenchmarkGEMM measures the blocked MatMul kernel at a representative
+// square size (the batched engine's workhorse).
+func BenchmarkGEMM(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	a := tensor.New(128, 128)
+	c := tensor.New(128, 128)
+	dst := tensor.New(128, 128)
+	rng.FillUniform(a, -1, 1)
+	rng.FillUniform(c, -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, a, c)
+	}
+}
+
+// BenchmarkConvForwardBackward compares the per-example scalar convolution
+// (reference) against the im2col+GEMM batched engine on the paper CNN's
+// first conv layer at the MNIST benchmark batch size. The acceptance bar
+// for the engine is ≥3× on forward+backward.
+func BenchmarkConvForwardBackward(b *testing.B) {
+	const batch = 5
+	rng := tensor.NewRNG(1)
+	xs := make([]*tensor.Tensor, batch)
+	for i := range xs {
+		xs[i] = tensor.New(1, 28, 28)
+		rng.FillUniform(xs[i], 0, 1)
+	}
+
+	b.Run("naive-per-example", func(b *testing.B) {
+		conv := nn.NewConv2D(1, 28, 28, 8, 5, 2, 2, tensor.NewRNG(2))
+		grad := tensor.New(conv.OutLen())
+		tensor.NewRNG(3).FillUniform(grad, -1, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conv.ZeroGrads()
+			for _, x := range xs {
+				conv.Forward(x)
+				conv.Backward(grad)
+			}
+		}
+	})
+	b.Run("im2col-batched", func(b *testing.B) {
+		conv := nn.NewConv2D(1, 28, 28, 8, 5, 2, 2, tensor.NewRNG(2))
+		arena := tensor.NewArena()
+		xb := nn.Stack(arena, nil, xs)
+		gradB := tensor.New(batch, conv.OutLen())
+		tensor.NewRNG(3).FillUniform(gradB, -1, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conv.ZeroGrads()
+			conv.ForwardBatch(xb)
+			conv.BackwardBatch(gradB)
+			conv.AccumGrads()
+		}
+	})
+}
+
+// BenchmarkPerExampleGradExtraction compares full-model per-example gradient
+// computation — what every Fed-CDP local iteration pays — between the
+// reference path (one forward/backward per example) and the batched engine
+// (one batched pass + per-example recovery from the batch buffers), on the
+// paper's MNIST CNN at its benchmark batch size.
+func BenchmarkPerExampleGradExtraction(b *testing.B) {
+	spec, _ := dataset.Get("mnist")
+	rng := tensor.NewRNG(2)
+	const batch = 5
+	xs := make([]*tensor.Tensor, batch)
+	ys := make([]int, batch)
+	for i := range xs {
+		xs[i] = tensor.New(1, 28, 28)
+		rng.FillUniform(xs[i], 0, 1)
+		ys[i] = i % 10
+	}
+
+	b.Run("reference", func(b *testing.B) {
+		m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batchG := tensor.ZerosLike(m.Grads())
+			for j, x := range xs {
+				_, g := m.ExampleGradient(x, ys[j])
+				tensor.AddAllScaled(batchG, 1/float64(batch), g)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+		arena := tensor.NewArena()
+		m.UseArena(arena)
+		scratch := tensor.ZerosLike(m.Grads())
+		batchG := tensor.ZerosLike(m.Grads())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, t := range batchG {
+				t.Zero()
+			}
+			m.BatchGradients(xs, ys, scratch, func(j int, g []*tensor.Tensor) {
+				tensor.AddAllScaled(batchG, 1/float64(batch), g)
+			})
+		}
+	})
+}
+
 // BenchmarkPerExampleGradientCNN measures one forward/backward pass of the
 // paper's MNIST CNN.
 func BenchmarkPerExampleGradientCNN(b *testing.B) {

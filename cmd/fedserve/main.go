@@ -58,10 +58,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("round %d: %w", round, err))
 		}
-		params := model.Params()
-		for _, d := range deltas {
-			tensor.AddAllScaled(params, 1/float64(len(deltas)), d)
-		}
+		fl.AggregateFedSGD(model.Params(), deltas)
 		acc := fl.Evaluate(model, valX, valY)
 		fmt.Printf("round %d: %d updates aggregated, accuracy %.4f\n", round, len(deltas), acc)
 	}

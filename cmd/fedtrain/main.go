@@ -35,6 +35,7 @@ func main() {
 	flag.Float64Var(&cfg.DecayTo, "decay-to", 2, "decay schedule final bound")
 	flag.Float64Var(&cfg.CompressRatio, "compress", 0, "gradient prune ratio (communication-efficient FL)")
 	flag.Float64Var(&cfg.ShareFraction, "share", 0.1, "DSSGD share fraction")
+	flag.StringVar(&cfg.Engine, "engine", "", "execution engine: batched (default) or reference (see DESIGN.md)")
 	flag.Int64Var(&cfg.Seed, "seed", 42, "root seed")
 	flag.IntVar(&cfg.ValExamples, "val", 300, "validation examples")
 	evalEvery := flag.Int("eval-every", 1, "evaluate every n rounds")

@@ -11,8 +11,12 @@
 //   - internal/core — Fed-CDP (Algorithm 2), Fed-SDP (Algorithm 1),
 //     Fed-CDP(decay), DSSGD, and the Run orchestration entry point.
 //   - internal/fl — the federated-learning substrate (server, clients,
-//     FedSGD aggregation, TCP/gob transport).
-//   - internal/nn — neural-network stack with per-example gradients.
+//     FedSGD aggregation, TCP/gob transport, reusable worker pool).
+//   - internal/nn — neural-network stack with a batched GEMM/im2col
+//     execution engine that still exposes per-example gradients, plus the
+//     per-example reference path it is parity-tested against.
+//   - internal/tensor — dense tensors, blocked GEMM kernels, im2col and
+//     scratch arenas under the batched engine.
 //   - internal/attack — DLG-style gradient-matching reconstruction attacks
 //     with analytic double backpropagation, L-BFGS and Adam.
 //   - internal/accountant — RDP/moments accountant for the sampled Gaussian

@@ -1,0 +1,3 @@
+module fedcdp
+
+go 1.21

@@ -62,6 +62,11 @@ type Config struct {
 	ValExamples int
 	EvalEvery   int
 	Parallelism int
+
+	// Engine selects the local-training execution engine: fl.EngineBatched
+	// (the default) or fl.EngineReference, the original per-example path
+	// kept for parity checking (see DESIGN.md).
+	Engine string
 }
 
 // withDefaults resolves zero fields against the benchmark spec.
@@ -163,6 +168,7 @@ func Run(cfg Config) (*Result, error) {
 			BatchSize:  cfg.BatchSize,
 			LocalIters: cfg.LocalIters,
 			LR:         cfg.LR,
+			Engine:     cfg.Engine,
 		},
 		Strategy:        strat,
 		Seed:            cfg.Seed,

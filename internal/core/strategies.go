@@ -28,7 +28,91 @@ import (
 // localSGD runs the shared local-training loop: L iterations of batch SGD
 // where each example's gradient is passed through sanitize (nil for
 // non-private training) before batch averaging. It returns ΔW and stats.
+//
+// Training executes on the batched GEMM engine unless the round config
+// selects fl.EngineReference or the model has custom layers; the reference
+// per-example path is kept verbatim and pinned to the batched path by
+// parity tests (see DESIGN.md, "Execution engine").
 func localSGD(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) ([]*tensor.Tensor, fl.ClientStats) {
+	if env.Cfg.Engine != fl.EngineReference && env.Model.Batched() {
+		return localSGDBatched(env, sanitize)
+	}
+	return localSGDReference(env, sanitize)
+}
+
+// localSGDBatched is localSGD on the batched execution engine: one
+// forward/backward pass per mini-batch (Dense as one GEMM, Conv2D as
+// im2col+GEMM), with per-example gradients recovered from the batch buffers
+// only when sanitization or norm statistics need them. All scratch comes
+// from the worker's arena, so steady-state iterations allocate no data
+// buffers.
+func localSGDBatched(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) ([]*tensor.Tensor, fl.ClientStats) {
+	start := time.Now()
+	model, arena := env.Model, env.Arena
+	model.UseArena(arena)
+	global := tensor.CloneAll(model.Params())
+	var normSum float64
+	var normN int
+
+	scratch := arenaLike(arena, model.Grads())
+	batch := arenaLike(arena, model.Grads())
+	defer func() {
+		arena.Put(scratch...)
+		arena.Put(batch...)
+	}()
+
+	for l := 0; l < env.Cfg.LocalIters; l++ {
+		xs, ys := env.Data.Batch(l, env.Cfg.BatchSize)
+		if sanitize == nil && l > 0 {
+			// Non-private fast path: batch-summed gradients straight into
+			// the shared buffers — the execution model a conventional
+			// framework uses, and the baseline Table III compares against.
+			model.ZeroGrads()
+			model.BatchAccumulate(xs, ys)
+			model.SGDStep(env.Cfg.LR/float64(len(xs)), model.Grads())
+			continue
+		}
+		// Per-example recovery: Fed-CDP sanitization needs each example's
+		// gradient; the first iteration also records gradient norms.
+		for _, t := range batch {
+			t.Zero()
+		}
+		first := l == 0
+		inv := 1 / float64(len(xs))
+		model.BatchGradients(xs, ys, scratch, func(i int, g []*tensor.Tensor) {
+			if first {
+				normSum += tensor.GroupL2Norm(g)
+				normN++
+			}
+			if sanitize != nil {
+				sanitize(g)
+			}
+			tensor.AddAllScaled(batch, inv, g)
+		})
+		model.SGDStep(env.Cfg.LR, batch)
+	}
+
+	stats := fl.ClientStats{Iters: env.Cfg.LocalIters, Duration: time.Since(start)}
+	if normN > 0 {
+		stats.MeanGradNorm = normSum / float64(normN)
+	}
+	return fl.Delta(model.Params(), global), stats
+}
+
+// arenaLike draws zeroed tensors shaped like ts from the arena (allocating
+// when the arena is nil).
+func arenaLike(a *tensor.Arena, ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = a.Get(t.Shape()...)
+	}
+	return out
+}
+
+// localSGDReference is the original per-example implementation, retained as
+// the semantic reference for the batched engine (selected by
+// fl.EngineReference and used as the oracle in parity tests).
+func localSGDReference(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) ([]*tensor.Tensor, fl.ClientStats) {
 	start := time.Now()
 	global := tensor.CloneAll(env.Model.Params())
 	var normSum float64

@@ -21,6 +21,15 @@ import (
 	"fedcdp/internal/tensor"
 )
 
+// Execution engines selectable via RoundConfig.Engine. The batched engine
+// (default) runs local training through the GEMM/im2col batched path of
+// internal/nn; the reference engine is the original per-example
+// implementation, kept for parity testing (see DESIGN.md).
+const (
+	EngineBatched   = "batched"
+	EngineReference = "reference"
+)
+
 // RoundConfig carries the local-training hyperparameters published by the
 // server when a client subscribes to the task (Section IV-A).
 type RoundConfig struct {
@@ -28,6 +37,9 @@ type RoundConfig struct {
 	LocalIters  int
 	LR          float64
 	TotalRounds int
+	// Engine selects the local-training execution engine: EngineBatched
+	// ("" defaults to it) or EngineReference.
+	Engine string
 }
 
 // ClientEnv is everything a strategy needs to run one client's local
@@ -39,6 +51,9 @@ type ClientEnv struct {
 	Data     *dataset.ClientData
 	RNG      *tensor.RNG // derived from (seed, round, client): schedule-independent
 	Cfg      RoundConfig
+	// Arena is the worker's scratch-buffer recycler, reused across rounds;
+	// nil (e.g. remote clients) simply allocates.
+	Arena *tensor.Arena
 }
 
 // ClientStats reports per-client training measurements used by the paper's
@@ -150,6 +165,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: dropout rate %v outside [0,1]", c.DropoutRate)
 	case c.StartRound < 0:
 		return fmt.Errorf("fl: negative start round %d", c.StartRound)
+	case c.Round.Engine != "" && c.Round.Engine != EngineBatched && c.Round.Engine != EngineReference:
+		return fmt.Errorf("fl: unknown execution engine %q", c.Round.Engine)
 	}
 	return nil
 }
@@ -186,11 +203,12 @@ func Run(cfg Config) (*History, error) {
 	hist := &History{Strategy: cfg.Strategy.Name(), Config: cfg}
 
 	serverRNG := tensor.Split(cfg.Seed, 2)
+	workers := newWorkerPool(par, cfg.Model)
 	for r := 0; r < cfg.Rounds; r++ {
 		round := cfg.StartRound + r
 		cohort := sampleCohort(cfg, round)
 		cohort = dropClients(cfg, round, cohort)
-		updates, stats := trainCohort(cfg, global, cohort, round, par)
+		updates, stats := trainCohort(cfg, global, cohort, round, workers)
 		cfg.Strategy.ServerSanitize(round, updates, serverRNG)
 		if cfg.Aggregation == AggFedAvg {
 			applyFedAvg(global, updates)
@@ -242,45 +260,77 @@ func dropClients(cfg Config, round int, cohort []int) []int {
 	return kept
 }
 
-// trainCohort runs local training for every cohort member, up to par
-// concurrently, and returns updates aligned with the cohort order.
-func trainCohort(cfg Config, global *nn.Model, cohort []int, round, par int) ([][]*tensor.Tensor, []ClientStats) {
+// worker is one reusable local-training slot: a private model copy and a
+// scratch arena, both reused across clients and rounds so steady-state
+// training stops allocating (the model's batched buffers and the arena's
+// free lists persist between rounds).
+type worker struct {
+	model *nn.Model
+	arena *tensor.Arena
+}
+
+// workerPool is a fixed set of workers handed out over a channel; at most
+// len(slots) clients train concurrently.
+type workerPool struct {
+	spec  nn.Spec
+	slots chan *worker
+}
+
+func newWorkerPool(par int, spec nn.Spec) *workerPool {
+	p := &workerPool{spec: spec, slots: make(chan *worker, par)}
+	for i := 0; i < par; i++ {
+		p.slots <- nil // materialized lazily on first acquire
+	}
+	return p
+}
+
+func (p *workerPool) acquire() *worker {
+	w := <-p.slots
+	if w == nil {
+		w = &worker{model: nn.Build(p.spec, tensor.NewRNG(0)), arena: tensor.NewArena()}
+		w.model.UseArena(w.arena)
+	}
+	return w
+}
+
+func (p *workerPool) release(w *worker) { p.slots <- w }
+
+// trainCohort runs local training for every cohort member on the worker
+// pool and returns updates aligned with the cohort order.
+func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers *workerPool) ([][]*tensor.Tensor, []ClientStats) {
 	updates := make([][]*tensor.Tensor, len(cohort))
 	stats := make([]ClientStats, len(cohort))
 	globalParams := tensor.CloneAll(global.Params())
 
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
 	for i, id := range cohort {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i, id int) {
+		w := workers.acquire()
+		go func(i, id int, w *worker) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer workers.release(w)
+			w.model.SetParams(globalParams)
 			env := &ClientEnv{
 				ClientID: id,
 				Round:    round,
-				Model:    buildLocal(cfg.Model, globalParams),
+				Model:    w.model,
 				Data:     cfg.Data.Client(id),
 				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
 				Cfg:      cfg.Round,
+				Arena:    w.arena,
 			}
 			updates[i], stats[i] = cfg.Strategy.ClientUpdate(env)
-		}(i, id)
+		}(i, id, w)
 	}
 	wg.Wait()
 	return updates, stats
 }
 
-func buildLocal(spec nn.Spec, params []*tensor.Tensor) *nn.Model {
-	m := nn.Build(spec, tensor.NewRNG(0))
-	m.SetParams(params)
-	return m
-}
-
-// applyFedSGD performs W ← W + (1/Kt)·ΣΔW (Section IV-A).
-func applyFedSGD(global *nn.Model, updates [][]*tensor.Tensor) {
-	params := global.Params()
+// AggregateFedSGD applies FedSGD in place: params ← params + mean(ΔW) over
+// the collected updates (Section IV-A). It is shared by the in-process
+// simulator and the TCP server (cmd/fedserve). Empty update sets leave the
+// parameters unchanged.
+func AggregateFedSGD(params []*tensor.Tensor, updates [][]*tensor.Tensor) {
 	n := float64(len(updates))
 	if n == 0 {
 		return
@@ -288,6 +338,11 @@ func applyFedSGD(global *nn.Model, updates [][]*tensor.Tensor) {
 	for _, u := range updates {
 		tensor.AddAllScaled(params, 1/n, u)
 	}
+}
+
+// applyFedSGD performs W ← W + (1/Kt)·ΣΔW (Section IV-A).
+func applyFedSGD(global *nn.Model, updates [][]*tensor.Tensor) {
+	AggregateFedSGD(global.Params(), updates)
 }
 
 // applyFedAvg performs W ← (1/Kt)·Σ(W + ΔW_k), i.e. averages the client
@@ -312,15 +367,30 @@ func applyFedAvg(global *nn.Model, updates [][]*tensor.Tensor) {
 	}
 }
 
-// Evaluate returns validation accuracy of the model on a labelled set.
+// evalChunk bounds the batch width of Evaluate so validation of large sets
+// stays cache-resident rather than materializing one huge activation batch.
+const evalChunk = 64
+
+// Evaluate returns validation accuracy of the model on a labelled set,
+// classifying in batched-engine chunks; per-example prediction is the
+// fallback for custom layers. Dense-only models predict bit-identically to
+// the per-example path; conv logits agree to rounding error (see
+// tensor/matmul.go), so an argmax could in principle differ on an exact
+// near-tie between classes.
 func Evaluate(m *nn.Model, xs []*tensor.Tensor, ys []int) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	correct := 0
-	for i, x := range xs {
-		if m.Predict(x) == ys[i] {
-			correct++
+	for lo := 0; lo < len(xs); lo += evalChunk {
+		hi := lo + evalChunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		for i, p := range m.PredictBatch(xs[lo:hi]) {
+			if p == ys[lo+i] {
+				correct++
+			}
 		}
 	}
 	return float64(correct) / float64(len(xs))

@@ -184,6 +184,8 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 	}
 	model := nn.Build(spec, tensor.NewRNG(0))
 	model.SetParams(TensorsFromWire(pm.Params))
+	arena := tensor.NewArena()
+	model.UseArena(arena)
 	env := &ClientEnv{
 		ClientID: clientID,
 		Round:    pm.Round,
@@ -191,6 +193,7 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 		Data:     data,
 		RNG:      tensor.Split(seed, 4, int64(pm.Round), int64(clientID)),
 		Cfg:      pm.Cfg,
+		Arena:    arena,
 	}
 	delta, _ := strat.ClientUpdate(env)
 	msg := UpdateMsg{ClientID: clientID, Round: pm.Round, Delta: WireFromTensors(delta)}

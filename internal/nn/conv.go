@@ -17,6 +17,16 @@ type Conv2D struct {
 	W, B   *tensor.Tensor
 	GW, GB *tensor.Tensor
 	in     *tensor.Tensor
+
+	// Batched-engine state (see batch.go): per-example im2col patch
+	// matrices for the whole batch (row i = example i's (C·K·K × OH·OW)
+	// matrix, flattened), the cached output-gradient batch, owned
+	// output/input-gradient buffers, and a patch-gradient scratch.
+	arena   *tensor.Arena
+	colsB   *tensor.Tensor
+	gB      *tensor.Tensor
+	yB, dxB *tensor.Tensor
+	dcols   *tensor.Tensor
 }
 
 // NewConv2D returns a convolution layer for (inC, inH, inW) inputs.
@@ -132,6 +142,107 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	return dx
+}
+
+var _ BatchLayer = (*Conv2D)(nil)
+
+func (c *Conv2D) setArena(a *tensor.Arena) { c.arena = a }
+
+// patchDims returns the im2col geometry: rows C·K·K, columns OH·OW.
+func (c *Conv2D) patchDims() (ckk, p int) {
+	return c.InC * c.K * c.K, c.OutH() * c.OutW()
+}
+
+// biasRowSums reduces an (OutC × P) output-gradient matrix over its spatial
+// columns — the bias gradient — accumulating into dst when add is set and
+// overwriting otherwise.
+func biasRowSums(dst, gd []float64, p int, add bool) {
+	for oc := range dst {
+		row := gd[oc*p : (oc+1)*p]
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if add {
+			dst[oc] += s
+		} else {
+			dst[oc] = s
+		}
+	}
+}
+
+// ForwardBatch convolves a (B × InC·InH·InW) batch as im2col + GEMM: per
+// example, Y_i = W_mat·cols_i + b with W viewed as (OutC × C·K·K). The
+// output starts from the bias, mirroring the scalar reference's term order
+// (bias first, then taps in (ic,ky,kx) order); because the NN GEMM kernel
+// groups k-terms in pairs (see matmul.go), the result matches Forward to
+// rounding error rather than bit-for-bit — parity tests pin it at 1e-9.
+func (c *Conv2D) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	b := x.Shape()[0]
+	if x.Shape()[1] != c.InC*c.InH*c.InW {
+		panic(fmt.Sprintf("nn: conv expects batch width %d, got %v", c.InC*c.InH*c.InW, x.Shape()))
+	}
+	ckk, p := c.patchDims()
+	c.colsB = ensureBuf(c.arena, c.colsB, b, ckk*p)
+	c.yB = ensureBuf(c.arena, c.yB, b, c.OutLen())
+	wmat := c.W.View(c.OutC, ckk)
+	bd := c.B.Data()
+	for i := 0; i < b; i++ {
+		cols := c.colsB.Row(i).View(ckk, p)
+		tensor.Im2Col(cols, x.Row(i), c.InC, c.InH, c.InW, c.K, c.Stride, c.Pad)
+		y := c.yB.Row(i).View(c.OutC, p)
+		yd := y.Data()
+		for oc := 0; oc < c.OutC; oc++ {
+			row := yd[oc*p : (oc+1)*p]
+			for j := range row {
+				row[j] = bd[oc]
+			}
+		}
+		tensor.AddMatMul(y, wmat, cols)
+	}
+	return c.yB
+}
+
+// BackwardBatch caches the output gradient and returns the input gradient:
+// per example, dcols_i = W_matᵀ·dY_i followed by col2im.
+func (c *Conv2D) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	c.gB = grad
+	b := grad.Shape()[0]
+	ckk, p := c.patchDims()
+	c.dxB = ensureBuf(c.arena, c.dxB, b, c.InC*c.InH*c.InW)
+	c.dcols = ensureBuf(c.arena, c.dcols, ckk, p)
+	wmat := c.W.View(c.OutC, ckk)
+	for i := 0; i < b; i++ {
+		gi := grad.Row(i).View(c.OutC, p)
+		tensor.MatMulTN(c.dcols, wmat, gi)
+		tensor.Col2Im(c.dxB.Row(i), c.dcols, c.InC, c.InH, c.InW, c.K, c.Stride, c.Pad)
+	}
+	return c.dxB
+}
+
+// AccumGrads adds the batch-summed gradients: GW += Σ_i dY_i·cols_iᵀ and
+// GB += spatial sums of dY.
+func (c *Conv2D) AccumGrads() {
+	b := c.gB.Shape()[0]
+	ckk, p := c.patchDims()
+	gwmat := c.GW.View(c.OutC, ckk)
+	gbd := c.GB.Data()
+	for i := 0; i < b; i++ {
+		gi := c.gB.Row(i).View(c.OutC, p)
+		cols := c.colsB.Row(i).View(ckk, p)
+		tensor.AddMatMulT(gwmat, gi, cols)
+		biasRowSums(gbd, gi.Data(), p, true)
+	}
+}
+
+// ExampleGrads recovers example i's gradients from the cached batch
+// buffers: dW_i = dY_i·cols_iᵀ (one small GEMM), db_i = spatial sums.
+func (c *Conv2D) ExampleGrads(i int, dst []*tensor.Tensor) {
+	ckk, p := c.patchDims()
+	gi := c.gB.Row(i).View(c.OutC, p)
+	cols := c.colsB.Row(i).View(ckk, p)
+	tensor.MatMulT(dst[0].View(c.OutC, ckk), gi, cols)
+	biasRowSums(dst[1].Data(), gi.Data(), p, false)
 }
 
 // Params returns {W, b}.

@@ -15,6 +15,12 @@ type Dense struct {
 	W, B    *tensor.Tensor
 	GW, GB  *tensor.Tensor
 	in      *tensor.Tensor
+
+	// Batched-engine state: cached input/output-gradient batches and owned
+	// output buffers (see batch.go for the execution contract).
+	arena   *tensor.Arena
+	xB, gB  *tensor.Tensor
+	yB, dxB *tensor.Tensor
 }
 
 // NewDense returns a dense layer with Xavier-initialized weights.
@@ -49,6 +55,61 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	tensor.AddOuter(d.GW, 1, grad, d.in)
 	d.GB.Add(grad)
 	return tensor.MatVecT(d.W, grad)
+}
+
+var _ BatchLayer = (*Dense)(nil)
+
+func (d *Dense) setArena(a *tensor.Arena) { d.arena = a }
+
+// ForwardBatch computes Y = X·Wᵀ + b for a (B × In) batch in one GEMM. Each
+// row reproduces Forward on that example bit-for-bit (identical accumulation
+// order).
+func (d *Dense) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	b := x.Shape()[0]
+	if x.Shape()[1] != d.In {
+		panic(fmt.Sprintf("nn: dense expects batch width %d, got %v", d.In, x.Shape()))
+	}
+	d.xB = x
+	d.yB = ensureBuf(d.arena, d.yB, b, d.Out)
+	tensor.MatMulT(d.yB, x, d.W)
+	yd, bd := d.yB.Data(), d.B.Data()
+	for i := 0; i < b; i++ {
+		row := yd[i*d.Out : (i+1)*d.Out]
+		for j, v := range bd {
+			row[j] += v
+		}
+	}
+	return d.yB
+}
+
+// BackwardBatch caches the output gradient and returns dX = dY·W.
+func (d *Dense) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	d.gB = grad
+	d.dxB = ensureBuf(d.arena, d.dxB, grad.Shape()[0], d.In)
+	tensor.MatMul(d.dxB, grad, d.W)
+	return d.dxB
+}
+
+// AccumGrads adds the batch-summed gradients: GW += dYᵀ·X (one GEMM) and
+// GB += column sums of dY.
+func (d *Dense) AccumGrads() {
+	tensor.AddMatMulTN(d.GW, d.gB, d.xB)
+	b := d.gB.Shape()[0]
+	gd, gbd := d.gB.Data(), d.GB.Data()
+	for i := 0; i < b; i++ {
+		row := gd[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			gbd[j] += v
+		}
+	}
+}
+
+// ExampleGrads recovers example i's gradient as the rank-1 outer product
+// dY_i ⊗ X_i from the cached batch buffers.
+func (d *Dense) ExampleGrads(i int, dst []*tensor.Tensor) {
+	dst[0].Zero()
+	tensor.AddOuter(dst[0], 1, d.gB.Row(i), d.xB.Row(i))
+	dst[1].CopyFrom(d.gB.Row(i))
 }
 
 // Params returns {W, b}.

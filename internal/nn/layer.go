@@ -2,12 +2,15 @@
 // convolutional layers, pooling, smooth and piecewise-linear activations, a
 // softmax cross-entropy loss, SGD, and gob model serialization.
 //
-// The library is built around per-example processing: Forward and Backward
-// operate on a single example, and Backward accumulates parameter gradients
-// into each layer's gradient buffers. This matches the execution model that
-// per-example differential privacy (Fed-CDP) requires — the gradient buffers
-// after one example's backward pass *are* that example's gradient — and is
-// efficient at the paper's batch sizes (3–5).
+// Two execution paths share each layer's parameters. The per-example
+// reference path (Forward/Backward) processes one example at a time and
+// accumulates parameter gradients into the layer's gradient buffers — after
+// one example's backward pass the buffers *are* that example's gradient,
+// the execution model per-example differential privacy (Fed-CDP) is defined
+// against. The batched engine (BatchLayer: ForwardBatch/BackwardBatch, see
+// batch.go) processes whole mini-batches through GEMM and im2col+GEMM while
+// still recovering every example's parameter gradient from the batch
+// buffers; parity tests pin it to the reference path. See DESIGN.md.
 //
 // Layers are stateful between Forward and Backward (cached activations), so a
 // model instance must not be shared across goroutines; use Model.Clone to
@@ -51,6 +54,12 @@ type Activation struct {
 	Kind string
 	in   *tensor.Tensor
 	out  *tensor.Tensor
+
+	// Batched-engine state: cached input batch and owned buffers.
+	arena *tensor.Arena
+	inB   *tensor.Tensor
+	outB  *tensor.Tensor
+	dxB   *tensor.Tensor
 }
 
 // NewActivation returns an activation layer of the given kind.
@@ -66,12 +75,9 @@ func NewActivation(kind string) *Activation {
 
 var _ Layer = (*Activation)(nil)
 
-// Forward applies the nonlinearity element-wise.
-func (a *Activation) Forward(x *tensor.Tensor) *tensor.Tensor {
-	a.in = x
-	out := x.Clone()
-	d := out.Data()
-	switch a.Kind {
+// applyKind writes kind(x) element-wise into d (d already holds x's values).
+func applyKind(kind string, d []float64) {
+	switch kind {
 	case ActReLU:
 		for i, v := range d {
 			if v < 0 {
@@ -87,6 +93,34 @@ func (a *Activation) Forward(x *tensor.Tensor) *tensor.Tensor {
 			d[i] = tanh(v)
 		}
 	}
+}
+
+// applyKindGrad multiplies the upstream gradient gd by the activation
+// derivative, given the cached input (in) and output (od) values.
+func applyKindGrad(kind string, gd, in, od []float64) {
+	switch kind {
+	case ActReLU:
+		for i := range gd {
+			if in[i] <= 0 {
+				gd[i] = 0
+			}
+		}
+	case ActSigmoid:
+		for i := range gd {
+			gd[i] *= od[i] * (1 - od[i])
+		}
+	case ActTanh:
+		for i := range gd {
+			gd[i] *= 1 - od[i]*od[i]
+		}
+	}
+}
+
+// Forward applies the nonlinearity element-wise.
+func (a *Activation) Forward(x *tensor.Tensor) *tensor.Tensor {
+	a.in = x
+	out := x.Clone()
+	applyKind(a.Kind, out.Data())
 	a.out = out
 	return out
 }
@@ -94,28 +128,36 @@ func (a *Activation) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward multiplies the upstream gradient by the activation derivative.
 func (a *Activation) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := grad.Clone()
-	gd := out.Data()
-	switch a.Kind {
-	case ActReLU:
-		in := a.in.Data()
-		for i := range gd {
-			if in[i] <= 0 {
-				gd[i] = 0
-			}
-		}
-	case ActSigmoid:
-		od := a.out.Data()
-		for i := range gd {
-			gd[i] *= od[i] * (1 - od[i])
-		}
-	case ActTanh:
-		od := a.out.Data()
-		for i := range gd {
-			gd[i] *= 1 - od[i]*od[i]
-		}
-	}
+	applyKindGrad(a.Kind, out.Data(), a.in.Data(), a.out.Data())
 	return out
 }
+
+var _ BatchLayer = (*Activation)(nil)
+
+func (a *Activation) setArena(ar *tensor.Arena) { a.arena = ar }
+
+// ForwardBatch applies the nonlinearity to a whole batch in one sweep.
+func (a *Activation) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	a.inB = x
+	a.outB = ensureBuf(a.arena, a.outB, x.Shape()...)
+	copy(a.outB.Data(), x.Data())
+	applyKind(a.Kind, a.outB.Data())
+	return a.outB
+}
+
+// BackwardBatch multiplies the batch gradient by the activation derivative.
+func (a *Activation) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	a.dxB = ensureBuf(a.arena, a.dxB, grad.Shape()...)
+	copy(a.dxB.Data(), grad.Data())
+	applyKindGrad(a.Kind, a.dxB.Data(), a.inB.Data(), a.outB.Data())
+	return a.dxB
+}
+
+// AccumGrads is a no-op for parameter-free layers.
+func (a *Activation) AccumGrads() {}
+
+// ExampleGrads is a no-op for parameter-free layers.
+func (a *Activation) ExampleGrads(i int, dst []*tensor.Tensor) {}
 
 // Params returns nil: activations are parameter-free.
 func (a *Activation) Params() []*tensor.Tensor { return nil }

@@ -10,6 +10,14 @@ import (
 type Model struct {
 	Layers []Layer
 	spec   Spec
+
+	// Batched-engine scratch (see batch.go): input batch, loss gradient and
+	// per-example losses, reused across iterations; arena is the optional
+	// per-goroutine buffer recycler set by UseArena.
+	arena    *tensor.Arena
+	xBatch   *tensor.Tensor
+	lossGrad *tensor.Tensor
+	lossVals []float64
 }
 
 // Forward runs one example through all layers and returns the logits.

@@ -11,6 +11,11 @@ import (
 type MaxPool2 struct {
 	C, H, W int
 	argmax  []int
+
+	// Batched-engine state: per-batch argmax indices and owned buffers.
+	arena   *tensor.Arena
+	argmaxB []int
+	yB, dxB *tensor.Tensor
 }
 
 // NewMaxPool2 returns a 2×2 max-pool for (c,h,w) inputs.
@@ -72,6 +77,80 @@ func (p *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
+var _ BatchLayer = (*MaxPool2)(nil)
+
+func (p *MaxPool2) setArena(a *tensor.Arena) { p.arena = a }
+
+// poolOne pools one example (xd → yd), recording flat argmax indices
+// relative to the example into am.
+func (p *MaxPool2) poolOne(xd, yd []float64, am []int) {
+	oh, ow := p.OutH(), p.OutW()
+	for c := 0; c < p.C; c++ {
+		base := c * p.H * p.W
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bestIdx := base + (2*oy)*p.W + 2*ox
+				best := xd[bestIdx]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := base + (2*oy+dy)*p.W + (2*ox + dx)
+						if xd[idx] > best {
+							best = xd[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := (c*oh+oy)*ow + ox
+				yd[o] = best
+				am[o] = bestIdx
+			}
+		}
+	}
+}
+
+// ForwardBatch pools a (B × C·H·W) batch, caching per-example argmaxes.
+func (p *MaxPool2) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	b := x.Shape()[0]
+	if x.Shape()[1] != p.C*p.H*p.W {
+		panic(fmt.Sprintf("nn: maxpool expects batch width %d, got %v", p.C*p.H*p.W, x.Shape()))
+	}
+	n, on := p.C*p.H*p.W, p.OutLen()
+	p.yB = ensureBuf(p.arena, p.yB, b, on)
+	if cap(p.argmaxB) < b*on {
+		p.argmaxB = make([]int, b*on)
+	}
+	p.argmaxB = p.argmaxB[:b*on]
+	xd, yd := x.Data(), p.yB.Data()
+	for i := 0; i < b; i++ {
+		p.poolOne(xd[i*n:(i+1)*n], yd[i*on:(i+1)*on], p.argmaxB[i*on:(i+1)*on])
+	}
+	return p.yB
+}
+
+// BackwardBatch routes each output gradient to its argmax input position.
+func (p *MaxPool2) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	b := grad.Shape()[0]
+	n, on := p.C*p.H*p.W, p.OutLen()
+	p.dxB = ensureBuf(p.arena, p.dxB, b, n)
+	p.dxB.Zero()
+	gd, dxd := grad.Data(), p.dxB.Data()
+	for i := 0; i < b; i++ {
+		am := p.argmaxB[i*on : (i+1)*on]
+		dx := dxd[i*n : (i+1)*n]
+		g := gd[i*on : (i+1)*on]
+		for o, idx := range am {
+			dx[idx] += g[o]
+		}
+	}
+	return p.dxB
+}
+
+// AccumGrads is a no-op for parameter-free layers.
+func (p *MaxPool2) AccumGrads() {}
+
+// ExampleGrads is a no-op for parameter-free layers.
+func (p *MaxPool2) ExampleGrads(i int, dst []*tensor.Tensor) {}
+
 // Params returns nil: pooling is parameter-free.
 func (p *MaxPool2) Params() []*tensor.Tensor { return nil }
 
@@ -98,6 +177,20 @@ func (Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward passes the gradient through unchanged.
 func (Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+var _ BatchLayer = Flatten{}
+
+// ForwardBatch is the identity: batches are already stored row-flat.
+func (Flatten) ForwardBatch(x *tensor.Tensor) *tensor.Tensor { return x }
+
+// BackwardBatch passes the batch gradient through unchanged.
+func (Flatten) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// AccumGrads is a no-op.
+func (Flatten) AccumGrads() {}
+
+// ExampleGrads is a no-op.
+func (Flatten) ExampleGrads(i int, dst []*tensor.Tensor) {}
 
 // Params returns nil.
 func (Flatten) Params() []*tensor.Tensor { return nil }

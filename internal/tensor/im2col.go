@@ -1,0 +1,135 @@
+package tensor
+
+import "fmt"
+
+// convOut returns the output extent for one spatial dimension.
+func convOut(in, k, stride, pad int) int { return (in+2*pad-k)/stride + 1 }
+
+// validRange returns the half-open range of output positions [lo, hi) whose
+// input coordinate ox*stride - pad + kx lies inside [0, in); positions
+// outside it read (or write) padding. Splitting the inner loops on this
+// range removes the per-element bounds branch from the hot path.
+func validRange(out, in, kx, stride, pad int) (lo, hi int) {
+	// ox*stride - pad + kx >= 0  ⇒  ox >= ceil((pad-kx)/stride)
+	if d := pad - kx; d > 0 {
+		lo = (d + stride - 1) / stride
+	}
+	// ox*stride - pad + kx <= in-1  ⇒  ox <= floor((in-1+pad-kx)/stride).
+	// A negative numerator means no output position is valid; guard it
+	// explicitly because Go division truncates toward zero (e.g. -1/2 = 0,
+	// which would wrongly admit ox=0).
+	d := in - 1 + pad - kx
+	if d < 0 {
+		return lo, lo
+	}
+	hi = d/stride + 1
+	if hi > out {
+		hi = out
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Im2Col expands a (C,H,W) image into a (C·K·K × OH·OW) patch matrix: column
+// p holds the receptive field of output position p, row r the values one
+// kernel tap (ic,ky,kx) sees across all output positions, with padding
+// contributing zeros. After Im2Col, a convolution with weights viewed as an
+// (OutC × C·K·K) matrix is the single GEMM W·cols.
+//
+// x may be any tensor of length C·H·W (row views included). dst must be a
+// rank-2 (C·K·K × OH·OW) tensor and is fully overwritten; nil allocates.
+func Im2Col(dst, x *Tensor, c, h, w, k, stride, pad int) *Tensor {
+	if x.Len() != c*h*w {
+		panic(fmt.Sprintf("tensor: Im2Col input length %d, want %d", x.Len(), c*h*w))
+	}
+	oh, ow := convOut(h, k, stride, pad), convOut(w, k, stride, pad)
+	rows, cols := c*k*k, oh*ow
+	if dst == nil {
+		dst = New(rows, cols)
+	} else if len(dst.shape) != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2Col dst shape %v, want (%d,%d)", dst.shape, rows, cols))
+	}
+	xd, dd := x.data, dst.data
+	row := 0
+	for ic := 0; ic < c; ic++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				drow := dd[row*cols : (row+1)*cols]
+				oxLo, oxHi := validRange(ow, w, kx, stride, pad)
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					dseg := drow[oy*ow : (oy+1)*ow]
+					if iy < 0 || iy >= h {
+						for i := range dseg {
+							dseg[i] = 0
+						}
+						continue
+					}
+					xrow := xd[(ic*h+iy)*w : (ic*h+iy+1)*w]
+					for ox := 0; ox < oxLo; ox++ {
+						dseg[ox] = 0
+					}
+					if stride == 1 {
+						copy(dseg[oxLo:oxHi], xrow[oxLo-pad+kx:])
+					} else {
+						ix := oxLo*stride - pad + kx
+						for ox := oxLo; ox < oxHi; ox++ {
+							dseg[ox] = xrow[ix]
+							ix += stride
+						}
+					}
+					for ox := oxHi; ox < ow; ox++ {
+						dseg[ox] = 0
+					}
+				}
+				row++
+			}
+		}
+	}
+	return dst
+}
+
+// Col2Im scatters a (C·K·K × OH·OW) patch-gradient matrix back to image
+// space, summing overlapping taps — the adjoint of Im2Col, used for the
+// input gradient of a convolution. dst must have length C·H·W and is
+// overwritten; nil allocates a (C,H,W) tensor.
+func Col2Im(dst, cols *Tensor, c, h, w, k, stride, pad int) *Tensor {
+	oh, ow := convOut(h, k, stride, pad), convOut(w, k, stride, pad)
+	rows, colN := c*k*k, oh*ow
+	if len(cols.shape) != 2 || cols.shape[0] != rows || cols.shape[1] != colN {
+		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want (%d,%d)", cols.shape, rows, colN))
+	}
+	if dst == nil {
+		dst = New(c, h, w)
+	} else if dst.Len() != c*h*w {
+		panic(fmt.Sprintf("tensor: Col2Im dst length %d, want %d", dst.Len(), c*h*w))
+	}
+	dst.Zero()
+	cd, dd := cols.data, dst.data
+	row := 0
+	for ic := 0; ic < c; ic++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				crow := cd[row*colN : (row+1)*colN]
+				oxLo, oxHi := validRange(ow, w, kx, stride, pad)
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					drow := dd[(ic*h+iy)*w : (ic*h+iy+1)*w]
+					cseg := crow[oy*ow : (oy+1)*ow]
+					ix := oxLo*stride - pad + kx
+					for ox := oxLo; ox < oxHi; ox++ {
+						drow[ix] += cseg[ox]
+						ix += stride
+					}
+				}
+				row++
+			}
+		}
+	}
+	return dst
+}

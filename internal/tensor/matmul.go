@@ -1,0 +1,338 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the GEMM core of the batched execution engine. All three
+// transpose variants share the same structure: the output is split into
+// panels of rows, panels are processed by up to GOMAXPROCS goroutines, and
+// the reduction dimension is walked in cache-sized blocks with contiguous
+// row-major inner loops (axpy/dot style), so the compiler can keep the hot
+// loops free of bounds checks and the B panel stays in cache across a row
+// panel.
+//
+// Accumulation order: the NT kernel (MatMulT) reduces each output element
+// with a single sequential accumulator in increasing k order — bit-for-bit
+// the order MatVec uses, which keeps the batched Dense forward identical to
+// the per-example reference. The NN and TN kernels group k-terms in pairs
+// (2×2 register blocking halves their store traffic), so they agree with
+// the sequential reference to rounding error only; the engine parity tests
+// pin the end-to-end difference below 1e-9 (see DESIGN.md).
+
+const (
+	// gemmBlockK is the reduction-dimension block: 256 float64 rows of B
+	// (256×N values) are streamed per panel pass, sized for L2 residency at
+	// the layer widths this library uses.
+	gemmBlockK = 256
+	// gemmParallelFlops is the minimum multiply-add count before the kernels
+	// spawn goroutines; below it the fork/join overhead dominates.
+	gemmParallelFlops = 1 << 16
+)
+
+func mat2(t *Tensor, op string) (rows, cols int) {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s wants rank-2 matrices, got shape %v", op, t.shape))
+	}
+	return t.shape[0], t.shape[1]
+}
+
+// gemmSlots caps the number of extra CPU-bound GEMM goroutines in flight
+// across the whole process. The federated trainer already runs up to
+// GOMAXPROCS clients concurrently; without a global cap each client's GEMMs
+// would fork another GOMAXPROCS goroutines (P² oversubscription). Slots are
+// acquired non-blockingly: a GEMM running while the machine is saturated
+// simply executes serially on its own goroutine.
+var gemmSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// parallelRows invokes fn over disjoint sub-ranges of [0, rows), forking
+// helper goroutines when the work is large enough to amortize them and free
+// gemmSlots remain; the calling goroutine always processes the first range.
+func parallelRows(rows int, flops int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if flops < gemmParallelFlops || workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	extra := 0
+	for extra < workers-1 {
+		select {
+		case gemmSlots <- struct{}{}:
+			extra++
+		default:
+			goto acquired
+		}
+	}
+acquired:
+	if extra == 0 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + extra) / (extra + 1)
+	spawned := (rows+chunk-1)/chunk - 1
+	for ; extra > spawned; extra-- { // chunk rounding may need fewer helpers
+		<-gemmSlots
+	}
+	var wg sync.WaitGroup
+	for lo := chunk; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() { <-gemmSlots }()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// MatMul computes dst = a·b for row-major matrices a (M×K) and b (K×N),
+// writing into dst (M×N) and returning it. A nil dst is allocated.
+func MatMul(dst, a, b *Tensor) *Tensor {
+	m, k := mat2(a, "MatMul")
+	k2, n := mat2(b, "MatMul")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	if dst == nil {
+		dst = New(m, n)
+	} else {
+		dm, dn := mat2(dst, "MatMul")
+		if dm != m || dn != n {
+			panic(fmt.Sprintf("tensor: MatMul dst shape %v, want (%d,%d)", dst.shape, m, n))
+		}
+		dst.Zero()
+	}
+	AddMatMul(dst, a, b)
+	return dst
+}
+
+// AddMatMul computes dst += a·b (shapes as in MatMul), 2×2 register-blocked:
+// two rows of dst share each streamed pair of b rows, so four multiply-adds
+// are done per two stores.
+func AddMatMul(dst, a, b *Tensor) {
+	m, k := mat2(a, "AddMatMul")
+	_, n := mat2(b, "AddMatMul")
+	ad, bd, cd := a.data, b.data, dst.data
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for kk := 0; kk < k; kk += gemmBlockK {
+			kend := kk + gemmBlockK
+			if kend > k {
+				kend = k
+			}
+			i := lo
+			for ; i+1 < hi; i += 2 {
+				ai0 := ad[i*k : (i+1)*k]
+				ai1 := ad[(i+1)*k : (i+2)*k]
+				ci0 := cd[i*n : (i+1)*n]
+				ci1 := cd[(i+1)*n : (i+2)*n : (i+2)*n]
+				ci1 = ci1[:len(ci0)]
+				kx := kk
+				for ; kx+1 < kend; kx += 2 {
+					a00, a01 := ai0[kx], ai0[kx+1]
+					a10, a11 := ai1[kx], ai1[kx+1]
+					b0 := bd[kx*n : (kx+1)*n]
+					b0 = b0[:len(ci0)]
+					b1 := bd[(kx+1)*n : (kx+2)*n]
+					b1 = b1[:len(ci0)]
+					for j, bv0 := range b0 {
+						bv1 := b1[j]
+						ci0[j] += a00*bv0 + a01*bv1
+						ci1[j] += a10*bv0 + a11*bv1
+					}
+				}
+				for ; kx < kend; kx++ {
+					a0, a1 := ai0[kx], ai1[kx]
+					bk := bd[kx*n : (kx+1)*n]
+					bk = bk[:len(ci0)]
+					for j, bv := range bk {
+						ci0[j] += a0 * bv
+						ci1[j] += a1 * bv
+					}
+				}
+			}
+			for ; i < hi; i++ {
+				ai := ad[i*k : (i+1)*k]
+				ci := cd[i*n : (i+1)*n]
+				kx := kk
+				for ; kx+1 < kend; kx += 2 {
+					a0, a1 := ai[kx], ai[kx+1]
+					b0 := bd[kx*n : (kx+1)*n]
+					b0 = b0[:len(ci)]
+					b1 := bd[(kx+1)*n : (kx+2)*n]
+					b1 = b1[:len(ci)]
+					for j, bv0 := range b0 {
+						ci[j] += a0*bv0 + a1*b1[j]
+					}
+				}
+				for ; kx < kend; kx++ {
+					av := ai[kx]
+					if av == 0 {
+						continue
+					}
+					bk := bd[kx*n : (kx+1)*n]
+					bk = bk[:len(ci)]
+					for j, bv := range bk {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+}
+
+// MatMulT computes dst = a·bᵀ for a (M×K) and b (N×K), writing into dst
+// (M×N) and returning it. A nil dst is allocated.
+func MatMulT(dst, a, b *Tensor) *Tensor {
+	m, k := mat2(a, "MatMulT")
+	n, k2 := mat2(b, "MatMulT")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %v x %vᵀ", a.shape, b.shape))
+	}
+	if dst == nil {
+		dst = New(m, n)
+	} else {
+		dm, dn := mat2(dst, "MatMulT")
+		if dm != m || dn != n {
+			panic(fmt.Sprintf("tensor: MatMulT dst shape %v, want (%d,%d)", dst.shape, m, n))
+		}
+		dst.Zero()
+	}
+	AddMatMulT(dst, a, b)
+	return dst
+}
+
+// AddMatMulT computes dst += a·bᵀ (shapes as in MatMulT). Both operand rows
+// are contiguous, so each output element is a single dot product; two dots
+// share each streamed a-row for instruction-level parallelism, and every
+// dot keeps its own sequential accumulator.
+func AddMatMulT(dst, a, b *Tensor) {
+	m, k := mat2(a, "AddMatMulT")
+	n, _ := mat2(b, "AddMatMulT")
+	ad, bd, cd := a.data, b.data, dst.data
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
+			ci := cd[i*n : (i+1)*n]
+			j := 0
+			for ; j+1 < n; j += 2 {
+				b0 := bd[j*k : (j+1)*k]
+				b0 = b0[:len(ai)]
+				b1 := bd[(j+1)*k : (j+2)*k]
+				b1 = b1[:len(ai)]
+				var s0, s1 float64
+				for x, av := range ai {
+					s0 += av * b0[x]
+					s1 += av * b1[x]
+				}
+				ci[j] += s0
+				ci[j+1] += s1
+			}
+			for ; j < n; j++ {
+				bj := bd[j*k : (j+1)*k]
+				bj = bj[:len(ai)]
+				var s float64
+				for x, av := range ai {
+					s += av * bj[x]
+				}
+				ci[j] += s
+			}
+		}
+	})
+}
+
+// MatMulTN computes dst = aᵀ·b for a (K×M) and b (K×N), writing into dst
+// (M×N) and returning it. A nil dst is allocated.
+func MatMulTN(dst, a, b *Tensor) *Tensor {
+	k, m := mat2(a, "MatMulTN")
+	k2, n := mat2(b, "MatMulTN")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTN outer dimension mismatch %vᵀ x %v", a.shape, b.shape))
+	}
+	if dst == nil {
+		dst = New(m, n)
+	} else {
+		dm, dn := mat2(dst, "MatMulTN")
+		if dm != m || dn != n {
+			panic(fmt.Sprintf("tensor: MatMulTN dst shape %v, want (%d,%d)", dst.shape, m, n))
+		}
+		dst.Zero()
+	}
+	AddMatMulTN(dst, a, b)
+	return dst
+}
+
+// AddMatMulTN computes dst += aᵀ·b (shapes as in MatMulTN). Reads of a are
+// column-strided, but each loaded element feeds a full contiguous axpy over
+// a row of b; 2×2 register blocking (two output rows × two k-terms) halves
+// the store traffic.
+func AddMatMulTN(dst, a, b *Tensor) {
+	k, m := mat2(a, "AddMatMulTN")
+	_, n := mat2(b, "AddMatMulTN")
+	ad, bd, cd := a.data, b.data, dst.data
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			ci0 := cd[i*n : (i+1)*n]
+			ci1 := cd[(i+1)*n : (i+2)*n : (i+2)*n]
+			ci1 = ci1[:len(ci0)]
+			kx := 0
+			for ; kx+1 < k; kx += 2 {
+				a00, a01 := ad[kx*m+i], ad[kx*m+i+1]
+				a10, a11 := ad[(kx+1)*m+i], ad[(kx+1)*m+i+1]
+				b0 := bd[kx*n : (kx+1)*n]
+				b0 = b0[:len(ci0)]
+				b1 := bd[(kx+1)*n : (kx+2)*n]
+				b1 = b1[:len(ci0)]
+				for j, bv0 := range b0 {
+					bv1 := b1[j]
+					ci0[j] += a00*bv0 + a10*bv1
+					ci1[j] += a01*bv0 + a11*bv1
+				}
+			}
+			for ; kx < k; kx++ {
+				a0, a1 := ad[kx*m+i], ad[kx*m+i+1]
+				bk := bd[kx*n : (kx+1)*n]
+				bk = bk[:len(ci0)]
+				for j, bv := range bk {
+					ci0[j] += a0 * bv
+					ci1[j] += a1 * bv
+				}
+			}
+		}
+		for ; i < hi; i++ {
+			ci := cd[i*n : (i+1)*n]
+			kx := 0
+			for ; kx+1 < k; kx += 2 {
+				a0, a1 := ad[kx*m+i], ad[(kx+1)*m+i]
+				b0 := bd[kx*n : (kx+1)*n]
+				b0 = b0[:len(ci)]
+				b1 := bd[(kx+1)*n : (kx+2)*n]
+				b1 = b1[:len(ci)]
+				for j, bv0 := range b0 {
+					ci[j] += a0*bv0 + a1*b1[j]
+				}
+			}
+			for ; kx < k; kx++ {
+				av := ad[kx*m+i]
+				if av == 0 {
+					continue
+				}
+				bk := bd[kx*n : (kx+1)*n]
+				bk = bk[:len(ci)]
+				for j, bv := range bk {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}

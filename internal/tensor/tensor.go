@@ -82,6 +82,33 @@ func (t *Tensor) offset(idx []int) int {
 	return off
 }
 
+// View returns a tensor sharing t's storage under a new shape. The element
+// count must match; mutations through either tensor are visible to both.
+func (t *Tensor) View(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: view shape %v does not match length %d", shape, len(t.data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// Row returns a vector view of row i of a rank-2 tensor (shared storage).
+func (t *Tensor) Row(i int) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Row wants a rank-2 tensor, got shape %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if i < 0 || i >= rows {
+		panic(fmt.Sprintf("tensor: row %d out of range for shape %v", i, t.shape))
+	}
+	return &Tensor{shape: []int{cols}, data: t.data[i*cols : (i+1)*cols : (i+1)*cols]}
+}
+
 // Clone returns a deep copy of t.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.shape...)
