@@ -1,11 +1,16 @@
 // Command fedclient joins a fedserve task as one client: each round it
-// downloads the global model, trains locally with the chosen privacy method,
-// and uploads its (possibly sanitized) update.
+// downloads the global model, trains locally with the chosen privacy
+// method, and uploads its (possibly sanitized, possibly sparse-encoded)
+// update. Transient failures — the server restarting, a missed round, a
+// dropped connection — are retried with exponential backoff instead of
+// killing the client; it exits cleanly when the server answers that no
+// further rounds remain.
 //
 //	fedclient -addr 127.0.0.1:7070 -dataset cancer -id 0 -method fedcdp -rounds 5
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,9 @@ func main() {
 	sigma := flag.Float64("sigma", 0.06, "noise scale")
 	secure := flag.Bool("secure", false, "encrypted channel (must match server)")
 	seed := flag.Int64("seed", 42, "root seed (must match server for data)")
+	minBackoff := flag.Duration("backoff", 100*time.Millisecond, "initial reconnect backoff")
+	maxBackoff := flag.Duration("max-backoff", 10*time.Second, "reconnect backoff cap")
+	giveUp := flag.Duration("give-up", 2*time.Minute, "exit after this long without a successful round (0 = retry forever)")
 	flag.Parse()
 
 	spec, err := dataset.Get(*dsName)
@@ -40,23 +48,40 @@ func main() {
 	}
 
 	fmt.Printf("fedclient %d: joining %s as %s\n", *id, *addr, strat.Name())
-	for round := 0; round < *rounds; round++ {
-		var err error
-		for attempt := 0; attempt < 20; attempt++ {
-			if *secure {
-				err = fl.RunSecureRemoteClient(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed)
-			} else {
-				err = fl.RunRemoteClient(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed)
-			}
-			if err == nil {
-				break
-			}
-			time.Sleep(100 * time.Millisecond) // server between rounds
+	backoff := *minBackoff
+	lastSuccess := time.Now()
+	for done := 0; done < *rounds; {
+		if *secure {
+			err = fl.RunSecureRemoteClient(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed)
+		} else {
+			err = fl.RunRemoteClient(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed)
 		}
-		if err != nil {
-			fatal(fmt.Errorf("round %d: %w", round, err))
+		switch {
+		case err == nil:
+			done++
+			backoff = *minBackoff
+			lastSuccess = time.Now()
+			fmt.Printf("fedclient %d: update %d/%d sent\n", *id, done, *rounds)
+		case errors.Is(err, fl.ErrRoundClosed):
+			// The server answered explicitly that no round remains — a
+			// clean end of task, not a failure.
+			fmt.Printf("fedclient %d: server finished after %d updates\n", *id, done)
+			return
+		default:
+			// Dial errors, EOFs and resets from a restarting server,
+			// missed rounds: survive them all and retry with exponential
+			// backoff. A server that shuts down can only answer sessions
+			// it already accepted, so -give-up bounds how long a client
+			// keeps probing a peer that went away for good.
+			if *giveUp > 0 && time.Since(lastSuccess) > *giveUp {
+				fatal(fmt.Errorf("giving up after %v without a successful round: %w", *giveUp, err))
+			}
+			fmt.Printf("fedclient %d: %v — retrying in %v\n", *id, err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > *maxBackoff {
+				backoff = *maxBackoff
+			}
 		}
-		fmt.Printf("fedclient %d: round %d update sent\n", *id, round)
 	}
 	fmt.Printf("fedclient %d: done\n", *id)
 }

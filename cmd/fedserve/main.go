@@ -1,15 +1,19 @@
 // Command fedserve runs a real federated-learning server over TCP: it
-// publishes the global model to connecting clients each round, aggregates
-// their updates with FedSGD, evaluates, and prints progress. Pair it with
-// cmd/fedclient processes (optionally on other machines).
+// publishes the global model to concurrently handled client sessions each
+// round, folds their updates into a FedSGD aggregator as they arrive
+// (O(model) server memory regardless of cohort size), evaluates, and
+// prints progress. Rounds can run against a straggler deadline and a
+// minimum quorum. Pair it with cmd/fedclient processes (optionally on
+// other machines).
 //
-//	fedserve -addr :7070 -dataset cancer -kt 3 -rounds 5 -secure
+//	fedserve -addr :7070 -dataset cancer -kt 3 -rounds 5 -deadline 30s -quorum 2 -secure
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/fl"
@@ -25,6 +29,8 @@ func main() {
 	batch := flag.Int("batch", 0, "local batch size (0 = benchmark default)")
 	iters := flag.Int("iters", 10, "local iterations")
 	lr := flag.Float64("lr", 0, "learning rate (0 = benchmark default)")
+	deadline := flag.Duration("deadline", 0, "per-round straggler cutoff (0 = wait for all kt updates)")
+	quorum := flag.Int("quorum", 0, "minimum updates required to commit a round")
 	secure := flag.Bool("secure", false, "encrypt the channel (X25519 + AES-GCM)")
 	seed := flag.Int64("seed", 42, "root seed")
 	flag.Parse()
@@ -39,6 +45,9 @@ func main() {
 	if *lr == 0 {
 		*lr = spec.LR
 	}
+	if *quorum < 0 || *quorum > *kt {
+		fatal(fmt.Errorf("quorum %d outside [0, kt=%d]", *quorum, *kt))
+	}
 	ds := dataset.New(spec, *seed)
 	model := nn.Build(spec.ModelSpec(), tensor.Split(*seed, 1))
 	valX, valY := ds.Validation(200)
@@ -49,18 +58,28 @@ func main() {
 	}
 	srv.Secure = *secure
 	defer srv.Close()
-	fmt.Printf("fedserve: %s on %s (secure=%v), %d rounds, %d clients/round\n",
-		*dsName, srv.Addr(), *secure, *rounds, *kt)
+	fmt.Printf("fedserve: %s on %s (secure=%v), %d rounds, %d clients/round, deadline=%v, quorum=%d\n",
+		*dsName, srv.Addr(), *secure, *rounds, *kt, *deadline, *quorum)
 
 	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds}
+	agg := fl.NewFedSGD()
 	for round := 0; round < *rounds; round++ {
-		deltas, err := srv.RunRound(round, model.Params(), cfg, *kt)
+		start := time.Now()
+		res, err := srv.StreamRound(round, model.Params(), cfg, agg, fl.RoundOptions{
+			Clients:   *kt,
+			Deadline:  *deadline,
+			MinQuorum: *quorum,
+		})
 		if err != nil {
 			fatal(fmt.Errorf("round %d: %w", round, err))
 		}
-		fl.AggregateFedSGD(model.Params(), deltas)
 		acc := fl.Evaluate(model, valX, valY)
-		fmt.Printf("round %d: %d updates aggregated, accuracy %.4f\n", round, len(deltas), acc)
+		status := "committed"
+		if !res.Committed {
+			status = "below quorum — model unchanged"
+		}
+		fmt.Printf("round %d: %d/%d updates folded (%d failed), %s, accuracy %.4f, %.1fs\n",
+			round, res.Folded, *kt, res.Failed, status, acc, time.Since(start).Seconds())
 	}
 	fmt.Println("fedserve: done")
 }

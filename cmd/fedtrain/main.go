@@ -36,6 +36,10 @@ func main() {
 	flag.Float64Var(&cfg.CompressRatio, "compress", 0, "gradient prune ratio (communication-efficient FL)")
 	flag.Float64Var(&cfg.ShareFraction, "share", 0.1, "DSSGD share fraction")
 	flag.StringVar(&cfg.Engine, "engine", "", "execution engine: batched (default) or reference (see DESIGN.md)")
+	flag.StringVar(&cfg.Runtime, "runtime", "", "round runtime: streaming (default) or barrier (see DESIGN.md)")
+	flag.Float64Var(&cfg.DropoutRate, "dropout", 0, "per-round client dropout probability")
+	flag.DurationVar(&cfg.RoundDeadline, "deadline", 0, "per-round straggler cutoff (0 = wait for full cohort)")
+	flag.IntVar(&cfg.MinQuorum, "quorum", 0, "minimum updates required to commit a round")
 	flag.Int64Var(&cfg.Seed, "seed", 42, "root seed")
 	flag.IntVar(&cfg.ValExamples, "val", 300, "validation examples")
 	evalEvery := flag.Int("eval-every", 1, "evaluate every n rounds")

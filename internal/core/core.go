@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"fedcdp/internal/accountant"
 	"fedcdp/internal/dataset"
@@ -67,6 +68,23 @@ type Config struct {
 	// (the default) or fl.EngineReference, the original per-example path
 	// kept for parity checking (see DESIGN.md).
 	Engine string
+
+	// Runtime selects the round orchestration: fl.RuntimeStreaming (the
+	// default) or fl.RuntimeBarrier, the lockstep path kept for parity
+	// checking (see DESIGN.md, "Streaming runtime").
+	Runtime string
+
+	// DropoutRate is the per-round probability that a selected client
+	// fails to report (device churn); see fl.Config.DropoutRate.
+	DropoutRate float64
+
+	// RoundDeadline is the streaming runtime's per-round straggler
+	// cutoff; zero waits for the full cohort.
+	RoundDeadline time.Duration
+
+	// MinQuorum is the minimum folded updates required to commit a round;
+	// a round below quorum leaves the global model unchanged.
+	MinQuorum int
 }
 
 // withDefaults resolves zero fields against the benchmark spec.
@@ -176,6 +194,10 @@ func Run(cfg Config) (*Result, error) {
 		EvalEvery:       cfg.EvalEvery,
 		Parallelism:     cfg.Parallelism,
 		ScheduleHorizon: cfg.PlannedRounds,
+		Runtime:         cfg.Runtime,
+		DropoutRate:     cfg.DropoutRate,
+		RoundDeadline:   cfg.RoundDeadline,
+		MinQuorum:       cfg.MinQuorum,
 	})
 	if err != nil {
 		return nil, err

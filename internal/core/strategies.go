@@ -293,6 +293,11 @@ func (d DSSGD) ClientUpdate(env *fl.ClientEnv) ([]*tensor.Tensor, fl.ClientStats
 // ServerSanitize is a no-op.
 func (DSSGD) ServerSanitize(round int, updates [][]*tensor.Tensor, rng *tensor.RNG) {}
 
+// SparseUpdates implements fl.SparseCapable: sharing a small fraction of
+// the update means most coordinates on the wire are zero, so remote
+// clients ship the sparse encoding (indices + values).
+func (d DSSGD) SparseUpdates() bool { return d.ShareFraction <= 0.5 }
+
 // Compressed wraps any strategy with communication-efficient gradient
 // pruning: after the inner strategy produces its update, the PruneRatio
 // fraction of smallest-magnitude entries is zeroed (Figure 5).
@@ -316,4 +321,14 @@ func (c Compressed) ClientUpdate(env *fl.ClientEnv) ([]*tensor.Tensor, fl.Client
 // ServerSanitize delegates to the inner strategy.
 func (c Compressed) ServerSanitize(round int, updates [][]*tensor.Tensor, rng *tensor.RNG) {
 	c.Inner.ServerSanitize(round, updates, rng)
+}
+
+// SparseUpdates implements fl.SparseCapable: pruning more than half the
+// coordinates makes the sparse wire encoding the smaller one.
+func (c Compressed) SparseUpdates() bool {
+	if c.PruneRatio > 0.5 {
+		return true
+	}
+	sc, ok := c.Inner.(fl.SparseCapable)
+	return ok && sc.SparseUpdates()
 }

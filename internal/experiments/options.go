@@ -13,6 +13,12 @@ import "math"
 type Options struct {
 	Scale float64
 	Seed  int64
+	// Runtime selects fl's round orchestration for every training-based
+	// experiment: "" / fl.RuntimeStreaming (default) or fl.RuntimeBarrier.
+	// Deterministic folding makes the two produce identical reports on
+	// seeded runs — running the suite under both is a whole-system parity
+	// check of the streaming runtime.
+	Runtime string
 }
 
 func (o Options) withDefaults() Options {

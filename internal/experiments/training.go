@@ -34,6 +34,7 @@ func runCfg(o Options, ds, method string) core.Config {
 		ValExamples: o.n(300, 100),
 		EvalEvery:   100, // evaluate final round only
 		Seed:        o.Seed,
+		Runtime:     o.Runtime,
 	}
 }
 

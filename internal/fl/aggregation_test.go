@@ -59,7 +59,11 @@ func TestApplyFedAvgDirect(t *testing.T) {
 	for _, u := range u2 {
 		u.Fill(4)
 	}
-	applyFedAvg(m, [][]*tensor.Tensor{u1, u2})
+	avg := NewFedAvg()
+	avg.Begin(m.Params())
+	avg.Fold(u1)
+	avg.Fold(u2)
+	avg.Commit(m.Params())
 	for i, p := range m.Params() {
 		diff := p.Clone()
 		diff.Sub(before[i])
@@ -69,6 +73,7 @@ func TestApplyFedAvgDirect(t *testing.T) {
 			}
 		}
 	}
-	// Empty update list: unchanged.
-	applyFedAvg(m, nil)
+	// Empty fold: unchanged.
+	avg.Begin(m.Params())
+	avg.Commit(m.Params())
 }

@@ -1,0 +1,213 @@
+package fl
+
+import (
+	"sync"
+
+	"fedcdp/internal/tensor"
+)
+
+// Aggregator is the server-side fold of a federated round: updates are
+// absorbed one at a time the moment they arrive, so server memory stays
+// O(model) regardless of how many clients report (the barrier-era code
+// materialized every update as [][]*tensor.Tensor — O(Kt × model)).
+//
+// Lifecycle per round: Begin(params) resets the accumulator against the
+// current global parameters, Fold(update) absorbs one client update, and
+// Commit(params) applies the aggregate — a no-op when nothing was folded,
+// and skipped entirely by the runtime when the round misses its quorum.
+// Fold is safe for concurrent use (the TCP server folds from concurrent
+// client sessions); note that concurrent folding trades away bit-exact
+// run-to-run reproducibility, which is why the simulator's deterministic
+// mode serializes folds in cohort order (see DESIGN.md).
+type Aggregator interface {
+	Begin(params []*tensor.Tensor)
+	Fold(update []*tensor.Tensor)
+	Count() int
+	Commit(params []*tensor.Tensor)
+}
+
+// FedSGDAggregator folds updates into a running sum and commits
+// W ← W + (1/n)·ΣΔW (Section IV-A). The accumulator buffers are reused
+// across rounds, so steady-state aggregation allocates nothing.
+type FedSGDAggregator struct {
+	mu  sync.Mutex
+	sum []*tensor.Tensor
+	n   int
+}
+
+// NewFedSGD returns an empty FedSGD fold.
+func NewFedSGD() *FedSGDAggregator { return &FedSGDAggregator{} }
+
+// Begin implements Aggregator.
+func (a *FedSGDAggregator) Begin(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sum = resetLike(a.sum, params)
+	a.n = 0
+}
+
+// Fold implements Aggregator.
+func (a *FedSGDAggregator) Fold(update []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tensor.AddAllScaled(a.sum, 1, update)
+	a.n++
+}
+
+// Count implements Aggregator.
+func (a *FedSGDAggregator) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// Commit implements Aggregator.
+func (a *FedSGDAggregator) Commit(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n == 0 {
+		return
+	}
+	tensor.AddAllScaled(params, 1/float64(a.n), a.sum)
+}
+
+// FedAvgAggregator folds client models W + ΔW_k and commits their mean,
+// W ← (1/n)·Σ(W + ΔW_k) — algebraically the same map as FedSGD, the
+// equivalence the paper invokes to treat the two interchangeably.
+type FedAvgAggregator struct {
+	mu   sync.Mutex
+	sum  []*tensor.Tensor
+	base []*tensor.Tensor // W at Begin, added back per fold
+	n    int
+}
+
+// NewFedAvg returns an empty FedAveraging fold.
+func NewFedAvg() *FedAvgAggregator { return &FedAvgAggregator{} }
+
+// Begin implements Aggregator.
+func (a *FedAvgAggregator) Begin(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sum = resetLike(a.sum, params)
+	if geometryMatches(a.base, params) {
+		for i, p := range params {
+			a.base[i].CopyFrom(p)
+		}
+	} else {
+		a.base = tensor.CloneAll(params)
+	}
+	a.n = 0
+}
+
+// Fold implements Aggregator.
+func (a *FedAvgAggregator) Fold(update []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tensor.AddAllScaled(a.sum, 1, a.base)
+	tensor.AddAllScaled(a.sum, 1, update)
+	a.n++
+}
+
+// Count implements Aggregator.
+func (a *FedAvgAggregator) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// Commit implements Aggregator.
+func (a *FedAvgAggregator) Commit(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n == 0 {
+		return
+	}
+	inv := 1 / float64(a.n)
+	for i, p := range params {
+		p.Zero()
+		p.AddScaled(inv, a.sum[i])
+	}
+}
+
+// CollectAggregator retains every folded update — the O(Kt) barrier-era
+// behaviour — for callers that need the raw updates back (RunRound
+// compatibility, inspection, tests). It retains references, not copies.
+type CollectAggregator struct {
+	mu      sync.Mutex
+	updates [][]*tensor.Tensor
+}
+
+// NewCollect returns an empty collecting aggregator.
+func NewCollect() *CollectAggregator { return &CollectAggregator{} }
+
+// Begin implements Aggregator.
+func (a *CollectAggregator) Begin(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.updates = a.updates[:0]
+}
+
+// Fold implements Aggregator.
+func (a *CollectAggregator) Fold(update []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.updates = append(a.updates, update)
+}
+
+// Count implements Aggregator.
+func (a *CollectAggregator) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.updates)
+}
+
+// Commit implements Aggregator: collection never modifies the model.
+func (a *CollectAggregator) Commit(params []*tensor.Tensor) {}
+
+// Updates returns the collected updates in fold order.
+func (a *CollectAggregator) Updates() [][]*tensor.Tensor {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.updates
+}
+
+// geometryMatches reports whether buf can hold params' values tensor for
+// tensor.
+func geometryMatches(buf, params []*tensor.Tensor) bool {
+	if len(buf) != len(params) {
+		return false
+	}
+	for i, t := range buf {
+		if t.Len() != params[i].Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// resetLike returns a zeroed accumulator shaped like params, reusing buf
+// when its geometry already matches.
+func resetLike(buf, params []*tensor.Tensor) []*tensor.Tensor {
+	if geometryMatches(buf, params) {
+		for _, t := range buf {
+			t.Zero()
+		}
+		return buf
+	}
+	return tensor.ZerosLike(params)
+}
+
+// AggregateFedSGD applies FedSGD in place: params ← params + mean(ΔW) over
+// the collected updates (Section IV-A), implemented as a fold over a
+// FedSGDAggregator so batch and streaming callers share one arithmetic
+// (sum first, scale once at commit). It is shared by the in-process
+// simulator and the TCP server (cmd/fedserve). Empty update sets leave the
+// parameters unchanged.
+func AggregateFedSGD(params []*tensor.Tensor, updates [][]*tensor.Tensor) {
+	agg := NewFedSGD()
+	agg.Begin(params)
+	for _, u := range updates {
+		agg.Fold(u)
+	}
+	agg.Commit(params)
+}

@@ -1,0 +1,20 @@
+package fl
+
+import "time"
+
+// Clock supplies time to the round schedulers. The streaming runtime and
+// the TCP server take their deadline timers from a Clock so tests can
+// drive straggler-cutoff and quorum paths deterministically with a fake.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// SystemClock is the real wall clock, the default everywhere a Clock is
+// left nil.
+var SystemClock Clock = systemClock{}

@@ -1,7 +1,8 @@
 // Package fl is the federated-learning substrate: a publish-subscribe style
 // simulation of a federated server and a (possibly very large) population of
-// clients, with FedSGD aggregation, per-round client sampling, parallel local
-// training, and run history collection.
+// clients, with streaming O(model)-memory aggregation (FedSGD/FedAvg folds),
+// per-round client sampling, parallel local training, straggler deadlines,
+// quorum semantics, and run history collection.
 //
 // The privacy behaviour of a run is supplied by a Strategy (implemented in
 // internal/core: non-private, Fed-SDP, Fed-CDP, Fed-CDP(decay), DSSGD); the
@@ -28,6 +29,28 @@ import (
 const (
 	EngineBatched   = "batched"
 	EngineReference = "reference"
+)
+
+// Round runtimes selectable via Config.Runtime. The streaming runtime
+// (default) folds each client update into an Aggregator the moment it
+// arrives — O(model) server memory, per-round deadlines, straggler
+// cutoff and quorum semantics; the barrier runtime is the original
+// lockstep path that materializes the whole cohort before aggregating,
+// kept as the parity reference (see DESIGN.md, "Streaming runtime").
+const (
+	RuntimeStreaming = "streaming"
+	RuntimeBarrier   = "barrier"
+)
+
+// Fold orders selectable via Config.FoldOrder (streaming runtime only).
+// FoldCohort (default) commits updates in cohort order regardless of
+// arrival, which makes seeded runs bit-identical to the barrier runtime;
+// FoldArrival commits in completion order with no reorder buffer —
+// strictly O(model) memory, at the cost of run-to-run floating-point
+// reproducibility.
+const (
+	FoldCohort  = "cohort"
+	FoldArrival = "arrival"
 )
 
 // RoundConfig carries the local-training hyperparameters published by the
@@ -137,6 +160,37 @@ type Config struct {
 	// run that will later be resumed should declare its full planned length
 	// here so schedules are anchored consistently across segments.
 	ScheduleHorizon int
+
+	// Runtime selects the round orchestration: RuntimeStreaming (""
+	// defaults to it) or RuntimeBarrier, the original lockstep path kept
+	// as the parity reference.
+	Runtime string
+
+	// RoundDeadline is the streaming runtime's straggler cutoff, measured
+	// from the round opening: clients that have not delivered by then are
+	// dropped — deadline-based dropout, generalizing DropoutRate's coin
+	// flip to the failure mode real deployments see. Zero waits for the
+	// full cohort.
+	RoundDeadline time.Duration
+
+	// MinQuorum is the minimum number of folded updates required to
+	// commit a round; below it the round leaves the global model
+	// unchanged (RoundStats.Committed records the outcome). Zero commits
+	// whatever arrived.
+	MinQuorum int
+
+	// FoldOrder selects the streaming fold order: FoldCohort ("" defaults
+	// to it, deterministic) or FoldArrival (no reorder buffer).
+	FoldOrder string
+
+	// Clock drives the streaming runtime's deadline timers; nil uses the
+	// system clock. Tests inject fakes to exercise deadline and quorum
+	// paths deterministically.
+	Clock Clock
+
+	// foldHook, when set (tests only), observes every committed fold as
+	// (round, folds so far this round).
+	foldHook func(round, folded int)
 }
 
 // Aggregation rules.
@@ -167,6 +221,14 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: negative start round %d", c.StartRound)
 	case c.Round.Engine != "" && c.Round.Engine != EngineBatched && c.Round.Engine != EngineReference:
 		return fmt.Errorf("fl: unknown execution engine %q", c.Round.Engine)
+	case c.Runtime != "" && c.Runtime != RuntimeStreaming && c.Runtime != RuntimeBarrier:
+		return fmt.Errorf("fl: unknown runtime %q", c.Runtime)
+	case c.FoldOrder != "" && c.FoldOrder != FoldCohort && c.FoldOrder != FoldArrival:
+		return fmt.Errorf("fl: unknown fold order %q", c.FoldOrder)
+	case c.MinQuorum < 0 || c.MinQuorum > c.Kt:
+		return fmt.Errorf("fl: quorum %d outside [0, Kt=%d]", c.MinQuorum, c.Kt)
+	case c.RoundDeadline < 0:
+		return fmt.Errorf("fl: negative round deadline %v", c.RoundDeadline)
 	}
 	return nil
 }
@@ -204,27 +266,27 @@ func Run(cfg Config) (*History, error) {
 
 	serverRNG := tensor.Split(cfg.Seed, 2)
 	workers := newWorkerPool(par, cfg.Model)
+	var agg Aggregator
+	if cfg.Aggregation == AggFedAvg {
+		agg = NewFedAvg()
+	} else {
+		agg = NewFedSGD()
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = SystemClock
+	}
 	for r := 0; r < cfg.Rounds; r++ {
 		round := cfg.StartRound + r
 		cohort := sampleCohort(cfg, round)
 		cohort = dropClients(cfg, round, cohort)
-		updates, stats := trainCohort(cfg, global, cohort, round, workers)
-		cfg.Strategy.ServerSanitize(round, updates, serverRNG)
-		if cfg.Aggregation == AggFedAvg {
-			applyFedAvg(global, updates)
+		var rs RoundStats
+		if cfg.Runtime == RuntimeBarrier {
+			rs = runBarrierRound(cfg, global, cohort, round, workers, serverRNG, agg)
 		} else {
-			applyFedSGD(global, updates)
+			rs = runStreamingRound(cfg, global, cohort, round, workers, serverRNG, agg, clock)
 		}
-
-		rs := RoundStats{Round: round, Clients: len(cohort)}
-		for _, st := range stats {
-			rs.MeanGradNorm += st.MeanGradNorm
-			rs.MsPerIter += st.MsPerIter()
-		}
-		if n := float64(len(stats)); n > 0 {
-			rs.MeanGradNorm /= n
-			rs.MsPerIter /= n
-		}
+		rs.Round = round
 		if round%evalEvery == 0 || r == cfg.Rounds-1 {
 			rs.Accuracy = Evaluate(global, valX, valY)
 			rs.Evaluated = true
@@ -233,6 +295,35 @@ func Run(cfg Config) (*History, error) {
 	}
 	hist.Final = global
 	return hist, nil
+}
+
+// runBarrierRound is the original lockstep round: train the whole cohort,
+// materialize every update, sanitize them as one batch, then aggregate.
+// Kept as the semantic/parity reference for the streaming runtime (the
+// aggregation arithmetic itself is shared — both fold through the same
+// Aggregator).
+func runBarrierRound(cfg Config, global *nn.Model, cohort []int, round int, workers *workerPool, serverRNG *tensor.RNG, agg Aggregator) RoundStats {
+	updates, stats := trainCohort(cfg, global, cohort, round, workers)
+	cfg.Strategy.ServerSanitize(round, updates, serverRNG)
+	params := global.Params()
+	agg.Begin(params)
+	for _, u := range updates {
+		agg.Fold(u)
+	}
+	rs := RoundStats{Clients: len(cohort)}
+	for _, st := range stats {
+		rs.MeanGradNorm += st.MeanGradNorm
+		rs.MsPerIter += st.MsPerIter()
+	}
+	if n := float64(len(stats)); n > 0 {
+		rs.MeanGradNorm /= n
+		rs.MsPerIter /= n
+	}
+	rs.Committed = len(updates) >= cfg.MinQuorum
+	if rs.Committed {
+		agg.Commit(params)
+	}
+	return rs
 }
 
 // sampleCohort picks the participating client IDs for a round.
@@ -324,47 +415,6 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 	}
 	wg.Wait()
 	return updates, stats
-}
-
-// AggregateFedSGD applies FedSGD in place: params ← params + mean(ΔW) over
-// the collected updates (Section IV-A). It is shared by the in-process
-// simulator and the TCP server (cmd/fedserve). Empty update sets leave the
-// parameters unchanged.
-func AggregateFedSGD(params []*tensor.Tensor, updates [][]*tensor.Tensor) {
-	n := float64(len(updates))
-	if n == 0 {
-		return
-	}
-	for _, u := range updates {
-		tensor.AddAllScaled(params, 1/n, u)
-	}
-}
-
-// applyFedSGD performs W ← W + (1/Kt)·ΣΔW (Section IV-A).
-func applyFedSGD(global *nn.Model, updates [][]*tensor.Tensor) {
-	AggregateFedSGD(global.Params(), updates)
-}
-
-// applyFedAvg performs W ← (1/Kt)·Σ(W + ΔW_k), i.e. averages the client
-// models directly. With update-style messages this is algebraically the
-// same map as applyFedSGD — the equivalence the paper invokes to treat the
-// two interchangeably.
-func applyFedAvg(global *nn.Model, updates [][]*tensor.Tensor) {
-	params := global.Params()
-	n := float64(len(updates))
-	if n == 0 {
-		return
-	}
-	avg := tensor.ZerosLike(params)
-	for _, u := range updates {
-		for i, a := range avg {
-			a.AddScaled(1/n, params[i])
-			a.AddScaled(1/n, u[i])
-		}
-	}
-	for i, p := range params {
-		p.CopyFrom(avg[i])
-	}
 }
 
 // evalChunk bounds the batch width of Evaluate so validation of large sets

@@ -165,7 +165,7 @@ func TestFedSGDAggregationIsMean(t *testing.T) {
 	for _, u := range u2 {
 		u.Fill(4)
 	}
-	applyFedSGD(m, [][]*tensor.Tensor{u1, u2})
+	AggregateFedSGD(m.Params(), [][]*tensor.Tensor{u1, u2})
 	after := m.Params()
 	for i := range after {
 		diff := after[i].Clone()
@@ -182,7 +182,7 @@ func TestApplyFedSGDNoUpdates(t *testing.T) {
 	spec, _ := dataset.Get("cancer")
 	m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
 	before := tensor.CloneAll(m.Params())
-	applyFedSGD(m, nil)
+	AggregateFedSGD(m.Params(), nil)
 	for i, p := range m.Params() {
 		if !p.Equal(before[i], 0) {
 			t.Fatal("empty aggregation must leave model unchanged")

@@ -5,12 +5,20 @@ import "fedcdp/internal/nn"
 // RoundStats records the measurements of one federated round.
 type RoundStats struct {
 	Round        int
-	Clients      int
+	Clients      int     // updates folded into the global model this round
 	Accuracy     float64 // valid when Evaluated
 	Evaluated    bool
 	MeanGradNorm float64 // mean per-example pre-clip gradient L2 norm
 	MsPerIter    float64 // mean client wall-clock ms per local iteration
 	Epsilon      float64 // cumulative privacy spending, filled by core
+	// Dropped counts cohort members whose update missed the round — the
+	// streaming runtime's deadline stragglers. Coin-flip dropouts
+	// (DropoutRate) are removed from the cohort before dispatch and are
+	// not counted here.
+	Dropped int
+	// Committed reports whether the round met MinQuorum and its fold was
+	// applied; a round below quorum leaves the global model unchanged.
+	Committed bool
 }
 
 // History is the full record of one simulation run.

@@ -2,25 +2,38 @@ package fl
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/nn"
 	"fedcdp/internal/tensor"
 )
 
-// This file provides a real network deployment of one federated round: a
+// This file provides a real network deployment of federated rounds: a
 // server that pushes global parameters to connecting clients over TCP and
-// collects their updates, with gob wire encoding. The in-process simulator
-// (Run) is the tool for experiments; the RPC path exists so the library can
-// be deployed across processes/machines and is exercised by tests and the
-// quickstart example. The paper assumes the channel itself is encrypted;
-// wrap the listener in crypto/tls for that — the protocol is unchanged.
+// folds their updates into an Aggregator as they arrive, with gob wire
+// encoding (dense or sparse). The in-process simulator (Run) is the tool
+// for experiments; the RPC path exists so the library can be deployed
+// across processes/machines and is exercised by tests, cmd/fedserve and
+// cmd/fedclient. The paper assumes the channel itself is encrypted; set
+// Secure for the X25519/AES-GCM handshake — the protocol above it is
+// unchanged.
+//
+// Protocol: connect → (handshake) → server sends ParamMsg — either the
+// round announcement or an explicit refusal (Denied) when no further
+// round is available — → client sends UpdateMsg (dense Delta or sparse
+// Sparse encoding) → server folds it. Client sessions are handled
+// concurrently: each accepted connection gets its own goroutine, and
+// sessions that arrive between rounds (or find the current round full)
+// wait for the next round instead of being serialized behind an accept
+// loop.
 
-// TensorWire is the gob wire form of a tensor.
+// TensorWire is the dense gob wire form of a tensor.
 type TensorWire struct {
 	Shape []int
 	Data  []float64
@@ -47,27 +60,115 @@ func TensorsFromWire(ws []TensorWire) []*tensor.Tensor {
 	return out
 }
 
-// ParamMsg is the server→client round announcement.
+// ParamMsg is the server→client round announcement — or, with Denied set,
+// the protocol-level "round over" refusal sent to sessions the server can
+// no longer serve, instead of leaving them hanging on a dead socket.
 type ParamMsg struct {
 	Round  int
 	Params []TensorWire
 	Cfg    RoundConfig
+	Denied bool
+	Reason string
 }
 
-// UpdateMsg is the client→server local update.
+// UpdateMsg is the client→server local update. Exactly one of Delta
+// (dense) or Sparse (indices + values) carries the payload; sparse is
+// chosen by the client when most coordinates are zero (DSSGD, top-k
+// compression — see EncodeUpdate).
 type UpdateMsg struct {
 	ClientID int
 	Round    int
 	Delta    []TensorWire
+	Sparse   []SparseTensorWire
 }
 
+// Tensors decodes the update payload, whichever encoding was used.
+func (m *UpdateMsg) Tensors() []*tensor.Tensor {
+	if len(m.Sparse) > 0 {
+		return TensorsFromSparse(m.Sparse)
+	}
+	return TensorsFromWire(m.Delta)
+}
+
+// AckMsg is the server→client receipt for an update: Accepted reports
+// whether the update reached its round before the round closed. A client
+// whose update missed the straggler cutoff learns it here instead of
+// counting a discarded update as a success.
+type AckMsg struct {
+	Accepted bool
+	Reason   string
+}
+
+// ErrRoundClosed is returned by remote clients whose session was refused
+// because the server has no further round for them.
+var ErrRoundClosed = errors.New("fl: round closed by server")
+
 // RoundServer accepts client connections and coordinates federated rounds
-// over TCP. With Secure set, every connection runs the X25519/AES-GCM
-// handshake before the gob protocol (the encrypted channel of the paper's
-// threat model).
+// over TCP. Sessions are handled concurrently; a session that arrives
+// while no round is open waits for the next one (the listen-backlog
+// semantics of the original serial server, made explicit), and is sent a
+// ParamMsg refusal if the server shuts down first. With Secure set
+// (before the first round), every connection runs the X25519/AES-GCM
+// handshake before the gob protocol.
 type RoundServer struct {
 	ln     net.Listener
 	Secure bool
+	// Clock drives round deadlines; nil uses the system clock (tests
+	// inject fakes).
+	Clock Clock
+
+	accept   sync.Once
+	mu       sync.Mutex
+	cond     *sync.Cond
+	cur      *roundState
+	waiting  int
+	closed   bool
+	closedCh chan struct{}
+}
+
+// roundState is one open round: its announcement, admission quota and
+// result stream. results is buffered to the full quota — admitted ≤ max
+// sessions deliver at most once each — so sends under the mutex never
+// block.
+type roundState struct {
+	round    int
+	cfg      RoundConfig
+	wire     []TensorWire
+	max      int
+	admitted int
+	cutoff   time.Time // wall-clock transport deadline; zero = none
+
+	mu      sync.Mutex
+	closed  bool
+	results chan sessionResult
+}
+
+type sessionResult struct {
+	update []*tensor.Tensor
+	err    error
+}
+
+// deliver hands a session's outcome to the round loop. A false return
+// means the round closed first and the update was dropped — the session
+// reports that to its client in the AckMsg, so "sent" never silently
+// diverges from "folded". Delivering under the mutex makes the contract
+// exact: every true-delivery lands in the buffer before close() returns,
+// and the round loop drains that buffer once more after closing.
+func (st *roundState) deliver(res sessionResult) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return false
+	}
+	st.results <- res
+	return true
+}
+
+// close stops further deliveries.
+func (st *roundState) close() {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
 }
 
 // NewRoundServer listens on addr (e.g. "127.0.0.1:0").
@@ -76,7 +177,9 @@ func NewRoundServer(addr string) (*RoundServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fl: listening on %s: %w", addr, err)
 	}
-	return &RoundServer{ln: ln}, nil
+	s := &RoundServer{ln: ln, closedCh: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // NewSecureRoundServer listens on addr with encryption enabled.
@@ -92,67 +195,255 @@ func NewSecureRoundServer(addr string) (*RoundServer, error) {
 // Addr returns the server's listen address.
 func (s *RoundServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting connections.
-func (s *RoundServer) Close() error { return s.ln.Close() }
+// Close stops accepting connections, refuses every waiting session with
+// an explicit round-over message, and aborts any round in flight.
+func (s *RoundServer) Close() error {
+	err := s.ln.Close()
+	s.shutdown()
+	return err
+}
 
-// RunRound serves one federated round: it accepts exactly kt client
-// connections, sends each the global parameters and round config, and
-// collects their updates. Returned deltas are in arrival order.
-func (s *RoundServer) RunRound(round int, params []*tensor.Tensor, cfg RoundConfig, kt int) ([][]*tensor.Tensor, error) {
-	wire := WireFromTensors(params)
-	deltas := make([][]*tensor.Tensor, 0, kt)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make(chan error, kt)
+// shutdown marks the server closed and wakes every waiting session so it
+// can send its refusal.
+func (s *RoundServer) shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.closedCh)
+	s.cond.Broadcast()
+}
 
-	for i := 0; i < kt; i++ {
+// acceptLoop accepts connections for the server's lifetime, one handler
+// goroutine per session. Started lazily on the first round so Secure can
+// be set after construction.
+func (s *RoundServer) acceptLoop() {
+	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("fl: accepting client %d: %w", i, err)
+			s.shutdown()
+			return
 		}
-		wg.Add(1)
-		go func(conn net.Conn) {
-			defer wg.Done()
-			defer conn.Close()
-			var rw io.ReadWriter = conn
-			if s.Secure {
-				sc, err := Handshake(conn)
-				if err != nil {
-					errs <- err
-					return
-				}
-				rw = sc
-			}
-			if err := gob.NewEncoder(rw).Encode(ParamMsg{Round: round, Params: wire, Cfg: cfg}); err != nil {
-				errs <- fmt.Errorf("fl: sending params: %w", err)
-				return
-			}
-			var upd UpdateMsg
-			if err := gob.NewDecoder(rw).Decode(&upd); err != nil {
-				errs <- fmt.Errorf("fl: reading update: %w", err)
-				return
-			}
-			if upd.Round != round {
-				errs <- fmt.Errorf("fl: client answered round %d, want %d", upd.Round, round)
-				return
-			}
-			mu.Lock()
-			deltas = append(deltas, TensorsFromWire(upd.Delta))
-			mu.Unlock()
-		}(conn)
+		go s.handle(conn)
 	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
+}
+
+// admit blocks until the open round has a free slot (reserving it) or the
+// server is closed (nil). A session that finds no open round — or a full
+// one — waits for the next.
+func (s *RoundServer) admit() *roundState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waiting++
+	defer func() { s.waiting-- }()
+	for {
+		if s.closed {
+			return nil
+		}
+		if st := s.cur; st != nil && st.admitted < st.max {
+			st.admitted++
+			return st
+		}
+		s.cond.Wait()
+	}
+}
+
+// waitingSessions reports how many sessions are parked until a round
+// opens (introspection; tests use it to sequence close/denial paths).
+func (s *RoundServer) waitingSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiting
+}
+
+// handle runs one client session end to end. One gob encoder/decoder
+// pair serves the whole session (gob decoders buffer ahead, so a second
+// decoder on the same stream would lose bytes).
+func (s *RoundServer) handle(conn net.Conn) {
+	defer conn.Close()
+	var rw io.ReadWriter = conn
+	if s.Secure {
+		sc, err := Handshake(conn)
 		if err != nil {
-			return nil, err
+			return
+		}
+		rw = sc
+	}
+	enc := gob.NewEncoder(rw)
+	st := s.admit()
+	if st == nil {
+		// Protocol-level "round over": late sessions get an answer, not a
+		// hang or a bare RST.
+		_ = enc.Encode(ParamMsg{Denied: true, Reason: "no further rounds"})
+		return
+	}
+	if !st.cutoff.IsZero() {
+		// Transport safety net for deadline rounds: a client that hangs
+		// after admission must not pin this goroutine and connection
+		// forever. Wall-clock on purpose — it bounds I/O, not the round.
+		_ = conn.SetDeadline(st.cutoff.Add(5 * time.Second))
+	}
+	if err := enc.Encode(ParamMsg{Round: st.round, Params: st.wire, Cfg: st.cfg}); err != nil {
+		st.deliver(sessionResult{err: fmt.Errorf("fl: sending params: %w", err)})
+		return
+	}
+	var upd UpdateMsg
+	if err := gob.NewDecoder(rw).Decode(&upd); err != nil {
+		st.deliver(sessionResult{err: fmt.Errorf("fl: reading update: %w", err)})
+		return
+	}
+	if upd.Round != st.round {
+		st.deliver(sessionResult{err: fmt.Errorf("fl: client answered round %d, want %d", upd.Round, st.round)})
+		_ = enc.Encode(AckMsg{Reason: fmt.Sprintf("round %d is over", upd.Round)})
+		return
+	}
+	if st.deliver(sessionResult{update: upd.Tensors()}) {
+		_ = enc.Encode(AckMsg{Accepted: true})
+	} else {
+		_ = enc.Encode(AckMsg{Reason: "round closed before the update arrived"})
+	}
+}
+
+// RoundOptions configures one streaming round.
+type RoundOptions struct {
+	// Clients is the number of client sessions admitted to the round (Kt).
+	Clients int
+	// Deadline is the straggler cutoff measured from the round opening.
+	// Zero waits until every admitted session resolves — and any session
+	// error then aborts the round, the strict barrier-era contract; with
+	// a deadline set, session errors merely count as failures.
+	Deadline time.Duration
+	// MinQuorum is the minimum folded updates required to commit; below
+	// it the round closes without applying the aggregate.
+	MinQuorum int
+}
+
+// RoundResult reports what a streaming round collected.
+type RoundResult struct {
+	Folded    int
+	Failed    int
+	Committed bool
+}
+
+// StreamRound serves one federated round with O(model) server memory:
+// it announces (round, params, cfg) to up to opt.Clients concurrently
+// handled sessions and folds each update into agg the moment it arrives.
+// On commit (quorum met) the aggregate is applied to params in place.
+func (s *RoundServer) StreamRound(round int, params []*tensor.Tensor, cfg RoundConfig, agg Aggregator, opt RoundOptions) (RoundResult, error) {
+	if opt.Clients <= 0 {
+		return RoundResult{}, fmt.Errorf("fl: streaming round needs a positive client count, got %d", opt.Clients)
+	}
+	s.accept.Do(func() { go s.acceptLoop() })
+
+	st := &roundState{
+		round:   round,
+		cfg:     cfg,
+		wire:    WireFromTensors(params),
+		max:     opt.Clients,
+		results: make(chan sessionResult, opt.Clients),
+	}
+	if opt.Deadline > 0 {
+		st.cutoff = time.Now().Add(opt.Deadline)
+	}
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return RoundResult{}, fmt.Errorf("fl: server closed")
+	case s.cur != nil:
+		s.mu.Unlock()
+		return RoundResult{}, fmt.Errorf("fl: round %d still open", s.cur.round)
+	}
+	s.cur = st
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	closeRound := func() {
+		s.mu.Lock()
+		s.cur = nil
+		s.mu.Unlock()
+		st.close()
+	}
+
+	agg.Begin(params)
+	clock := s.Clock
+	if clock == nil {
+		clock = SystemClock
+	}
+	var deadlineC <-chan time.Time
+	if opt.Deadline > 0 {
+		deadlineC = clock.After(opt.Deadline)
+	}
+
+	var res RoundResult
+	fold := func(r sessionResult) {
+		if r.err != nil {
+			res.Failed++
+			return
+		}
+		agg.Fold(r.update)
+		res.Folded++
+	}
+collect:
+	for res.Folded+res.Failed < opt.Clients {
+		select {
+		case r := <-st.results:
+			if r.err != nil && opt.Deadline == 0 {
+				closeRound()
+				return res, r.err
+			}
+			fold(r)
+		case <-deadlineC:
+			// Straggler cutoff: close the round, then fold whatever was
+			// already delivered (the post-close drain below).
+			break collect
+		case <-s.closedCh:
+			closeRound()
+			return res, fmt.Errorf("fl: server closed during round %d", round)
 		}
 	}
-	return deltas, nil
+	closeRound()
+	// Every acked delivery landed in the buffer before the round closed
+	// (see roundState.deliver); fold the stragglers that made the cut.
+drain:
+	for {
+		select {
+		case r := <-st.results:
+			fold(r)
+		default:
+			break drain
+		}
+	}
+	res.Committed = res.Folded >= opt.MinQuorum
+	if res.Committed {
+		agg.Commit(params)
+	}
+	return res, nil
+}
+
+// RunRound serves one federated round in the barrier-era style: it admits
+// exactly kt client sessions, waits for every update, and returns the
+// materialized deltas in arrival order (any session error aborts the
+// round). Implemented as a StreamRound into a CollectAggregator — callers
+// that can fold incrementally should use StreamRound directly and keep
+// server memory O(model).
+func (s *RoundServer) RunRound(round int, params []*tensor.Tensor, cfg RoundConfig, kt int) ([][]*tensor.Tensor, error) {
+	agg := NewCollect()
+	if _, err := s.StreamRound(round, params, cfg, agg, RoundOptions{Clients: kt}); err != nil {
+		return nil, err
+	}
+	return agg.Updates(), nil
 }
 
 // RunRemoteClient connects to a round server, performs one round of local
-// training with the given strategy, and sends back the update.
+// training with the given strategy, and sends back the update (sparse
+// encoding when the update is mostly zeros). A nil return means the
+// server acknowledged folding the update into its round; an update that
+// missed a straggler cutoff returns an error. The error wraps
+// ErrRoundClosed when the server refuses the session because no further
+// round is available.
 func RunRemoteClient(addr string, clientID int, strat Strategy, data *dataset.ClientData, spec nn.Spec, seed int64) error {
 	return runRemoteClient(addr, clientID, strat, data, spec, seed, false)
 }
@@ -178,9 +469,15 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 		rw = sc
 	}
 
+	// One decoder for the whole session: gob decoders read ahead, so the
+	// params message and the ack must share it.
+	dec := gob.NewDecoder(rw)
 	var pm ParamMsg
-	if err := gob.NewDecoder(rw).Decode(&pm); err != nil {
+	if err := dec.Decode(&pm); err != nil {
 		return fmt.Errorf("fl: reading params: %w", err)
+	}
+	if pm.Denied {
+		return fmt.Errorf("%w: %s", ErrRoundClosed, pm.Reason)
 	}
 	model := nn.Build(spec, tensor.NewRNG(0))
 	model.SetParams(TensorsFromWire(pm.Params))
@@ -196,9 +493,17 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 		Arena:    arena,
 	}
 	delta, _ := strat.ClientUpdate(env)
-	msg := UpdateMsg{ClientID: clientID, Round: pm.Round, Delta: WireFromTensors(delta)}
+	msg := UpdateMsg{ClientID: clientID, Round: pm.Round}
+	msg.Delta, msg.Sparse = EncodeUpdate(delta)
 	if err := gob.NewEncoder(rw).Encode(msg); err != nil {
 		return fmt.Errorf("fl: sending update: %w", err)
+	}
+	var ack AckMsg
+	if err := dec.Decode(&ack); err != nil {
+		return fmt.Errorf("fl: reading update receipt: %w", err)
+	}
+	if !ack.Accepted {
+		return fmt.Errorf("fl: update not folded: %s", ack.Reason)
 	}
 	return nil
 }

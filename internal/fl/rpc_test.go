@@ -77,7 +77,7 @@ func TestRPCRoundOverLoopback(t *testing.T) {
 	}
 	// Aggregation over RPC-collected updates works like the simulator's.
 	before := tensor.CloneAll(model.Params())
-	applyFedSGD(model, deltas)
+	AggregateFedSGD(model.Params(), deltas)
 	moved := false
 	for i, p := range model.Params() {
 		if !p.Equal(before[i], 0) {

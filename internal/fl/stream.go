@@ -1,0 +1,179 @@
+package fl
+
+import (
+	"time"
+
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+// This file implements the streaming round scheduler of the in-process
+// simulator: cohort members are dispatched onto the worker pool and their
+// updates are folded into the round's Aggregator the moment they arrive,
+// so the server side of the simulation holds O(model) update state
+// instead of materializing the whole cohort (O(Kt × model)). A per-round
+// deadline turns stragglers into dropouts — the deployment failure mode
+// that DropoutRate's coin flip only approximates — and a minimum quorum
+// decides whether the round commits at all.
+
+// clientResult carries one finished client's contribution back to the
+// round scheduler. idx is the client's position in the cohort, which the
+// deterministic fold mode uses to commit in cohort order.
+type clientResult struct {
+	idx    int
+	update []*tensor.Tensor
+	stats  ClientStats
+}
+
+// dispatchCohort hands every cohort member to the worker pool and streams
+// results into the (fully buffered) results channel; sends never block,
+// so stragglers cut off by a deadline finish quietly, release their
+// worker, and have their late result ignored with the channel. Once
+// cancel closes (the round is over), members not yet dispatched are
+// skipped entirely — without this, a deadline round would keep training
+// its abandoned tail and starve every following round's workers.
+func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, globalParams []*tensor.Tensor, results chan<- clientResult, cancel <-chan struct{}) {
+	for i, id := range cohort {
+		select {
+		case <-cancel:
+			return
+		default:
+		}
+		w := workers.acquire()
+		select {
+		case <-cancel: // the round ended while waiting for a worker
+			workers.release(w)
+			return
+		default:
+		}
+		go func(i, id int, w *worker) {
+			defer workers.release(w)
+			w.model.SetParams(globalParams)
+			env := &ClientEnv{
+				ClientID: id,
+				Round:    round,
+				Model:    w.model,
+				Data:     cfg.Data.Client(id),
+				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
+				Cfg:      cfg.Round,
+				Arena:    w.arena,
+			}
+			upd, st := cfg.Strategy.ClientUpdate(env)
+			results <- clientResult{idx: i, update: upd, stats: st}
+		}(i, id, w)
+	}
+}
+
+// runStreamingRound executes one round on the streaming runtime and
+// returns its stats (Round is filled by the caller).
+func runStreamingRound(cfg Config, global *nn.Model, cohort []int, round int, workers *workerPool, serverRNG *tensor.RNG, agg Aggregator, clock Clock) RoundStats {
+	params := global.Params()
+	agg.Begin(params)
+
+	rs := RoundStats{}
+	folded := 0
+
+	// commit sanitizes and folds exactly one update; in cohort-order mode
+	// it runs in cohort order, which makes the whole round — including the
+	// serverRNG stream consumed by server-side sanitization — bit-identical
+	// to the barrier runtime on seeded runs.
+	commit := func(res clientResult) {
+		one := [][]*tensor.Tensor{res.update}
+		cfg.Strategy.ServerSanitize(round, one, serverRNG)
+		agg.Fold(one[0])
+		folded++
+		rs.MeanGradNorm += res.stats.MeanGradNorm
+		rs.MsPerIter += res.stats.MsPerIter()
+		if cfg.foldHook != nil {
+			cfg.foldHook(round, folded)
+		}
+	}
+
+	arrival := cfg.FoldOrder == FoldArrival
+	pending := make(map[int]clientResult)
+	next := 0
+	// handle either commits immediately (arrival order, strictly O(model)
+	// memory) or parks out-of-order results until their cohort
+	// predecessors have folded (deterministic order; the reorder buffer is
+	// bounded by the scheduler's out-of-orderness — in practice
+	// Parallelism, in the worst case the cohort).
+	handle := func(res clientResult) {
+		if arrival {
+			commit(res)
+			return
+		}
+		pending[res.idx] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			commit(r)
+		}
+	}
+	// flushPending commits in-order whatever arrived before a cutoff left
+	// holes in the cohort sequence (ascending index keeps it deterministic
+	// given the set of survivors).
+	flushPending := func() {
+		for len(pending) > 0 {
+			for i := next; ; i++ {
+				if r, ok := pending[i]; ok {
+					delete(pending, i)
+					next = i + 1
+					commit(r)
+					break
+				}
+			}
+		}
+	}
+
+	if len(cohort) > 0 {
+		results := make(chan clientResult, len(cohort))
+		cancel := make(chan struct{})
+		defer close(cancel)
+		go dispatchCohort(cfg, cohort, round, workers, tensor.CloneAll(params), results, cancel)
+
+		var deadlineC <-chan time.Time
+		if cfg.RoundDeadline > 0 {
+			deadlineC = clock.After(cfg.RoundDeadline)
+		}
+		received := 0
+	collect:
+		for received < len(cohort) {
+			select {
+			case res := <-results:
+				received++
+				handle(res)
+			case <-deadlineC:
+				// Straggler cutoff: fold everything already delivered,
+				// then close the round. Trainers still running write into
+				// the buffered channel and are ignored.
+				for {
+					select {
+					case res := <-results:
+						received++
+						handle(res)
+					default:
+						flushPending()
+						break collect
+					}
+				}
+			}
+		}
+		flushPending()
+	}
+
+	if n := float64(folded); n > 0 {
+		rs.MeanGradNorm /= n
+		rs.MsPerIter /= n
+	}
+	rs.Clients = folded
+	rs.Dropped = len(cohort) - folded
+	rs.Committed = folded >= cfg.MinQuorum
+	if rs.Committed {
+		agg.Commit(params)
+	}
+	return rs
+}
