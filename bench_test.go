@@ -317,16 +317,108 @@ func BenchmarkPerExampleGradientCNN(b *testing.B) {
 	}
 }
 
-// BenchmarkSanitize measures per-example clip+noise on CNN-sized gradients.
+// BenchmarkSanitize measures clip+noise on CNN-sized gradients across the
+// noise engines: the sequential math/rand reference, the fused counter
+// kernel (serial), and the sharded counter kernel at GOMAXPROCS workers.
+// The acceptance bar for the counter engine is ≥4× over the scalar path on
+// ≥8 cores (the parallel sub-benchmark; the serial counter kernel already
+// wins by fusing the clip scale into the noise traversal and skipping
+// math/rand's stream indirection).
 func BenchmarkSanitize(b *testing.B) {
 	spec, _ := dataset.Get("mnist")
 	m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
 	grads := tensor.CloneAll(m.Grads())
-	rng := tensor.NewRNG(2)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		dp.Sanitize(grads, 4, 6, rng)
+
+	b.Run("reference", func(b *testing.B) {
+		rng := tensor.NewRNG(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.Sanitize(grads, 4, 6, rng)
+		}
+	})
+	b.Run("counter", func(b *testing.B) {
+		noise := tensor.NewCounterRNG(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.SanitizeCounter(grads, 4, 6, noise.Derive(int64(i)))
+		}
+	})
+	b.Run("counter-par", func(b *testing.B) {
+		noise := tensor.NewCounterRNG(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dp.SanitizeCounterPar(grads, 4, 6, noise.Derive(int64(i)), 0)
+		}
+	})
+}
+
+// BenchmarkNoiseEngine establishes the scalar-vs-counter trajectory on the
+// two axes the sanitize pipeline stresses: raw Gaussian throughput over a
+// model-update-sized buffer, and a full Fed-CDP local iteration (batched
+// pass + per-example recovery + fused sanitize of every example). Both
+// counter variants are exact — bit-identical at any worker count — so the
+// speedup column is free of reproducibility tradeoffs.
+func BenchmarkNoiseEngine(b *testing.B) {
+	spec, _ := dataset.Get("mnist")
+	model := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+	n := model.NumParams()
+	buf := tensor.New(n)
+
+	b.Run(fmt.Sprintf("gauss/reference/n=%d", n), func(b *testing.B) {
+		rng := tensor.NewRNG(3)
+		for i := 0; i < b.N; i++ {
+			rng.AddNormal(buf, 1)
+		}
+	})
+	b.Run(fmt.Sprintf("gauss/counter/n=%d", n), func(b *testing.B) {
+		noise := tensor.NewCounterRNG(3)
+		for i := 0; i < b.N; i++ {
+			noise.AddNormalBulk(buf.Data(), uint64(i)*uint64(n), 1)
+		}
+	})
+
+	// One Fed-CDP local iteration at the benchmark batch size, per engine.
+	iteration := func(b *testing.B, noiseEngine string) {
+		m := nn.Build(spec.ModelSpec(), tensor.NewRNG(1))
+		arena := tensor.NewArena()
+		m.UseArena(arena)
+		ds := dataset.New(spec, 1)
+		xs, ys := ds.Client(0).Batch(0, spec.BatchSize)
+		scratch := tensor.ZerosLike(m.Grads())
+		batch := tensor.ZerosLike(m.Grads())
+		bufs := make([][]*tensor.Tensor, len(xs))
+		for i := range bufs {
+			bufs[i] = tensor.ZerosLike(m.Grads())
+		}
+		rng := tensor.NewRNG(4)
+		noise := tensor.NewCounterRNG(4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, t := range batch {
+				t.Zero()
+			}
+			if noiseEngine == fl.NoiseReference {
+				m.BatchGradients(xs, ys, scratch, func(j int, g []*tensor.Tensor) {
+					dp.Sanitize(g, 4, 6, rng)
+					tensor.AddAllScaled(batch, 1/float64(len(xs)), g)
+				})
+				continue
+			}
+			m.BatchPass(xs, ys)
+			dp.SanitizeBatch(dp.BatchSanitizeJob{
+				N:       len(xs),
+				Recover: m.ExampleGrads,
+				Sanitize: func(j int, g []*tensor.Tensor) {
+					dp.SanitizeCounter(g, 4, 6, noise.Derive(int64(i), int64(j)))
+				},
+				Bufs:   bufs,
+				Accum:  batch,
+				Weight: 1 / float64(len(xs)),
+			})
+		}
 	}
+	b.Run("fedcdp-iter/reference", func(b *testing.B) { iteration(b, fl.NoiseReference) })
+	b.Run("fedcdp-iter/counter", func(b *testing.B) { iteration(b, fl.NoiseCounter) })
 }
 
 // BenchmarkRDPAccountant measures a full ε computation over the default

@@ -85,9 +85,9 @@ func main() {
 func sanitizePerExample(gw, gb []*tensor.Tensor, method string, rng *tensor.RNG) {
 	switch method {
 	case "fed-cdp":
-		dp.Sanitize(append(gw, gb...), 4, 6, rng)
+		dp.Sanitize(dp.JoinGrads(gw, gb), 4, 6, rng)
 	case "fed-cdp(decay)":
-		dp.Sanitize(append(gw, gb...), 6, 6, rng)
+		dp.Sanitize(dp.JoinGrads(gw, gb), 6, 6, rng)
 	}
 }
 
@@ -106,9 +106,9 @@ func batchGradients(m *attack.MLP, cd *dataset.ClientData, truth []*tensor.Tenso
 		truth[j], labels[j] = x, y
 		_, w, b := m.Gradients(x, y)
 		if method == "fed-cdp" {
-			dp.Sanitize(append(w, b...), 4, 6, rng)
+			dp.Sanitize(dp.JoinGrads(w, b), 4, 6, rng)
 		} else if method == "fed-cdp(decay)" {
-			dp.Sanitize(append(w, b...), 6, 6, rng)
+			dp.Sanitize(dp.JoinGrads(w, b), 6, 6, rng)
 		}
 		for l := 0; l < L; l++ {
 			gw[l].AddScaled(inv, w[l])
@@ -117,9 +117,9 @@ func batchGradients(m *attack.MLP, cd *dataset.ClientData, truth []*tensor.Tenso
 	}
 	switch method {
 	case "fed-sdp":
-		dp.Sanitize(append(gw, gb...), 4, 6, rng)
+		dp.Sanitize(dp.JoinGrads(gw, gb), 4, 6, rng)
 	case "dssgd":
-		dp.Compress(append(gw, gb...), 0.9)
+		dp.Compress(dp.JoinGrads(gw, gb), 0.9)
 	}
 	return gw, gb
 }

@@ -32,6 +32,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-round straggler cutoff (0 = wait for all kt updates)")
 	quorum := flag.Int("quorum", 0, "minimum updates required to commit a round")
 	secure := flag.Bool("secure", false, "encrypt the channel (X25519 + AES-GCM)")
+	noiseEngine := flag.String("noise-engine", "", "DP noise engine published to clients: counter (default) or reference (see DESIGN.md)")
 	seed := flag.Int64("seed", 42, "root seed")
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 	fmt.Printf("fedserve: %s on %s (secure=%v), %d rounds, %d clients/round, deadline=%v, quorum=%d\n",
 		*dsName, srv.Addr(), *secure, *rounds, *kt, *deadline, *quorum)
 
-	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds}
+	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine}
 	agg := fl.NewFedSGD()
 	for round := 0; round < *rounds; round++ {
 		start := time.Now()

@@ -36,6 +36,7 @@ func main() {
 	flag.Float64Var(&cfg.CompressRatio, "compress", 0, "gradient prune ratio (communication-efficient FL)")
 	flag.Float64Var(&cfg.ShareFraction, "share", 0.1, "DSSGD share fraction")
 	flag.StringVar(&cfg.Engine, "engine", "", "execution engine: batched (default) or reference (see DESIGN.md)")
+	flag.StringVar(&cfg.NoiseEngine, "noise-engine", "", "DP noise engine: counter (default, parallel) or reference (see DESIGN.md)")
 	flag.StringVar(&cfg.Runtime, "runtime", "", "round runtime: streaming (default) or barrier (see DESIGN.md)")
 	flag.Float64Var(&cfg.DropoutRate, "dropout", 0, "per-round client dropout probability")
 	flag.DurationVar(&cfg.RoundDeadline, "deadline", 0, "per-round straggler cutoff (0 = wait for full cohort)")

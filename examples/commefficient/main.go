@@ -59,9 +59,9 @@ func trainWith(method string, ratio float64) float64 {
 func attackCompressed(m *attack.MLP, x *tensor.Tensor, y int, ratio float64, sanitized bool) float64 {
 	_, gw, gb := m.Gradients(x, y)
 	if sanitized {
-		dp.Sanitize(append(gw, gb...), 4, 6, tensor.NewRNG(99))
+		dp.Sanitize(dp.JoinGrads(gw, gb), 4, 6, tensor.NewRNG(99))
 	}
-	dp.Compress(append(gw, gb...), ratio)
+	dp.Compress(dp.JoinGrads(gw, gb), ratio)
 	res := attack.Reconstruct(m, gw, gb, []int{y}, []*tensor.Tensor{x},
 		attack.Config{Seed: 3, MaskNonzero: ratio > 0, MaxIters: 200})
 	return res.Distance

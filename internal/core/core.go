@@ -69,6 +69,14 @@ type Config struct {
 	// kept for parity checking (see DESIGN.md).
 	Engine string
 
+	// NoiseEngine selects the DP noise source: fl.NoiseCounter (the
+	// default) keys every Gaussian draw to (round, client, iteration,
+	// example, layer, offset) so sanitization parallelizes with
+	// bit-identical results at any GOMAXPROCS; fl.NoiseReference is the
+	// original sequential math/rand stream kept as the parity oracle
+	// (see DESIGN.md, "Noise engine").
+	NoiseEngine string
+
 	// Runtime selects the round orchestration: fl.RuntimeStreaming (the
 	// default) or fl.RuntimeBarrier, the lockstep path kept for parity
 	// checking (see DESIGN.md, "Streaming runtime").
@@ -183,10 +191,11 @@ func Run(cfg Config) (*Result, error) {
 		Model: spec.ModelSpec(),
 		K:     cfg.K, Kt: cfg.Kt, Rounds: cfg.Rounds,
 		Round: fl.RoundConfig{
-			BatchSize:  cfg.BatchSize,
-			LocalIters: cfg.LocalIters,
-			LR:         cfg.LR,
-			Engine:     cfg.Engine,
+			BatchSize:   cfg.BatchSize,
+			LocalIters:  cfg.LocalIters,
+			LR:          cfg.LR,
+			Engine:      cfg.Engine,
+			NoiseEngine: cfg.NoiseEngine,
 		},
 		Strategy:        strat,
 		Seed:            cfg.Seed,

@@ -25,6 +25,17 @@ import (
 	"fedcdp/internal/tensor"
 )
 
+// sanitizer is the per-example sanitization hook passed to localSGD: fn is
+// invoked with the local iteration and example index of the gradient group
+// it must clip+noise in place. parallel declares fn a pure function of
+// (iter, example, g) — true for counter-engine sanitizers, whose noise is
+// keyed rather than drawn from a mutable stream — which lets the batched
+// engine fan the whole mini-batch's sanitization out over goroutines.
+type sanitizer struct {
+	fn       func(iter, example int, g []*tensor.Tensor)
+	parallel bool
+}
+
 // localSGD runs the shared local-training loop: L iterations of batch SGD
 // where each example's gradient is passed through sanitize (nil for
 // non-private training) before batch averaging. It returns ΔW and stats.
@@ -33,7 +44,7 @@ import (
 // selects fl.EngineReference or the model has custom layers; the reference
 // per-example path is kept verbatim and pinned to the batched path by
 // parity tests (see DESIGN.md, "Execution engine").
-func localSGD(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) ([]*tensor.Tensor, fl.ClientStats) {
+func localSGD(env *fl.ClientEnv, sanitize *sanitizer) ([]*tensor.Tensor, fl.ClientStats) {
 	if env.Cfg.Engine != fl.EngineReference && env.Model.Batched() {
 		return localSGDBatched(env, sanitize)
 	}
@@ -46,7 +57,12 @@ func localSGD(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) ([]*tens
 // only when sanitization or norm statistics need them. All scratch comes
 // from the worker's arena, so steady-state iterations allocate no data
 // buffers.
-func localSGDBatched(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) ([]*tensor.Tensor, fl.ClientStats) {
+//
+// With a parallel sanitizer (counter noise engine) the per-example stage
+// runs through dp.SanitizeBatch: each example is recovered into its own
+// buffer and clip+noised concurrently, then folded in example order — the
+// fused pipeline whose output is bit-identical at any GOMAXPROCS.
+func localSGDBatched(env *fl.ClientEnv, sanitize *sanitizer) ([]*tensor.Tensor, fl.ClientStats) {
 	start := time.Now()
 	model, arena := env.Model, env.Arena
 	model.UseArena(arena)
@@ -54,12 +70,30 @@ func localSGDBatched(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) (
 	var normSum float64
 	var normN int
 
-	scratch := arenaLike(arena, model.Grads())
 	batch := arenaLike(arena, model.Grads())
-	defer func() {
-		arena.Put(scratch...)
-		arena.Put(batch...)
-	}()
+	defer arena.Put(batch...)
+
+	// Streaming scratch for the sequential per-example path, or per-example
+	// buffers for the parallel sanitize pipeline — drawn from the arena once
+	// (batches are always full-size) and reused across iterations.
+	var scratch []*tensor.Tensor
+	var bufs [][]*tensor.Tensor
+	var preNorms []float64
+	if sanitize != nil && sanitize.parallel {
+		bufs = make([][]*tensor.Tensor, env.Cfg.BatchSize)
+		for i := range bufs {
+			bufs[i] = arenaLike(arena, model.Grads())
+		}
+		preNorms = make([]float64, env.Cfg.BatchSize)
+		defer func() {
+			for _, b := range bufs {
+				arena.Put(b...)
+			}
+		}()
+	} else {
+		scratch = arenaLike(arena, model.Grads())
+		defer arena.Put(scratch...)
+	}
 
 	for l := 0; l < env.Cfg.LocalIters; l++ {
 		xs, ys := env.Data.Batch(l, env.Cfg.BatchSize)
@@ -79,16 +113,41 @@ func localSGDBatched(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) (
 		}
 		first := l == 0
 		inv := 1 / float64(len(xs))
-		model.BatchGradients(xs, ys, scratch, func(i int, g []*tensor.Tensor) {
+		if sanitize != nil && sanitize.parallel {
+			iter := l
+			model.BatchPass(xs, ys)
+			job := dp.BatchSanitizeJob{
+				N:       len(xs),
+				Recover: model.ExampleGrads,
+				Sanitize: func(i int, g []*tensor.Tensor) {
+					sanitize.fn(iter, i, g)
+				},
+				Bufs:   bufs,
+				Accum:  batch,
+				Weight: inv,
+			}
 			if first {
-				normSum += tensor.GroupL2Norm(g)
-				normN++
+				job.PreNorms = preNorms
 			}
-			if sanitize != nil {
-				sanitize(g)
+			dp.SanitizeBatch(job)
+			if first {
+				for _, n := range preNorms[:len(xs)] {
+					normSum += n
+				}
+				normN += len(xs)
 			}
-			tensor.AddAllScaled(batch, inv, g)
-		})
+		} else {
+			model.BatchGradients(xs, ys, scratch, func(i int, g []*tensor.Tensor) {
+				if first {
+					normSum += tensor.GroupL2Norm(g)
+					normN++
+				}
+				if sanitize != nil {
+					sanitize.fn(l, i, g)
+				}
+				tensor.AddAllScaled(batch, inv, g)
+			})
+		}
 		model.SGDStep(env.Cfg.LR, batch)
 	}
 
@@ -112,7 +171,7 @@ func arenaLike(a *tensor.Arena, ts []*tensor.Tensor) []*tensor.Tensor {
 // localSGDReference is the original per-example implementation, retained as
 // the semantic reference for the batched engine (selected by
 // fl.EngineReference and used as the oracle in parity tests).
-func localSGDReference(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor)) ([]*tensor.Tensor, fl.ClientStats) {
+func localSGDReference(env *fl.ClientEnv, sanitize *sanitizer) ([]*tensor.Tensor, fl.ClientStats) {
 	start := time.Now()
 	global := tensor.CloneAll(env.Model.Params())
 	var normSum float64
@@ -144,7 +203,7 @@ func localSGDReference(env *fl.ClientEnv, sanitize func(grads []*tensor.Tensor))
 				normN++
 			}
 			if sanitize != nil {
-				sanitize(g)
+				sanitize.fn(l, j, g)
 			}
 			tensor.AddAllScaled(batch, 1/float64(len(xs)), g)
 		}
@@ -169,6 +228,21 @@ func (NonPrivate) Name() string { return "non-private" }
 // ClientUpdate runs plain local SGD.
 func (NonPrivate) ClientUpdate(env *fl.ClientEnv) ([]*tensor.Tensor, fl.ClientStats) {
 	return localSGD(env, nil)
+}
+
+// Noise stream purpose labels under a client's counter noise key: the first
+// Derive label separates the per-example sanitize streams from the
+// whole-update stream, so the two can never collide whatever the iteration
+// and example indices (see DESIGN.md, "Noise engine").
+const (
+	noisePerExample = 1
+	noiseUpdate     = 2
+)
+
+// exampleNoise derives the counter noise stream for one example's
+// sanitization: (client key, per-example purpose, iteration, example).
+func exampleNoise(noise tensor.CounterRNG, iter, example int) tensor.CounterRNG {
+	return noise.Derive(noisePerExample, int64(iter), int64(example))
 }
 
 // ServerSanitize is a no-op.
@@ -208,18 +282,32 @@ func (f FedCDP) Name() string {
 	return "fed-cdp(decay)"
 }
 
-// ClientUpdate runs local SGD with per-example sanitization.
+// ClientUpdate runs local SGD with per-example sanitization. On the counter
+// noise engine each example's clip+noise is a pure function of (round,
+// client, iteration, example), so the batched engine sanitizes the whole
+// mini-batch in parallel; the reference engine consumes env.RNG example by
+// example exactly as the original implementation did.
 func (f FedCDP) ClientUpdate(env *fl.ClientEnv) ([]*tensor.Tensor, fl.ClientStats) {
 	c := f.Clip.Bound(env.Round, env.Cfg.TotalRounds)
+	if noise := env.Noise; noise != nil {
+		if f.FlatClip {
+			return localSGD(env, &sanitizer{parallel: true, fn: func(l, j int, g []*tensor.Tensor) {
+				dp.SanitizeCounterFlat(g, c, f.Sigma, exampleNoise(*noise, l, j))
+			}})
+		}
+		return localSGD(env, &sanitizer{parallel: true, fn: func(l, j int, g []*tensor.Tensor) {
+			dp.SanitizeCounter(g, c, f.Sigma, exampleNoise(*noise, l, j))
+		}})
+	}
 	if f.FlatClip {
-		return localSGD(env, func(g []*tensor.Tensor) {
+		return localSGD(env, &sanitizer{fn: func(l, j int, g []*tensor.Tensor) {
 			dp.ClipFlat(g, c)
 			dp.AddGaussian(g, f.Sigma, c, env.RNG)
-		})
+		}})
 	}
-	return localSGD(env, func(g []*tensor.Tensor) {
+	return localSGD(env, &sanitizer{fn: func(l, j int, g []*tensor.Tensor) {
 		dp.Sanitize(g, c, f.Sigma, env.RNG)
-	})
+	}})
 }
 
 // ServerSanitize is a no-op: all sanitization happens per example on the
@@ -249,17 +337,22 @@ func (f FedSDP) Name() string {
 }
 
 // ClientUpdate runs non-private local SGD; with client-side placement the
-// update is sanitized before leaving the client.
+// update is sanitized before leaving the client — sharded across cores on
+// the counter noise engine (the update spans the whole model).
 func (f FedSDP) ClientUpdate(env *fl.ClientEnv) ([]*tensor.Tensor, fl.ClientStats) {
 	delta, stats := localSGD(env, nil)
 	if !f.AtServer {
-		dp.Sanitize(delta, f.C, f.Sigma, env.RNG)
+		if env.Noise != nil {
+			dp.SanitizeCounterPar(delta, f.C, f.Sigma, env.Noise.Derive(noiseUpdate), 0)
+		} else {
+			dp.Sanitize(delta, f.C, f.Sigma, env.RNG)
+		}
 	}
 	return delta, stats
 }
 
 // ServerSanitize clips and noises each collected per-client update when
-// AtServer is set.
+// AtServer is set (reference noise engine: sequential serverRNG stream).
 func (f FedSDP) ServerSanitize(round int, updates [][]*tensor.Tensor, rng *tensor.RNG) {
 	if !f.AtServer {
 		return
@@ -267,6 +360,18 @@ func (f FedSDP) ServerSanitize(round int, updates [][]*tensor.Tensor, rng *tenso
 	for _, u := range updates {
 		dp.Sanitize(u, f.C, f.Sigma, rng)
 	}
+}
+
+var _ fl.CounterSanitizer = FedSDP{}
+
+// ServerSanitizeCounter is the counter-engine server-side sanitization:
+// update idx draws from its own stream keyed by cohort position, so the
+// streaming runtime may sanitize in any arrival order deterministically.
+func (f FedSDP) ServerSanitizeCounter(round, idx int, update []*tensor.Tensor, noise tensor.CounterRNG) {
+	if !f.AtServer {
+		return
+	}
+	dp.SanitizeCounterPar(update, f.C, f.Sigma, noise.Derive(int64(idx)), 0)
 }
 
 // DSSGD is the distributed selective SGD baseline: clients train
@@ -321,6 +426,20 @@ func (c Compressed) ClientUpdate(env *fl.ClientEnv) ([]*tensor.Tensor, fl.Client
 // ServerSanitize delegates to the inner strategy.
 func (c Compressed) ServerSanitize(round int, updates [][]*tensor.Tensor, rng *tensor.RNG) {
 	c.Inner.ServerSanitize(round, updates, rng)
+}
+
+var _ fl.CounterSanitizer = Compressed{}
+
+// ServerSanitizeCounter delegates counter-engine server sanitization to the
+// inner strategy. Inner strategies without counter support get their plain
+// ServerSanitize with a nil RNG — every such strategy in this package
+// ignores the stream entirely (their server step is a no-op).
+func (c Compressed) ServerSanitizeCounter(round, idx int, update []*tensor.Tensor, noise tensor.CounterRNG) {
+	if cs, ok := c.Inner.(fl.CounterSanitizer); ok {
+		cs.ServerSanitizeCounter(round, idx, update, noise)
+		return
+	}
+	c.Inner.ServerSanitize(round, [][]*tensor.Tensor{update}, nil)
 }
 
 // SparseUpdates implements fl.SparseCapable: pruning more than half the

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"fedcdp/internal/tensor"
 )
@@ -153,25 +154,28 @@ func MedianNorm(norms []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// compressScratch recycles the |g| working buffer across Compress calls.
+// Compress runs concurrently on many client goroutines (DSSGD shares and
+// the compression wrapper both prune inside ClientUpdate), so the scratch
+// is pooled rather than package-global.
+var compressScratch = sync.Pool{New: func() any { s := make([]float64, 0, 1024); return &s }}
+
 // Compress zeroes the fraction `pruneRatio` of smallest-magnitude entries
 // across the gradient group, the magnitude-based pruning used by the
-// communication-efficient FL protocol in Figure 5. Returns the number of
-// entries kept.
+// communication-efficient FL protocol in Figure 5. Exactly
+// ⌊pruneRatio·total⌋ entries are zeroed: magnitudes strictly below the
+// cutoff always prune, and ties at the cutoff prune in scan order until the
+// count is reached (a full sort previously zeroed every tied entry,
+// over-pruning uniform gradients). The cutoff is found with quickselect —
+// O(n) instead of O(n log n) — over a pooled scratch buffer, so steady-state
+// calls allocate nothing. Returns the number of entries kept.
 func Compress(grads []*tensor.Tensor, pruneRatio float64) int {
-	if pruneRatio <= 0 {
-		n := 0
-		for _, g := range grads {
-			n += g.Len()
-		}
-		return n
-	}
-	var all []float64
 	total := 0
 	for _, g := range grads {
-		for _, v := range g.Data() {
-			all = append(all, math.Abs(v))
-		}
 		total += g.Len()
+	}
+	if pruneRatio <= 0 || total == 0 {
+		return total
 	}
 	if pruneRatio >= 1 {
 		for _, g := range grads {
@@ -179,22 +183,108 @@ func Compress(grads []*tensor.Tensor, pruneRatio float64) int {
 		}
 		return 0
 	}
-	sort.Float64s(all)
 	k := int(pruneRatio * float64(total))
 	if k <= 0 {
 		return total
 	}
-	threshold := all[k-1]
-	kept := 0
+
+	sp := compressScratch.Get().(*[]float64)
+	all := (*sp)[:0]
+	for _, g := range grads {
+		for _, v := range g.Data() {
+			a := math.Abs(v)
+			if a != a {
+				// NaN (diverged training) ranks as un-prunable: quickselect's
+				// partition would loop past the slice on unordered values.
+				a = math.Inf(1)
+			}
+			all = append(all, a)
+		}
+	}
+	// k-th smallest magnitude (0-based k-1) is the prune cutoff.
+	threshold := quickselect(all, k-1)
+	// Count strict-below entries to know how many ties at the cutoff must
+	// also go for the pruned count to be exactly k.
+	below := 0
+	for _, v := range all {
+		if v < threshold {
+			below++
+		}
+	}
+	*sp = all
+	compressScratch.Put(sp)
+
+	ties := k - below
 	for _, g := range grads {
 		d := g.Data()
 		for i, v := range d {
-			if math.Abs(v) <= threshold {
+			a := math.Abs(v)
+			if a < threshold {
 				d[i] = 0
-			} else {
-				kept++
+			} else if a == threshold && ties > 0 {
+				d[i] = 0
+				ties--
 			}
 		}
 	}
-	return kept
+	return total - k
+}
+
+// quickselect returns the k-th smallest element (0-based) of a, partially
+// reordering a in place. Median-of-three pivoting keeps the expected cost
+// O(n) with no randomness, so compression stays deterministic.
+func quickselect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		// Median-of-three: order a[lo] ≤ a[mid] ≤ a[hi], pivot at a[mid].
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		// Hoare partition.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if a[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if a[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return a[lo]
+}
+
+// JoinGrads returns a freshly backed slice holding ws followed by bs, for
+// sanitizing weight and bias gradients as one group. Callers previously
+// spelled this append(ws, bs...), which silently overwrites neighbouring
+// entries of ws's backing array whenever ws is a reslice with spare
+// capacity; the explicit make+copy can never alias its inputs.
+func JoinGrads(ws, bs []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ws)+len(bs))
+	copy(out, ws)
+	copy(out[len(ws):], bs)
+	return out
 }

@@ -2,6 +2,7 @@ package dp
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -223,6 +224,136 @@ func TestCompressAcrossLayers(t *testing.T) {
 	}
 	if a.At(1) != 0 || b.At(0) != 0 {
 		t.Fatal("small entries must be pruned cross-layer")
+	}
+}
+
+func TestCompressExactCountOnTies(t *testing.T) {
+	// Every entry tied at the cutoff: exactly k must prune, not all of them
+	// (the sort-based implementation zeroed the whole gradient here).
+	g := tensor.FromSlice([]float64{1, 1, 1, 1}, 4)
+	if kept := Compress([]*tensor.Tensor{g}, 0.5); kept != 2 {
+		t.Fatalf("uniform ties kept %d, want exactly 2", kept)
+	}
+	nonzero := 0
+	for _, v := range g.Data() {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 2 {
+		t.Fatalf("uniform ties left %d nonzero, want 2", nonzero)
+	}
+	// Ties prune in scan order: the earliest tied entries go first.
+	h := tensor.FromSlice([]float64{2, 5, 2, 3, 2}, 5)
+	if kept := Compress([]*tensor.Tensor{h}, 0.4); kept != 3 {
+		t.Fatalf("kept %d, want 3", kept)
+	}
+	want := []float64{0, 5, 0, 3, 2}
+	for i, v := range h.Data() {
+		if v != want[i] {
+			t.Fatalf("tie scan order: got %v, want %v", h.Data(), want)
+		}
+	}
+}
+
+func TestCompressNaNGradients(t *testing.T) {
+	// Diverged training can hand Compress NaN gradients; they must rank as
+	// un-prunable (kept) without panicking the quickselect partition.
+	nan := math.NaN()
+	g := tensor.FromSlice([]float64{0.1, nan, 3, 0.2, nan, 1}, 6)
+	kept := Compress([]*tensor.Tensor{g}, 0.5)
+	if kept != 3 {
+		t.Fatalf("kept %d, want 3", kept)
+	}
+	d := g.Data()
+	if d[0] != 0 || d[3] != 0 {
+		t.Fatal("smallest finite magnitudes must be pruned")
+	}
+	if !math.IsNaN(d[1]) || !math.IsNaN(d[4]) || d[2] != 3 {
+		t.Fatal("NaN and large entries must survive")
+	}
+}
+
+func TestCompressPropertyExactCount(t *testing.T) {
+	f := func(seed int64, ratioRaw uint8) bool {
+		rng := tensor.NewRNG(seed)
+		ratio := float64(ratioRaw%99+1) / 100
+		a := tensor.New(37)
+		b := tensor.New(64)
+		rng.FillNormal(a, 0, 1)
+		rng.FillNormal(b, 0, 1)
+		// Inject duplicates so tie handling is exercised.
+		copy(b.Data()[:10], a.Data()[:10])
+		total := a.Len() + b.Len()
+		k := int(ratio * float64(total))
+		kept := Compress([]*tensor.Tensor{a, b}, ratio)
+		if kept != total-k {
+			return false
+		}
+		nonzero := 0
+		for _, g := range []*tensor.Tensor{a, b} {
+			for _, v := range g.Data() {
+				if v != 0 {
+					nonzero++
+				}
+			}
+		}
+		// Zeros may pre-exist only if the gradient had them; FillNormal
+		// essentially never produces exact zeros, so counts must agree.
+		return nonzero == kept
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickselectMatchesSort(t *testing.T) {
+	f := func(seed int64, kRaw uint8, shape uint8) bool {
+		rng := tensor.NewRNG(seed)
+		n := int(kRaw)%100 + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Normal(0, 1)
+		}
+		switch shape % 4 {
+		case 1: // sorted
+			sort.Float64s(vals)
+		case 2: // reversed
+			sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+		case 3: // heavy duplicates
+			for i := range vals {
+				vals[i] = float64(int(vals[i]*2)) / 2
+			}
+		}
+		k := int(seed%int64(n)+int64(n)) % n
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return quickselect(vals, k) == sorted[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinGradsNoAliasing(t *testing.T) {
+	// Build gw as a reslice with spare capacity so append(gw, gb...) would
+	// overwrite backing[2] — the aliasing bug JoinGrads exists to prevent.
+	backing := make([]*tensor.Tensor, 3)
+	for i := range backing {
+		backing[i] = tensor.FromSlice([]float64{float64(i)}, 1)
+	}
+	gw := backing[:2]
+	gb := []*tensor.Tensor{tensor.FromSlice([]float64{9}, 1)}
+	joined := JoinGrads(gw, gb)
+	if len(joined) != 3 || joined[0] != gw[0] || joined[1] != gw[1] || joined[2] != gb[0] {
+		t.Fatal("JoinGrads must concatenate in order")
+	}
+	if backing[2].At(0) != 2 {
+		t.Fatal("JoinGrads must not write through the source backing array")
+	}
+	joined[0] = nil
+	if gw[0] == nil {
+		t.Fatal("JoinGrads result must not share backing with its inputs")
 	}
 }
 

@@ -34,9 +34,9 @@ func leakType2(m *attack.MLP, x *tensor.Tensor, label int, method string, rng *t
 	_, gw, gb = m.Gradients(x, label)
 	switch method {
 	case "fed-cdp":
-		dp.Sanitize(append(gw, gb...), attackClip, attackSigma, rng)
+		dp.Sanitize(dp.JoinGrads(gw, gb), attackClip, attackSigma, rng)
 	case "fed-cdp(decay)":
-		dp.Sanitize(append(gw, gb...), decayClip0, attackSigma, rng)
+		dp.Sanitize(dp.JoinGrads(gw, gb), decayClip0, attackSigma, rng)
 	}
 	// non-private, fed-sdp, dssgd: per-example gradients leak raw.
 	return gw, gb
@@ -56,10 +56,10 @@ func leakType01(m *attack.MLP, xs []*tensor.Tensor, labels []int, method string,
 	for j, x := range xs {
 		_, w, b := m.Gradients(x, labels[j])
 		if method == "fed-cdp" {
-			dp.Sanitize(append(w, b...), attackClip, attackSigma, rng)
+			dp.Sanitize(dp.JoinGrads(w, b), attackClip, attackSigma, rng)
 		}
 		if method == "fed-cdp(decay)" {
-			dp.Sanitize(append(w, b...), decayClip0, attackSigma, rng)
+			dp.Sanitize(dp.JoinGrads(w, b), decayClip0, attackSigma, rng)
 		}
 		for l := 0; l < L; l++ {
 			gw[l].AddScaled(inv, w[l])
@@ -68,9 +68,9 @@ func leakType01(m *attack.MLP, xs []*tensor.Tensor, labels []int, method string,
 	}
 	switch method {
 	case "fed-sdp": // client-side sanitization of the shared update
-		dp.Sanitize(append(gw, gb...), attackClip, attackSigma, rng)
+		dp.Sanitize(dp.JoinGrads(gw, gb), attackClip, attackSigma, rng)
 	case "dssgd":
-		dp.Compress(append(gw, gb...), 0.9) // share top 10%
+		dp.Compress(dp.JoinGrads(gw, gb), 0.9) // share top 10%
 	}
 	return gw, gb
 }
@@ -331,7 +331,7 @@ func Fig5(o Options) (*Report, error) {
 			// Type-2 attack on the compressed per-example gradient.
 			noise := tensor.Split(o.Seed, 12, int64(ratio*100))
 			gw, gb := leakType2(m, x0, y0, methodLabel(method), noise)
-			dp.Compress(append(gw, gb...), ratio)
+			dp.Compress(dp.JoinGrads(gw, gb), ratio)
 			ares := attack.Reconstruct(m, gw, gb, []int{y0}, []*tensor.Tensor{x0},
 				attack.Config{MaxIters: maxIters, Seed: o.Seed, MaskNonzero: ratio > 0})
 			distRow = append(distRow, f4(ares.Distance))

@@ -19,6 +19,10 @@ type Options struct {
 	// seeded runs — running the suite under both is a whole-system parity
 	// check of the streaming runtime.
 	Runtime string
+	// NoiseEngine selects the DP noise source for every training-based
+	// experiment: "" / fl.NoiseCounter (default, parallel) or
+	// fl.NoiseReference, the sequential stream kept as the parity oracle.
+	NoiseEngine string
 }
 
 func (o Options) withDefaults() Options {

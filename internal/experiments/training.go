@@ -35,6 +35,7 @@ func runCfg(o Options, ds, method string) core.Config {
 		EvalEvery:   100, // evaluate final round only
 		Seed:        o.Seed,
 		Runtime:     o.Runtime,
+		NoiseEngine: o.NoiseEngine,
 	}
 }
 

@@ -42,6 +42,41 @@ const (
 	RuntimeBarrier   = "barrier"
 )
 
+// Noise engines selectable via RoundConfig.NoiseEngine. The counter engine
+// (default) keys every Gaussian draw to (seed, round, client, iteration,
+// example, layer, offset) via tensor.CounterRNG, so sanitization of a whole
+// mini-batch fans out over goroutines with bit-identical results at any
+// GOMAXPROCS; the reference engine is the original sequential math/rand
+// stream, kept as the parity oracle (see DESIGN.md, "Noise engine").
+const (
+	NoiseCounter   = "counter"
+	NoiseReference = "reference"
+)
+
+// Reserved Split/CounterRNG label spaces under the root seed. Labels 1–5
+// are claimed by model init, the server RNG, cohort sampling, client RNG
+// streams and dropout coins (see the Split call sites); the counter noise
+// engine claims 6 (client-side streams) and 7 (server-side streams).
+const (
+	noiseLabelClient = 6
+	noiseLabelServer = 7
+)
+
+// ClientNoise returns the counter noise generator for one client's round:
+// the root of the per-example and per-update key schedule. Exposed so remote
+// clients (rpc.go) and tests derive exactly the stream the simulator uses.
+func ClientNoise(seed int64, round, clientID int) tensor.CounterRNG {
+	return tensor.NewCounterRNG(seed, noiseLabelClient, int64(round), int64(clientID))
+}
+
+// ServerNoise returns the counter noise generator for one round's
+// server-side sanitization; per-update streams are derived from the
+// update's cohort position, so folds are deterministic in any arrival
+// order.
+func ServerNoise(seed int64, round int) tensor.CounterRNG {
+	return tensor.NewCounterRNG(seed, noiseLabelServer, int64(round))
+}
+
 // Fold orders selectable via Config.FoldOrder (streaming runtime only).
 // FoldCohort (default) commits updates in cohort order regardless of
 // arrival, which makes seeded runs bit-identical to the barrier runtime;
@@ -63,6 +98,10 @@ type RoundConfig struct {
 	// Engine selects the local-training execution engine: EngineBatched
 	// ("" defaults to it) or EngineReference.
 	Engine string
+	// NoiseEngine selects the DP noise source: NoiseCounter ("" defaults to
+	// it) or NoiseReference, the sequential math/rand stream kept as the
+	// parity oracle.
+	NoiseEngine string
 }
 
 // ClientEnv is everything a strategy needs to run one client's local
@@ -77,6 +116,10 @@ type ClientEnv struct {
 	// Arena is the worker's scratch-buffer recycler, reused across rounds;
 	// nil (e.g. remote clients) simply allocates.
 	Arena *tensor.Arena
+	// Noise is the counter noise generator for this client's round, set
+	// when the round config selects the counter engine; nil means the
+	// strategy must draw sequentially from RNG (reference engine).
+	Noise *tensor.CounterRNG
 }
 
 // ClientStats reports per-client training measurements used by the paper's
@@ -110,6 +153,39 @@ type Strategy interface {
 	// FedSGD aggregation (e.g. Fed-SDP server-side noise). round is the
 	// current 0-based round.
 	ServerSanitize(round int, updates [][]*tensor.Tensor, rng *tensor.RNG)
+}
+
+// CounterSanitizer is implemented by strategies whose server-side
+// sanitization can run on the counter noise engine: update idx (the
+// client's cohort position) is sanitized from its own derived stream, so
+// the runtime may sanitize updates in any arrival order — or in parallel —
+// and still commit a deterministic round.
+type CounterSanitizer interface {
+	ServerSanitizeCounter(round, idx int, update []*tensor.Tensor, noise tensor.CounterRNG)
+}
+
+// counterSanitizer returns the strategy's counter-engine server sanitizer
+// when the config selects the counter noise engine and the strategy
+// supports it — the single engine-dispatch rule shared by the barrier and
+// streaming runtimes.
+func counterSanitizer(cfg Config) (CounterSanitizer, bool) {
+	if cfg.Round.NoiseEngine == NoiseReference {
+		return nil, false
+	}
+	cs, ok := cfg.Strategy.(CounterSanitizer)
+	return cs, ok
+}
+
+// serverSanitize routes one update through the strategy's server-side
+// sanitization on the configured noise engine. idx is the update's cohort
+// position; the sequential fallback consumes serverRNG exactly as the
+// pre-counter runtime did.
+func serverSanitize(cfg Config, round, idx int, update []*tensor.Tensor, serverRNG *tensor.RNG) {
+	if cs, ok := counterSanitizer(cfg); ok {
+		cs.ServerSanitizeCounter(round, idx, update, ServerNoise(cfg.Seed, round))
+		return
+	}
+	cfg.Strategy.ServerSanitize(round, [][]*tensor.Tensor{update}, serverRNG)
 }
 
 // Config describes one simulation run.
@@ -221,6 +297,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: negative start round %d", c.StartRound)
 	case c.Round.Engine != "" && c.Round.Engine != EngineBatched && c.Round.Engine != EngineReference:
 		return fmt.Errorf("fl: unknown execution engine %q", c.Round.Engine)
+	case c.Round.NoiseEngine != "" && c.Round.NoiseEngine != NoiseCounter && c.Round.NoiseEngine != NoiseReference:
+		return fmt.Errorf("fl: unknown noise engine %q", c.Round.NoiseEngine)
 	case c.Runtime != "" && c.Runtime != RuntimeStreaming && c.Runtime != RuntimeBarrier:
 		return fmt.Errorf("fl: unknown runtime %q", c.Runtime)
 	case c.FoldOrder != "" && c.FoldOrder != FoldCohort && c.FoldOrder != FoldArrival:
@@ -304,7 +382,16 @@ func Run(cfg Config) (*History, error) {
 // Aggregator).
 func runBarrierRound(cfg Config, global *nn.Model, cohort []int, round int, workers *workerPool, serverRNG *tensor.RNG, agg Aggregator) RoundStats {
 	updates, stats := trainCohort(cfg, global, cohort, round, workers)
-	cfg.Strategy.ServerSanitize(round, updates, serverRNG)
+	if cs, ok := counterSanitizer(cfg); ok {
+		noise := ServerNoise(cfg.Seed, round)
+		for i, u := range updates {
+			cs.ServerSanitizeCounter(round, i, u, noise)
+		}
+	} else {
+		// Reference engine: the original one-shot batch call, kept verbatim
+		// so arbitrary strategies see the exact pre-streaming contract.
+		cfg.Strategy.ServerSanitize(round, updates, serverRNG)
+	}
 	params := global.Params()
 	agg.Begin(params)
 	for _, u := range updates {
@@ -324,6 +411,16 @@ func runBarrierRound(cfg Config, global *nn.Model, cohort []int, round int, work
 		agg.Commit(params)
 	}
 	return rs
+}
+
+// clientNoiseFor derives a client's counter noise generator, or nil when the
+// round config selects the reference noise engine.
+func clientNoiseFor(rc RoundConfig, seed int64, round, clientID int) *tensor.CounterRNG {
+	if rc.NoiseEngine == NoiseReference {
+		return nil
+	}
+	n := ClientNoise(seed, round, clientID)
+	return &n
 }
 
 // sampleCohort picks the participating client IDs for a round.
@@ -409,6 +506,7 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
 				Cfg:      cfg.Round,
 				Arena:    w.arena,
+				Noise:    clientNoiseFor(cfg.Round, cfg.Seed, round, id),
 			}
 			updates[i], stats[i] = cfg.Strategy.ClientUpdate(env)
 		}(i, id, w)

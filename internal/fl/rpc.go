@@ -491,6 +491,7 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 		RNG:      tensor.Split(seed, 4, int64(pm.Round), int64(clientID)),
 		Cfg:      pm.Cfg,
 		Arena:    arena,
+		Noise:    clientNoiseFor(pm.Cfg, seed, pm.Round, clientID),
 	}
 	delta, _ := strat.ClientUpdate(env)
 	msg := UpdateMsg{ClientID: clientID, Round: pm.Round}

@@ -57,6 +57,7 @@ func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, gl
 				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
 				Cfg:      cfg.Round,
 				Arena:    w.arena,
+				Noise:    clientNoiseFor(cfg.Round, cfg.Seed, round, id),
 			}
 			upd, st := cfg.Strategy.ClientUpdate(env)
 			results <- clientResult{idx: i, update: upd, stats: st}
@@ -75,12 +76,14 @@ func runStreamingRound(cfg Config, global *nn.Model, cohort []int, round int, wo
 
 	// commit sanitizes and folds exactly one update; in cohort-order mode
 	// it runs in cohort order, which makes the whole round — including the
-	// serverRNG stream consumed by server-side sanitization — bit-identical
-	// to the barrier runtime on seeded runs.
+	// serverRNG stream consumed by reference-engine server-side
+	// sanitization — bit-identical to the barrier runtime on seeded runs.
+	// Under the counter noise engine the sanitize stream is keyed by the
+	// update's cohort position instead, so even arrival-order folds draw
+	// identical noise per update.
 	commit := func(res clientResult) {
-		one := [][]*tensor.Tensor{res.update}
-		cfg.Strategy.ServerSanitize(round, one, serverRNG)
-		agg.Fold(one[0])
+		serverSanitize(cfg, round, res.idx, res.update, serverRNG)
+		agg.Fold(res.update)
 		folded++
 		rs.MeanGradNorm += res.stats.MeanGradNorm
 		rs.MsPerIter += res.stats.MsPerIter()

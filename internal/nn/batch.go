@@ -40,6 +40,9 @@ type BatchLayer interface {
 	AccumGrads()
 	// ExampleGrads writes example i's parameter gradients from the most
 	// recent BackwardBatch into dst (aligned with Grads, overwritten).
+	// Recovery only reads the batch caches, so concurrent calls with
+	// distinct i and distinct dst are safe — the contract the parallel
+	// sanitization pipeline (dp.SanitizeBatch) relies on.
 	ExampleGrads(i int, dst []*tensor.Tensor)
 }
 
@@ -227,10 +230,13 @@ func ArgmaxRows(t *tensor.Tensor, out []int) []int {
 	return out
 }
 
-// batchPass runs one batched forward/backward pass over a labelled batch
+// BatchPass runs one batched forward/backward pass over a labelled batch
 // through the model-owned scratch buffers and returns the mean loss. After
-// it returns, layer caches hold what AccumBatchGrads/ExampleGrads need.
-func (m *Model) batchPass(xs []*tensor.Tensor, ys []int) float64 {
+// it returns, layer caches hold what AccumBatchGrads/ExampleGrads need;
+// ExampleGrads may then be called concurrently for distinct examples (see
+// BatchLayer), which is how the parallel sanitization pipeline recovers a
+// whole mini-batch's gradients across goroutines.
+func (m *Model) BatchPass(xs []*tensor.Tensor, ys []int) float64 {
 	b := len(xs)
 	m.xBatch = Stack(m.arena, m.xBatch, xs)
 	logits := m.ForwardBatch(m.xBatch)
@@ -255,7 +261,7 @@ func (m *Model) batchPass(xs []*tensor.Tensor, ys []int) float64 {
 // visit clips, noises and accumulates. The model's Grads buffers are not
 // modified. Returns the mean batch loss.
 func (m *Model) BatchGradients(xs []*tensor.Tensor, ys []int, scratch []*tensor.Tensor, visit func(i int, g []*tensor.Tensor)) float64 {
-	loss := m.batchPass(xs, ys)
+	loss := m.BatchPass(xs, ys)
 	for i := range xs {
 		m.ExampleGrads(i, scratch)
 		visit(i, scratch)
@@ -268,7 +274,7 @@ func (m *Model) BatchGradients(xs []*tensor.Tensor, ys []int, scratch []*tensor.
 // non-private fast path (one GEMM per layer instead of per-example
 // recovery). Returns the mean batch loss.
 func (m *Model) BatchAccumulate(xs []*tensor.Tensor, ys []int) float64 {
-	loss := m.batchPass(xs, ys)
+	loss := m.BatchPass(xs, ys)
 	m.AccumBatchGrads()
 	return loss
 }

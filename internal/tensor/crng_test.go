@@ -1,0 +1,242 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterRNGDeterministic(t *testing.T) {
+	c := NewCounterRNG(42, 1, 2, 3)
+	for ctr := uint64(0); ctr < 100; ctr++ {
+		if c.Uint64At(ctr) != c.Uint64At(ctr) {
+			t.Fatal("Uint64At must be a pure function of the counter")
+		}
+		if c.NormalAt(ctr) != c.NormalAt(ctr) {
+			t.Fatal("NormalAt must be a pure function of the counter")
+		}
+	}
+	if NewCounterRNG(42, 1, 2, 3).key != c.key {
+		t.Fatal("same (seed, labels) must yield the same key")
+	}
+	if NewCounterRNG(42, 1, 2, 4).key == c.key {
+		t.Fatal("different labels must yield different keys")
+	}
+	if c.Derive(5).key == c.Derive(6).key {
+		t.Fatal("Derive with different labels must diverge")
+	}
+}
+
+func TestCounterRNGDeriveOrderSensitive(t *testing.T) {
+	c := NewCounterRNG(7)
+	if c.Derive(1, 2).key == c.Derive(2, 1).key {
+		t.Fatal("label order must matter (key is a hash chain, not a sum)")
+	}
+	if c.Derive(1).Derive(2).key != c.Derive(1, 2).key {
+		t.Fatal("chained Derive must equal the flattened label list")
+	}
+}
+
+// TestCounterNormalMoments pins the ziggurat sampler's mean, standard
+// deviation, skew proxy and kurtosis proxy to N(0,1) within Monte-Carlo
+// tolerance, alongside the same estimate from math/rand as a sanity anchor.
+func TestCounterNormalMoments(t *testing.T) {
+	const n = 200000
+	c := NewCounterRNG(1, 99)
+	var sum, sumSq, sumCu, sumQu float64
+	for i := 0; i < n; i++ {
+		v := c.NormalAt(uint64(i))
+		sum += v
+		sumSq += v * v
+		sumCu += v * v * v
+		sumQu += v * v * v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+	if skew := sumCu / n; math.Abs(skew) > 0.03 {
+		t.Fatalf("third moment = %v, want ~0", skew)
+	}
+	if kurt := sumQu / n; math.Abs(kurt-3) > 0.1 {
+		t.Fatalf("fourth moment = %v, want ~3", kurt)
+	}
+}
+
+// TestCounterNormalTails checks the ziggurat's tail mass: P(|X| > 2) and
+// P(|X| > 3) against the exact Gaussian values (the tail algorithm is the
+// sampler's trickiest branch; a bug there shows up here first).
+func TestCounterNormalTails(t *testing.T) {
+	const n = 400000
+	c := NewCounterRNG(2, 5)
+	var over2, over3 int
+	for i := 0; i < n; i++ {
+		v := math.Abs(c.NormalAt(uint64(i)))
+		if v > 2 {
+			over2++
+		}
+		if v > 3 {
+			over3++
+		}
+	}
+	p2 := float64(over2) / n
+	p3 := float64(over3) / n
+	want2 := math.Erfc(2 / math.Sqrt2) // ≈ 0.0455
+	want3 := math.Erfc(3 / math.Sqrt2) // ≈ 0.0027
+	if math.Abs(p2-want2) > 0.003 {
+		t.Fatalf("P(|X|>2) = %v, want ~%v", p2, want2)
+	}
+	if math.Abs(p3-want3) > 0.0008 {
+		t.Fatalf("P(|X|>3) = %v, want ~%v", p3, want3)
+	}
+}
+
+// TestCounterUniformChiSquared bins Float64At into 64 equal cells and runs a
+// χ² test: 63 degrees of freedom, so the statistic should fall well under
+// the p=0.001 critical value (≈103.4) for a healthy generator.
+func TestCounterUniformChiSquared(t *testing.T) {
+	const (
+		n    = 256000
+		bins = 64
+	)
+	counts := make([]int, bins)
+	c := NewCounterRNG(3, 11)
+	for i := 0; i < n; i++ {
+		v := c.Float64At(uint64(i))
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64At out of [0,1): %v", v)
+		}
+		counts[int(v*bins)]++
+	}
+	expected := float64(n) / bins
+	var chi2 float64
+	for _, cnt := range counts {
+		d := float64(cnt) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 103.4 {
+		t.Fatalf("χ² = %v over %d bins, exceeds p=0.001 critical value", chi2, bins)
+	}
+}
+
+// TestCounterKeyIndependence verifies disjoint (labels, counter) streams are
+// uncorrelated: the empirical correlation between sibling streams, and
+// between a stream and its counter-shifted self, must vanish as 1/√n.
+func TestCounterKeyIndependence(t *testing.T) {
+	const n = 100000
+	base := NewCounterRNG(4)
+	a, b := base.Derive(1), base.Derive(2)
+	corr := func(x, y func(uint64) float64) float64 {
+		var sx, sy, sxy, sxx, syy float64
+		for i := 0; i < n; i++ {
+			xv, yv := x(uint64(i)), y(uint64(i))
+			sx += xv
+			sy += yv
+			sxy += xv * yv
+			sxx += xv * xv
+			syy += yv * yv
+		}
+		cov := sxy/n - sx/n*sy/n
+		return cov / math.Sqrt((sxx/n-sx/n*sx/n)*(syy/n-sy/n*sy/n))
+	}
+	if r := corr(a.NormalAt, b.NormalAt); math.Abs(r) > 0.02 {
+		t.Fatalf("sibling streams correlate: r = %v", r)
+	}
+	if r := corr(a.NormalAt, func(i uint64) float64 { return a.NormalAt(i + n) }); math.Abs(r) > 0.02 {
+		t.Fatalf("shifted counter ranges correlate: r = %v", r)
+	}
+}
+
+// TestBulkMatchesPointwise pins the bulk kernels to the pointwise sampler:
+// filling a slice in one call, in shards, or element by element must agree
+// bit-for-bit — the property the parallel sanitizer is built on.
+func TestBulkMatchesPointwise(t *testing.T) {
+	const n = 1000
+	c := NewCounterRNG(5, 3)
+
+	whole := make([]float64, n)
+	c.FillNormalBulk(whole, 0, 0.5, 2)
+
+	sharded := make([]float64, n)
+	for lo := 0; lo < n; lo += 96 { // deliberately uneven shard edges
+		hi := lo + 96
+		if hi > n {
+			hi = n
+		}
+		c.FillNormalBulk(sharded[lo:hi], uint64(lo), 0.5, 2)
+	}
+	for i := range whole {
+		if whole[i] != sharded[i] {
+			t.Fatalf("sharded fill diverges at %d: %v vs %v", i, whole[i], sharded[i])
+		}
+		if want := 0.5 + 2*c.NormalAt(uint64(i)); whole[i] != want {
+			t.Fatalf("bulk fill diverges from pointwise at %d", i)
+		}
+	}
+
+	add := make([]float64, n)
+	for i := range add {
+		add[i] = float64(i)
+	}
+	c.AddNormalBulk(add, 0, 3)
+	for i := range add {
+		if want := float64(i) + 3*c.NormalAt(uint64(i)); add[i] != want {
+			t.Fatalf("AddNormalBulk diverges at %d", i)
+		}
+	}
+
+	fused := make([]float64, n)
+	for i := range fused {
+		fused[i] = float64(i)
+	}
+	c.ScaleAddNormalBulk(fused, 0, 0.25, 3)
+	for i := range fused {
+		if want := float64(i)*0.25 + 3*c.NormalAt(uint64(i)); fused[i] != want {
+			t.Fatalf("ScaleAddNormalBulk diverges at %d", i)
+		}
+	}
+}
+
+// TestScaleAddNormalBulkEdgeCases covers the std=0 and scale=1 fast paths.
+func TestScaleAddNormalBulkEdgeCases(t *testing.T) {
+	c := NewCounterRNG(6)
+	d := []float64{1, 2, 3}
+	c.ScaleAddNormalBulk(d, 0, 2, 0) // pure scaling
+	if d[0] != 2 || d[1] != 4 || d[2] != 6 {
+		t.Fatalf("std=0 must scale only, got %v", d)
+	}
+	e := []float64{1, 2, 3}
+	f := []float64{1, 2, 3}
+	c.ScaleAddNormalBulk(e, 7, 1, 0.5)
+	c.AddNormalBulk(f, 7, 0.5)
+	for i := range e {
+		if e[i] != f[i] {
+			t.Fatal("scale=1 must match AddNormalBulk exactly")
+		}
+	}
+}
+
+func BenchmarkCounterNormal(b *testing.B) {
+	c := NewCounterRNG(1)
+	dst := make([]float64, 4096)
+	b.Run("pointwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.NormalAt(uint64(i))
+		}
+	})
+	b.Run("bulk4096", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.AddNormalBulk(dst, uint64(i)*4096, 1)
+		}
+	})
+	b.Run("mathrand4096", func(b *testing.B) {
+		rng := NewRNG(1)
+		t := FromSlice(dst, len(dst))
+		for i := 0; i < b.N; i++ {
+			rng.AddNormal(t, 1)
+		}
+	})
+}
