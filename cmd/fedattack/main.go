@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"fedcdp/internal/attack"
 	"fedcdp/internal/dataset"
@@ -31,6 +32,9 @@ func main() {
 	maxIters := flag.Int("max-iters", 300, "attack iteration budget T")
 	optimizer := flag.String("optimizer", attack.OptLBFGS, "attack optimizer: lbfgs or adam")
 	mask := flag.Bool("mask", false, "mask-aware matching (attack only shared entries)")
+	scenario := flag.String("scenario", "", "victim data-heterogeneity scenario: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
+	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
+	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
 	seed := flag.Int64("seed", 42, "root seed")
 	out := flag.String("out", "", "directory for PGM dumps of truth/reconstruction (image datasets)")
 	flag.Parse()
@@ -39,7 +43,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ds := dataset.New(spec, *seed)
+	part, err := dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards}.Partitioner()
+	if err != nil {
+		fatal(err)
+	}
+	ds := dataset.NewPartitioned(spec, *seed, part)
 	cd := ds.Client(*clientID)
 	m := attack.NewMLP([]int{spec.Features, 32, spec.Classes}, attack.ActSigmoid, tensor.NewRNG(*seed))
 	noise := tensor.Split(*seed, 7)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"fedcdp/internal/dataset"
@@ -33,6 +34,10 @@ func main() {
 	quorum := flag.Int("quorum", 0, "minimum updates required to commit a round")
 	secure := flag.Bool("secure", false, "encrypt the channel (X25519 + AES-GCM)")
 	noiseEngine := flag.String("noise-engine", "", "DP noise engine published to clients: counter (default) or reference (see DESIGN.md)")
+	scenario := flag.String("scenario", "", "data-heterogeneity scenario published to clients: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
+	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
+	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
+	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default) or weighted (example-count-weighted FedAvg)")
 	seed := flag.Int64("seed", 42, "root seed")
 	flag.Parse()
 
@@ -49,6 +54,10 @@ func main() {
 	if *quorum < 0 || *quorum > *kt {
 		fatal(fmt.Errorf("quorum %d outside [0, kt=%d]", *quorum, *kt))
 	}
+	sc := dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards}
+	if _, err := sc.Partitioner(); err != nil {
+		fatal(err)
+	}
 	ds := dataset.New(spec, *seed)
 	model := nn.Build(spec.ModelSpec(), tensor.Split(*seed, 1))
 	valX, valY := ds.Validation(200)
@@ -59,11 +68,19 @@ func main() {
 	}
 	srv.Secure = *secure
 	defer srv.Close()
-	fmt.Printf("fedserve: %s on %s (secure=%v), %d rounds, %d clients/round, deadline=%v, quorum=%d\n",
-		*dsName, srv.Addr(), *secure, *rounds, *kt, *deadline, *quorum)
+	fmt.Printf("fedserve: %s on %s (secure=%v), %d rounds, %d clients/round, deadline=%v, quorum=%d, scenario=%s\n",
+		*dsName, srv.Addr(), *secure, *rounds, *kt, *deadline, *quorum, sc)
 
-	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine}
-	agg := fl.NewFedSGD()
+	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine, Scenario: sc}
+	var agg fl.Aggregator
+	switch *aggRule {
+	case "", fl.AggFedSGD:
+		agg = fl.NewFedSGD()
+	case fl.AggWeighted:
+		agg = fl.NewWeightedFedAvg()
+	default:
+		fatal(fmt.Errorf("unknown aggregation rule %q", *aggRule))
+	}
 	for round := 0; round < *rounds; round++ {
 		start := time.Now()
 		res, err := srv.StreamRound(round, model.Params(), cfg, agg, fl.RoundOptions{

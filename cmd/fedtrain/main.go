@@ -7,6 +7,8 @@
 //	fedtrain -dataset mnist -method fedcdp -rounds 20 -iters 20
 //	fedtrain -dataset cancer -method fedsdp -k 100 -kt 10 -sigma 1
 //	fedtrain -dataset mnist -method fedcdp-decay -compress 0.3
+//	fedtrain -dataset mnist -method fedcdp -scenario dirichlet -alpha 0.1
+//	fedtrain -dataset mnist -scenario quantity -agg weighted
 package main
 
 import (
@@ -38,6 +40,10 @@ func main() {
 	flag.StringVar(&cfg.Engine, "engine", "", "execution engine: batched (default) or reference (see DESIGN.md)")
 	flag.StringVar(&cfg.NoiseEngine, "noise-engine", "", "DP noise engine: counter (default, parallel) or reference (see DESIGN.md)")
 	flag.StringVar(&cfg.Runtime, "runtime", "", "round runtime: streaming (default) or barrier (see DESIGN.md)")
+	flag.StringVar(&cfg.Scenario.Name, "scenario", "", "data-heterogeneity scenario: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
+	flag.Float64Var(&cfg.Scenario.Alpha, "alpha", 0, "dirichlet concentration (0 = default 0.5)")
+	flag.IntVar(&cfg.Scenario.Shards, "shards", 0, "pathological label shards per client (0 = default 2)")
+	flag.StringVar(&cfg.Aggregation, "agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (example-count-weighted FedAvg)")
 	flag.Float64Var(&cfg.DropoutRate, "dropout", 0, "per-round client dropout probability")
 	flag.DurationVar(&cfg.RoundDeadline, "deadline", 0, "per-round straggler cutoff (0 = wait for full cohort)")
 	flag.IntVar(&cfg.MinQuorum, "quorum", 0, "minimum updates required to commit a round")
@@ -74,6 +80,12 @@ func main() {
 	}
 	fmt.Printf("dataset=%s method=%s K=%d Kt=%d T=%d L=%d\n",
 		cfg.Dataset, res.Strategy, res.Cfg.K, res.Cfg.Kt, res.Cfg.Rounds, res.Cfg.LocalIters)
+	if cfg.Scenario.Name != "" {
+		if p, perr := cfg.Scenario.Partitioner(); perr == nil {
+			ds := dataset.NewPartitioned(res.Spec, res.Cfg.Seed, p)
+			fmt.Printf("scenario=%s %s\n", cfg.Scenario, ds.Stats(res.Cfg.K))
+		}
+	}
 	fmt.Println("round  accuracy  grad-norm  ms/iter  epsilon")
 	for _, r := range res.Rounds {
 		acc := "      -"

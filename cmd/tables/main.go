@@ -16,19 +16,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"fedcdp/internal/dataset"
 	"fedcdp/internal/experiments"
 )
 
-// writeCSV emits the report rows as CSV (experiment id prefixed), for
-// downstream plotting.
+// writeCSV emits the report rows as CSV (experiment id and scenario
+// prefixed, so heterogeneity sweeps stay distinguishable in the
+// machine-readable output), for downstream plotting.
 func writeCSV(rep *experiments.Report) {
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
-	w.Write(append([]string{"experiment"}, rep.Header...))
+	scenario := rep.Scenario
+	if scenario == "" {
+		scenario = "iid"
+	}
+	w.Write(append([]string{"experiment", "scenario"}, rep.Header...))
 	for _, row := range rep.Rows {
-		w.Write(append([]string{rep.Name}, row...))
+		w.Write(append([]string{rep.Name, scenario}, row...))
 	}
 }
 
@@ -37,9 +44,17 @@ func main() {
 	scale := flag.Float64("scale", 1, "effort multiplier (1 = default scaled-down run)")
 	seed := flag.Int64("seed", 42, "root random seed")
 	format := flag.String("format", "text", "output format: text or csv")
+	scenario := flag.String("scenario", "", "data-heterogeneity scenario: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
+	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
+	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
+	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (pair with -scenario quantity)")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	opts := experiments.Options{
+		Scale: *scale, Seed: *seed,
+		Scenario:    dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards},
+		Aggregation: *aggRule,
+	}
 	names := experiments.Names()
 	if *exp != "all" {
 		names = []string{*exp}

@@ -22,7 +22,9 @@
 //   - internal/accountant — RDP/moments accountant for the sampled Gaussian
 //     mechanism.
 //   - internal/dp — clipping policies, the Gaussian mechanism, compression.
-//   - internal/dataset — deterministic synthetic benchmark family.
+//   - internal/dataset — deterministic synthetic benchmark family with
+//     pluggable heterogeneity partitioners (iid, dirichlet, pathological,
+//     quantity, labelnoise).
 //   - internal/experiments — one driver per paper table/figure.
 //
 // The benchmarks in bench_test.go regenerate each table/figure; see

@@ -1,14 +1,3 @@
-// Package accountant implements privacy accounting for the sampled Gaussian
-// mechanism: the moments accountant of Abadi et al. (CCS'16) in its RDP
-// formulation (Mironov et al.), plus the closed-form bound of the paper's
-// Equation (2). It reproduces Table VI of the paper from parameters alone.
-//
-// The core computation is the Rényi divergence of the sampled Gaussian
-// mechanism at order α ("log moment"), following the reference algorithm in
-// TensorFlow Privacy: an exact binomial sum for integer α and a two-sided
-// erfc-weighted series for fractional α. RDP composes additively over steps
-// and converts to (ε,δ)-DP via ε = rdp + log(1/δ)/(α−1), minimized over a
-// grid of orders.
 package accountant
 
 import (

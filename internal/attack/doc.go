@@ -1,0 +1,23 @@
+// Package attack implements the gradient-leakage reconstruction attacks of
+// the paper's threat model (Section III): given gradients leaked from a
+// client — per-example gradients mid-training (type-2) or per-client round
+// updates (type-0/1) — the attacker reconstructs the private training input
+// by gradient matching (DLG-style): minimize ‖∇_W L(x_rec) − g_leaked‖² over
+// x_rec with L-BFGS (the paper's optimizer) or Adam.
+//
+// Gradient matching needs the gradient of a gradient: ∇ₓ‖∇_W L(x) − g*‖².
+// This package carries an MLP with sigmoid/tanh activations whose
+// second-order chain (reverse-mode through the backpropagation computation)
+// is implemented analytically and validated against finite differences. The
+// original DLG attack also uses sigmoid networks for exactly this
+// smoothness reason; see DESIGN.md for the CNN→MLP substitution note.
+//
+// Reconstruction is deterministic given attack.Config.Seed (the dummy-input
+// initialization is the only randomness); an MLP instance caches forward
+// state and must not be shared across concurrent reconstructions. The
+// victim's data comes from internal/dataset — under any heterogeneity
+// scenario, since the attack only sees gradients — and the defenses under
+// test are applied by the caller (internal/experiments, cmd/fedattack)
+// with internal/dp's sanitize/compress operators, mirroring what each
+// threat type observes in the federation.
+package attack

@@ -1,16 +1,3 @@
-// Package attack implements the gradient-leakage reconstruction attacks of
-// the paper's threat model (Section III): given gradients leaked from a
-// client — per-example gradients mid-training (type-2) or per-client round
-// updates (type-0/1) — the attacker reconstructs the private training input
-// by gradient matching (DLG-style): minimize ‖∇_W L(x_rec) − g_leaked‖² over
-// x_rec with L-BFGS (the paper's optimizer) or Adam.
-//
-// Gradient matching needs the gradient of a gradient: ∇ₓ‖∇_W L(x) − g*‖².
-// This package carries an MLP with sigmoid/tanh activations whose
-// second-order chain (reverse-mode through the backpropagation computation)
-// is implemented analytically and validated against finite differences. The
-// original DLG attack also uses sigmoid networks for exactly this
-// smoothness reason; see DESIGN.md for the CNN→MLP substitution note.
 package attack
 
 import (

@@ -87,17 +87,27 @@ func (c *Checkpoint) Resume(rounds int) (*Result, error) {
 	if cfg.PlannedRounds > horizon {
 		horizon = cfg.PlannedRounds
 	}
-	ds := dataset.New(spec, cfg.Seed)
+	// Rebuild the data and runtime exactly as core.Run would from the
+	// checkpointed Config: the resumed segment must train on the same
+	// partition, engines and aggregation rule as the segment it continues.
+	part, err := cfg.Scenario.Partitioner()
+	if err != nil {
+		return nil, err
+	}
+	ds := dataset.NewPartitioned(spec, cfg.Seed, part)
 	hist, err := fl.Run(fl.Config{
 		Data:  ds,
 		Model: spec.ModelSpec(),
 		K:     cfg.K, Kt: cfg.Kt, Rounds: rounds,
 		Round: fl.RoundConfig{
-			BatchSize:  cfg.BatchSize,
-			LocalIters: cfg.LocalIters,
-			LR:         cfg.LR,
+			BatchSize:   cfg.BatchSize,
+			LocalIters:  cfg.LocalIters,
+			LR:          cfg.LR,
+			Engine:      cfg.Engine,
+			NoiseEngine: cfg.NoiseEngine,
 		},
 		Strategy:        strat,
+		Aggregation:     cfg.Aggregation,
 		Seed:            cfg.Seed,
 		ValExamples:     cfg.ValExamples,
 		EvalEvery:       cfg.EvalEvery,
@@ -105,6 +115,10 @@ func (c *Checkpoint) Resume(rounds int) (*Result, error) {
 		InitialParams:   fl.TensorsFromWire(c.Params),
 		StartRound:      c.NextRound,
 		ScheduleHorizon: horizon,
+		Runtime:         cfg.Runtime,
+		DropoutRate:     cfg.DropoutRate,
+		RoundDeadline:   cfg.RoundDeadline,
+		MinQuorum:       cfg.MinQuorum,
 	})
 	if err != nil {
 		return nil, err

@@ -93,6 +93,17 @@ type Config struct {
 	// MinQuorum is the minimum folded updates required to commit a round;
 	// a round below quorum leaves the global model unchanged.
 	MinQuorum int
+
+	// Scenario selects the data-heterogeneity scenario: how the benchmark
+	// is partitioned across the client population (see dataset.Scenario).
+	// The zero value is the iid/Table-I partition, which reproduces every
+	// pre-scenario-engine run bit-for-bit.
+	Scenario dataset.Scenario
+
+	// Aggregation selects the server rule: "" / fl.AggFedSGD (default),
+	// fl.AggFedAvg, or fl.AggWeighted — example-count-weighted FedAvg, the
+	// rule that corrects for quantity-skewed partitions.
+	Aggregation string
 }
 
 // withDefaults resolves zero fields against the benchmark spec.
@@ -184,7 +195,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := dataset.New(spec, cfg.Seed)
+	part, err := cfg.Scenario.Partitioner()
+	if err != nil {
+		return nil, err
+	}
+	ds := dataset.NewPartitioned(spec, cfg.Seed, part)
 
 	hist, err := fl.Run(fl.Config{
 		Data:  ds,
@@ -198,6 +213,7 @@ func Run(cfg Config) (*Result, error) {
 			NoiseEngine: cfg.NoiseEngine,
 		},
 		Strategy:        strat,
+		Aggregation:     cfg.Aggregation,
 		Seed:            cfg.Seed,
 		ValExamples:     cfg.ValExamples,
 		EvalEvery:       cfg.EvalEvery,

@@ -1,0 +1,39 @@
+// Package core implements the paper's contribution and its baselines as
+// pluggable federated-learning strategies:
+//
+//   - NonPrivate: plain FedSGD local training (the paper's reference model).
+//   - FedSDP: Algorithm 1 — per-client update clipping and Gaussian noise at
+//     each round, at either the client or the server.
+//   - FedCDP: Algorithm 2 — per-example, per-layer clipping and Gaussian
+//     noise inside every local iteration, before batch averaging.
+//   - Fed-CDP(decay): FedCDP with a decaying clipping bound (Section VI).
+//   - DSSGD: distributed selective SGD (Shokri & Shmatikov) — clients share
+//     only the largest fraction of their update.
+//   - Compressed: communication-efficient wrapper pruning small gradient
+//     entries (Figure 5).
+//
+// Run ties a strategy to the fl substrate and the privacy accountant and is
+// the high-level entry point used by the CLIs, examples and benchmarks. Its
+// Config is the repository's experiment surface: benchmark and method
+// selection, population and round shape, privacy parameters, and the
+// orthogonal engine switches —
+//
+//   - Engine: batched GEMM/im2col local training (default) vs the
+//     per-example reference path;
+//   - NoiseEngine: parallel counter-keyed DP noise (default) vs the
+//     sequential reference stream;
+//   - Runtime: streaming folds with deadlines/quorum (default) vs the
+//     barrier parity reference;
+//   - Scenario: the data-heterogeneity partition (iid default, dirichlet,
+//     pathological, quantity, labelnoise — see internal/dataset);
+//   - Aggregation: FedSGD (default), FedAvg, or example-count-weighted
+//     FedAvg (fl.AggWeighted) for quantity-skewed populations.
+//
+// Every switch's default composes into a deterministic seeded run, and each
+// non-default position is pinned by parity tests against its reference, so
+// results are comparable across engine choices. After a run, core annotates
+// the history with cumulative privacy spending via internal/accountant
+// (Fed-CDP composes L sampled-Gaussian steps per round at the instance
+// rate; Fed-SDP one per round at the client rate), and checkpoint.go
+// saves/resumes runs with schedules anchored across segments.
+package core

@@ -1,19 +1,3 @@
-// Package core implements the paper's contribution and its baselines as
-// pluggable federated-learning strategies:
-//
-//   - NonPrivate: plain FedSGD local training (the paper's reference model).
-//   - FedSDP: Algorithm 1 — per-client update clipping and Gaussian noise at
-//     each round, at either the client or the server.
-//   - FedCDP: Algorithm 2 — per-example, per-layer clipping and Gaussian
-//     noise inside every local iteration, before batch averaging.
-//   - Fed-CDP(decay): FedCDP with a decaying clipping bound (Section VI).
-//   - DSSGD: distributed selective SGD (Shokri & Shmatikov) — clients share
-//     only the largest fraction of their update.
-//   - Compressed: communication-efficient wrapper pruning small gradient
-//     entries (Figure 5).
-//
-// Run ties a strategy to the fl substrate and the privacy accountant and is
-// the high-level entry point used by the CLIs, examples and benchmarks.
 package core
 
 import (

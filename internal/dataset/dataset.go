@@ -1,17 +1,3 @@
-// Package dataset provides the synthetic benchmark family that stands in for
-// the paper's five datasets (MNIST, CIFAR-10, LFW, Adult, Breast-Cancer).
-//
-// Real datasets are not available offline, so each benchmark is replaced by a
-// deterministic generator with the same input shape, class count, per-client
-// shard size, batch size and round budget as Table I of the paper. Samples
-// are drawn as x = clamp(prototype[class] + noise, 0, 1) where prototypes are
-// smooth class-specific patterns; the per-dataset noise level is tuned so the
-// *relative difficulty ordering* of the paper's benchmarks is preserved
-// (cancer ≈ easiest, CIFAR-10/LFW hardest).
-//
-// Every sample is generated lazily and deterministically from
-// (datasetSeed, streamID, index), so a simulation with K=10,000 clients only
-// materializes the shards of clients actually sampled in a round.
 package dataset
 
 import (
@@ -139,21 +125,50 @@ func (s Spec) InputShape() []int {
 	return []int{s.Channels, s.Height, s.Width}
 }
 
-// Dataset is a deterministic sample source for one benchmark.
+// Dataset is a deterministic sample source for one benchmark. How its
+// sample pool is divided across clients is decided by a Partitioner (see
+// partition.go); New installs the IID partitioner, the paper's Table I
+// partition.
 type Dataset struct {
 	Spec   Spec
 	seed   int64
 	protos []*tensor.Tensor
+	part   Partitioner
 }
 
-// New builds the benchmark's class prototypes from seed.
+// New builds the benchmark's class prototypes from seed, partitioned with
+// the default IID (Table I) scenario.
 func New(spec Spec, seed int64) *Dataset {
-	d := &Dataset{Spec: spec, seed: seed}
+	return NewPartitioned(spec, seed, IID{})
+}
+
+// NewPartitioned builds the benchmark with an explicit client partitioner.
+func NewPartitioned(spec Spec, seed int64, p Partitioner) *Dataset {
+	if p == nil {
+		p = IID{}
+	}
+	d := &Dataset{Spec: spec, seed: seed, part: p}
 	d.protos = make([]*tensor.Tensor, spec.Classes)
 	for c := 0; c < spec.Classes; c++ {
 		d.protos[c] = d.makePrototype(c)
 	}
 	return d
+}
+
+// Partitioner returns the installed client partitioner.
+func (d *Dataset) Partitioner() Partitioner { return d.part }
+
+// WithPartitioner returns a view of the same dataset (sharing its
+// prototypes) partitioned by p. The sample streams are unchanged — only
+// the client→shard assignment differs — so a server-published scenario can
+// repartition a client's already-built dataset cheaply.
+func (d *Dataset) WithPartitioner(p Partitioner) *Dataset {
+	if p == nil {
+		p = IID{}
+	}
+	nd := *d
+	nd.part = p
+	return &nd
 }
 
 // makePrototype builds a smooth class-specific pattern in [0,1].
@@ -246,6 +261,25 @@ func (d *Dataset) flipLabel(class int, stream, idx int64) int {
 	return other
 }
 
+// extraFlip applies a per-client additional label flip at rate rho (the
+// label-noise-skew scenario), on its own Split label space (4100) so the
+// base flipLabel stream — and with it every iid-scenario golden — is
+// untouched.
+func (d *Dataset) extraFlip(class int, rho float64, stream, idx int64) int {
+	if rho <= 0 || d.Spec.Classes < 2 {
+		return class
+	}
+	rng := tensor.Split(d.seed, 4100, stream, idx)
+	if rng.Float64() >= rho {
+		return class
+	}
+	other := rng.Intn(d.Spec.Classes - 1)
+	if other >= class {
+		other++
+	}
+	return other
+}
+
 // Validation returns a deterministic, class-balanced validation set of up to
 // n examples.
 func (d *Dataset) Validation(n int) ([]*tensor.Tensor, []int) {
@@ -262,52 +296,49 @@ func (d *Dataset) Validation(n int) ([]*tensor.Tensor, []int) {
 	return xs, ys
 }
 
-// ClientData is a lazy view of one client's local shard.
+// ClientData is a lazy view of one client's local shard, as assigned by the
+// dataset's partitioner.
 type ClientData struct {
-	ds      *Dataset
-	id      int
-	classes []int
-	n       int
+	ds    *Dataset
+	id    int
+	shard Shard
 }
 
-// Client returns the shard view for client id following the paper's
-// partitioning: each client holds PerClient examples drawn from
+// Client returns the shard view for client id under the dataset's
+// partitioner. The default (IID) partitioner reproduces the paper's
+// Table I rule: each client holds PerClient examples drawn from
 // ClassesPerClient contiguous classes (or all classes when 0/FullCopy).
 func (d *Dataset) Client(id int) *ClientData {
-	s := d.Spec
-	var classes []int
-	switch {
-	case s.FullCopy, s.ClassesPerClient == 0:
-		classes = make([]int, s.Classes)
-		for c := range classes {
-			classes[c] = c
-		}
-	default:
-		classes = make([]int, s.ClassesPerClient)
-		base := (id * s.ClassesPerClient) % s.Classes
-		for j := range classes {
-			classes[j] = (base + j) % s.Classes
-		}
-	}
-	return &ClientData{ds: d, id: id, classes: classes, n: s.PerClient}
+	return &ClientData{ds: d, id: id, shard: d.part.Shard(d, id)}
+}
+
+// Repartition returns this client's shard view under a different
+// partitioner (same dataset, same id) — how a remote client applies the
+// scenario its server publishes with the round config.
+func (c *ClientData) Repartition(p Partitioner) *ClientData {
+	return c.ds.WithPartitioner(p).Client(c.id)
 }
 
 // Len returns the number of local examples.
-func (c *ClientData) Len() int { return c.n }
+func (c *ClientData) Len() int { return c.shard.N }
 
-// Classes returns the classes present in this shard.
-func (c *ClientData) Classes() []int { return c.classes }
+// Classes returns the classes that can appear in this shard.
+func (c *ClientData) Classes() []int { return c.shard.Classes }
 
 // Get returns the i-th local example and its label, generated
-// deterministically from (dataset seed, client id, i).
+// deterministically from (dataset seed, client id, i): the partitioner
+// assigns the class, the dataset draws the sample and applies label noise
+// (the spec's base rate plus any per-client skew rate).
 func (c *ClientData) Get(i int) (*tensor.Tensor, int) {
-	if i < 0 || i >= c.n {
-		panic(fmt.Sprintf("dataset: client example index %d out of range [0,%d)", i, c.n))
+	if i < 0 || i >= c.shard.N {
+		panic(fmt.Sprintf("dataset: client example index %d out of range [0,%d)", i, c.shard.N))
 	}
-	// Class assignment is deterministic per (client, index).
-	pick := tensor.Split(c.ds.seed, 3000, int64(c.id), int64(i))
-	class := c.classes[pick.Intn(len(c.classes))]
-	return c.ds.Sample(int64(c.id), int64(i), class), c.ds.flipLabel(class, int64(c.id), int64(i))
+	class := c.shard.ClassAt(i)
+	y := c.ds.flipLabel(class, int64(c.id), int64(i))
+	if c.shard.FlipRate > 0 {
+		y = c.ds.extraFlip(y, c.shard.FlipRate, int64(c.id), int64(i))
+	}
+	return c.ds.Sample(int64(c.id), int64(i), class), y
 }
 
 // Batch returns batch b of size bs using a deterministic per-client epoch
@@ -317,7 +348,7 @@ func (c *ClientData) Batch(b, bs int) ([]*tensor.Tensor, []int) {
 	xs := make([]*tensor.Tensor, bs)
 	ys := make([]int, bs)
 	for j := 0; j < bs; j++ {
-		idx := (b*bs + j) % c.n
+		idx := (b*bs + j) % c.shard.N
 		xs[j], ys[j] = c.Get(idx)
 	}
 	return xs, ys

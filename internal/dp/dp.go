@@ -1,8 +1,3 @@
-// Package dp implements the differential-privacy mechanics used by Fed-CDP
-// and Fed-SDP: per-layer L2 clipping with pluggable bound schedules, the
-// Gaussian mechanism calibrated to clipping-bound sensitivity, and the
-// gradient compression operator used in the paper's communication-efficient
-// experiments (Figure 5).
 package dp
 
 import (

@@ -120,7 +120,10 @@ func Table7(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds := dataset.New(spec, o.Seed)
+		ds, err := o.newDataset(spec)
+		if err != nil {
+			return nil, err
+		}
 		for _, typ := range []string{"type01", "type2"} {
 			for _, method := range methods {
 				var st attackStats
@@ -182,7 +185,10 @@ func Fig1(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds := dataset.New(spec, o.Seed)
+		ds, err := o.newDataset(spec)
+		if err != nil {
+			return nil, err
+		}
 		m := attackModel(spec, o.Seed)
 		cd := ds.Client(0)
 		noise := tensor.Split(o.Seed, 8)
@@ -216,7 +222,10 @@ func Fig4(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := dataset.New(spec, o.Seed)
+	ds, err := o.newDataset(spec)
+	if err != nil {
+		return nil, err
+	}
 	m := attackModel(spec, o.Seed)
 	cd := ds.Client(0)
 	cfg := attack.Config{MaxIters: maxIters, Seed: o.Seed}
@@ -311,7 +320,10 @@ func Fig5(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := dataset.New(spec, o.Seed)
+	ds, err := o.newDataset(spec)
+	if err != nil {
+		return nil, err
+	}
 	m := attackModel(spec, o.Seed)
 	x0, y0 := ds.Client(0).Get(0)
 

@@ -1,0 +1,24 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section VII). Each driver runs a scaled version of
+// the experiment on the synthetic benchmark family and emits a Report whose
+// rows carry both our measured values and the paper's reported values, so
+// the reproduction shape (orderings, ratios, crossovers) can be checked at
+// a glance. The same drivers back cmd/tables and the root bench harness.
+//
+// Options is the shared experiment surface. Scale trades fidelity for time
+// (1 is the CPU-friendly default; larger approaches the paper's GPU-scale
+// parameters; Table VI is a pure computation and ignores it). Seed roots
+// every run. The engine switches mirror core.Config: Runtime (streaming vs
+// barrier), NoiseEngine (counter vs reference), Scenario (the data-
+// heterogeneity partition every training and attack driver applies), and
+// Aggregation (FedSGD / FedAvg / weighted). Because deterministic folding
+// makes the runtimes and noise engines bit-compatible on seeded runs,
+// running the whole suite under a non-default switch is a whole-system
+// parity check; running it under a non-default Scenario is the
+// heterogeneity sweep the scenario engine exists for, and Run stamps each
+// report with the scenario plus the realized per-client dataset statistics.
+//
+// Reports are pure values (text tables + notes); all nondeterminism in a
+// driver is timing measurement (ms/iter columns). Everything else is a
+// deterministic function of Options.
+package experiments

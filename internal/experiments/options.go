@@ -1,6 +1,10 @@
 package experiments
 
-import "math"
+import (
+	"math"
+
+	"fedcdp/internal/dataset"
+)
 
 // Options controls the effort level of every experiment driver.
 //
@@ -23,6 +27,24 @@ type Options struct {
 	// experiment: "" / fl.NoiseCounter (default, parallel) or
 	// fl.NoiseReference, the sequential stream kept as the parity oracle.
 	NoiseEngine string
+	// Scenario selects the data-heterogeneity scenario every training and
+	// attack driver partitions its benchmark with (see dataset.Scenario).
+	// The zero value is the paper's Table I partition, under which every
+	// report reproduces its pre-scenario-engine output bit-for-bit.
+	Scenario dataset.Scenario
+	// Aggregation selects fl's server rule for training drivers: "" /
+	// fl.AggFedSGD, fl.AggFedAvg, or fl.AggWeighted (example-count-weighted
+	// FedAvg, the rule matched to quantity-skewed scenarios).
+	Aggregation string
+}
+
+// newDataset builds the benchmark partitioned by the options' scenario.
+func (o Options) newDataset(spec dataset.Spec) (*dataset.Dataset, error) {
+	p, err := o.Scenario.Partitioner()
+	if err != nil {
+		return nil, err
+	}
+	return dataset.NewPartitioned(spec, o.Seed, p), nil
 }
 
 func (o Options) withDefaults() Options {

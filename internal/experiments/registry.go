@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"fedcdp/internal/dataset"
 )
 
 // Driver runs one experiment at the given options.
@@ -36,11 +38,68 @@ func Names() []string {
 	return names
 }
 
-// Run executes the named experiment.
+// Run executes the named experiment. When a non-default heterogeneity
+// scenario is set, the report is stamped with it and with the realized
+// per-client dataset statistics (shard sizes, classes per client, label
+// entropy) of every benchmark the experiment touched.
 func Run(name string, o Options) (*Report, error) {
 	d, ok := Registry()[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return d(o)
+	r, err := d(o)
+	if err != nil {
+		return nil, err
+	}
+	if o.Scenario.Name != "" {
+		o = o.withDefaults()
+		r.Scenario = o.Scenario.String()
+		for _, dsName := range reportDatasets(r) {
+			spec, serr := dataset.Get(dsName)
+			if serr != nil {
+				continue
+			}
+			ds, serr := o.newDataset(spec)
+			if serr != nil {
+				return nil, serr
+			}
+			r.Notes = append(r.Notes, fmt.Sprintf("%s partition: %s", dsName, ds.Stats(statsClients)))
+		}
+	}
+	return r, nil
+}
+
+// statsClients is the population slice the scenario stats note measures —
+// the K the scaled training drivers use.
+const statsClients = 16
+
+// reportDatasets lists the benchmarks an experiment report touched, in
+// column order, by scanning its rows' first cells for benchmark names.
+func reportDatasets(r *Report) []string {
+	known := map[string]bool{}
+	for _, n := range dataset.Names() {
+		known[n] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	add := func(cell string) {
+		if known[cell] && !seen[cell] {
+			seen[cell] = true
+			out = append(out, cell)
+		}
+	}
+	for _, h := range r.Header {
+		add(h)
+	}
+	for _, row := range r.Rows {
+		if len(row) > 0 {
+			add(row[0])
+		}
+	}
+	if len(out) == 0 {
+		// Method-major tables (table2, table3, fig5) span fixed benchmarks;
+		// fall back to the flagship one so the note is never empty.
+		out = []string{"mnist"}
+	}
+	return out
 }

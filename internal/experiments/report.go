@@ -1,9 +1,3 @@
-// Package experiments contains one driver per table and figure of the
-// paper's evaluation (Section VII). Each driver runs a scaled version of the
-// experiment on the synthetic benchmark family and emits a Report whose rows
-// carry both our measured values and the paper's reported values, so the
-// reproduction shape (orderings, ratios, crossovers) can be checked at a
-// glance. The same drivers back cmd/tables and the root bench harness.
 package experiments
 
 import (
@@ -13,17 +7,23 @@ import (
 )
 
 // Report is a formatted experiment result: a titled table plus notes.
+// Scenario names the data-heterogeneity scenario the experiment ran under
+// ("" for the default Table I partition) and is set centrally by Run.
 type Report struct {
-	Name   string // experiment id, e.g. "table2"
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Name     string // experiment id, e.g. "table2"
+	Title    string
+	Scenario string
+	Header   []string
+	Rows     [][]string
+	Notes    []string
 }
 
 // Fprint renders the report as an aligned text table.
 func (r *Report) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "=== %s: %s ===\n", r.Name, r.Title)
+	if r.Scenario != "" {
+		fmt.Fprintf(w, "scenario: %s\n", r.Scenario)
+	}
 	widths := make([]int, len(r.Header))
 	for i, h := range r.Header {
 		widths[i] = len(h)

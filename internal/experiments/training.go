@@ -36,6 +36,8 @@ func runCfg(o Options, ds, method string) core.Config {
 		Seed:        o.Seed,
 		Runtime:     o.Runtime,
 		NoiseEngine: o.NoiseEngine,
+		Scenario:    o.Scenario,
+		Aggregation: o.Aggregation,
 	}
 }
 

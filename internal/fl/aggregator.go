@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"math"
 	"sync"
 
 	"fedcdp/internal/tensor"
@@ -127,6 +128,110 @@ func (a *FedAvgAggregator) Commit(params []*tensor.Tensor) {
 		p.Zero()
 		p.AddScaled(inv, a.sum[i])
 	}
+}
+
+// WeightedFolder is implemented by aggregators that weight each folded
+// update — example-count-weighted FedAvg under quantity-skewed partitions.
+// The runtimes probe for it and pass the client's local example count; a
+// plain Fold is equivalent to FoldWeighted with weight 1.
+type WeightedFolder interface {
+	FoldWeighted(update []*tensor.Tensor, weight float64)
+}
+
+// WeightedFedAvgAggregator folds client models with example-count weights
+// and commits W ← Σ n_k·(W + ΔW_k) / Σ n_k — FedAvg as McMahan et al.
+// define it, which plain FedAvg only matches when every client holds the
+// same amount of data. The fold keeps a running weighted sum and a weight
+// total, so server memory stays O(model) and the commit is a single scale:
+// the result depends only on the multiset of (update, weight) pairs, not
+// on arrival order, up to floating-point commutativity (the runtimes'
+// cohort-order fold pins even that — see DESIGN.md, "Scenario engine").
+type WeightedFedAvgAggregator struct {
+	mu   sync.Mutex
+	sum  []*tensor.Tensor
+	base []*tensor.Tensor // W at Begin, added back per fold
+	wsum float64
+	n    int
+}
+
+// NewWeightedFedAvg returns an empty weighted-FedAvg fold.
+func NewWeightedFedAvg() *WeightedFedAvgAggregator { return &WeightedFedAvgAggregator{} }
+
+// Begin implements Aggregator.
+func (a *WeightedFedAvgAggregator) Begin(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sum = resetLike(a.sum, params)
+	if geometryMatches(a.base, params) {
+		for i, p := range params {
+			a.base[i].CopyFrom(p)
+		}
+	} else {
+		a.base = tensor.CloneAll(params)
+	}
+	a.wsum = 0
+	a.n = 0
+}
+
+// Fold implements Aggregator: an unweighted fold counts as weight 1.
+func (a *WeightedFedAvgAggregator) Fold(update []*tensor.Tensor) { a.FoldWeighted(update, 1) }
+
+// maxFoldWeight caps a single fold's weight. Weights are client example
+// counts — far below a million in any real federation — so the cap only
+// bites on malformed or hostile wire values, where an enormous finite
+// weight would otherwise overflow the running sum or let one client
+// dictate the aggregate.
+const maxFoldWeight = 1e6
+
+// FoldWeighted implements WeightedFolder. Weights that are non-positive
+// (a remote client predating the weight field reports 0) or not finite
+// (NaN/Inf from a malformed or hostile wire message would otherwise
+// poison every parameter at Commit) are clamped to 1; finite weights are
+// capped at maxFoldWeight.
+func (a *WeightedFedAvgAggregator) FoldWeighted(update []*tensor.Tensor, weight float64) {
+	if !(weight > 0) || math.IsInf(weight, 1) {
+		weight = 1
+	} else if weight > maxFoldWeight {
+		weight = maxFoldWeight
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tensor.AddAllScaled(a.sum, weight, a.base)
+	tensor.AddAllScaled(a.sum, weight, update)
+	a.wsum += weight
+	a.n++
+}
+
+// Count implements Aggregator.
+func (a *WeightedFedAvgAggregator) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// Commit implements Aggregator.
+func (a *WeightedFedAvgAggregator) Commit(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n == 0 || a.wsum == 0 {
+		return
+	}
+	inv := 1 / a.wsum
+	for i, p := range params {
+		p.Zero()
+		p.AddScaled(inv, a.sum[i])
+	}
+}
+
+// foldInto routes one update into agg with its weight when the aggregator
+// is weight-aware — the single dispatch rule shared by the barrier,
+// streaming and RPC runtimes.
+func foldInto(agg Aggregator, update []*tensor.Tensor, weight float64) {
+	if wf, ok := agg.(WeightedFolder); ok {
+		wf.FoldWeighted(update, weight)
+		return
+	}
+	agg.Fold(update)
 }
 
 // CollectAggregator retains every folded update — the O(Kt) barrier-era

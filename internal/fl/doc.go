@@ -1,0 +1,62 @@
+// Package fl is the federated-learning substrate: a publish-subscribe style
+// simulation of a federated server and a (possibly very large) population of
+// clients, plus a real TCP deployment of the same rounds. It supplies
+// streaming O(model)-memory aggregation (FedSGD / FedAvg /
+// example-count-weighted FedAvg folds), per-round client sampling, parallel
+// local training on a reusable worker pool, straggler deadlines, quorum
+// semantics, and run history collection.
+//
+// The privacy behaviour of a run is supplied by a Strategy (implemented in
+// internal/core: non-private, Fed-SDP, Fed-CDP, Fed-CDP(decay), DSSGD); the
+// substrate itself is privacy-agnostic. Client data comes from
+// internal/dataset: clients are materialized lazily under the dataset's
+// partitioner, so populations of 10,000 clients cost only the Kt shards
+// actually sampled each round, under any heterogeneity scenario.
+//
+// # Runtimes and fold-order rules
+//
+// Two round runtimes share one aggregation arithmetic. The barrier runtime
+// (RuntimeBarrier) trains the whole cohort, materializes every update, and
+// folds them in cohort order — the original lockstep semantics, kept as the
+// parity reference. The streaming runtime (RuntimeStreaming, default) folds
+// each update into the round's Aggregator the moment it arrives. Its fold
+// order is configurable:
+//
+//   - FoldCohort (default) parks out-of-order arrivals in a reorder buffer
+//     and commits in cohort order, which makes seeded streaming runs
+//     bit-identical to the barrier runtime — including the serverRNG stream
+//     consumed by reference-engine server-side sanitization and the
+//     weighted folds of AggWeighted.
+//   - FoldArrival commits in completion order with no reorder buffer:
+//     strictly O(model) memory, at the cost of run-to-run floating-point
+//     reproducibility (the folded *set* is unchanged; only float summation
+//     order varies).
+//
+// Weight-aware aggregators (WeightedFolder) receive each client's local
+// example count with the update — carried on UpdateMsg.Weight over the
+// wire — so weighted FedAvg follows the same fold-order rules.
+//
+// # Noise engines and the key schedule
+//
+// RoundConfig.NoiseEngine selects the DP noise source. The counter engine
+// (NoiseCounter, default) keys every Gaussian draw to (seed, round, client,
+// iteration, example, layer, offset) via tensor.CounterRNG — noise is a
+// pure function of those labels, so sanitization parallelizes with
+// bit-identical results at any GOMAXPROCS and any arrival order (server
+// streams are keyed by cohort position, not arrival). NoiseReference is the
+// original sequential math/rand stream kept as the parity oracle.
+//
+// Reserved Split/CounterRNG label spaces under the root seed: 1 model init,
+// 2 server RNG, 3 cohort sampling, 4 client RNG streams, 5 dropout coins,
+// 6 client-side counter noise, 7 server-side counter noise.
+//
+// # Remote deployment
+//
+// rpc.go carries the same rounds over TCP with gob encoding (dense or
+// sparse per update density), optional X25519/AES-GCM channel encryption,
+// concurrent client sessions, explicit round-over refusals and update
+// receipts. The server publishes its RoundConfig — including the
+// heterogeneity Scenario, which remote clients apply to their local dataset
+// view — so a federation agrees on one configuration without per-client
+// flags.
+package fl

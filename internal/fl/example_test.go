@@ -1,0 +1,40 @@
+package fl_test
+
+import (
+	"fmt"
+
+	"fedcdp/internal/fl"
+	"fedcdp/internal/tensor"
+)
+
+// Example-count-weighted FedAvg: a client holding 300 examples pulls the
+// global model three times harder than one holding 100. With W = [1 1],
+// client A (weight 100) proposing ΔW = +1 and client B (weight 300)
+// proposing ΔW = 0, the commit is W ← (100·(W+1) + 300·W) / 400 = W + 0.25.
+func ExampleWeightedFedAvgAggregator() {
+	params := []*tensor.Tensor{tensor.FromSlice([]float64{1, 1}, 2)}
+
+	agg := fl.NewWeightedFedAvg()
+	agg.Begin(params)
+	agg.FoldWeighted([]*tensor.Tensor{tensor.FromSlice([]float64{1, 1}, 2)}, 100)
+	agg.FoldWeighted([]*tensor.Tensor{tensor.FromSlice([]float64{0, 0}, 2)}, 300)
+	agg.Commit(params)
+
+	fmt.Printf("folded %d updates -> %.2f\n", agg.Count(), params[0].Data())
+	// Output: folded 2 updates -> [1.25 1.25]
+}
+
+// An unweighted Fold counts as weight 1, so the weighted aggregator is a
+// drop-in Aggregator for runtimes that do not carry weights.
+func ExampleWeightedFedAvgAggregator_fold() {
+	params := []*tensor.Tensor{tensor.FromSlice([]float64{0}, 1)}
+
+	var agg fl.Aggregator = fl.NewWeightedFedAvg()
+	agg.Begin(params)
+	agg.Fold([]*tensor.Tensor{tensor.FromSlice([]float64{2}, 1)})
+	agg.Fold([]*tensor.Tensor{tensor.FromSlice([]float64{4}, 1)})
+	agg.Commit(params)
+
+	fmt.Printf("%.0f\n", params[0].Data())
+	// Output: [3]
+}

@@ -1,14 +1,3 @@
-// Package fl is the federated-learning substrate: a publish-subscribe style
-// simulation of a federated server and a (possibly very large) population of
-// clients, with streaming O(model)-memory aggregation (FedSGD/FedAvg folds),
-// per-round client sampling, parallel local training, straggler deadlines,
-// quorum semantics, and run history collection.
-//
-// The privacy behaviour of a run is supplied by a Strategy (implemented in
-// internal/core: non-private, Fed-SDP, Fed-CDP, Fed-CDP(decay), DSSGD); the
-// substrate itself is privacy-agnostic. Clients are materialized lazily from
-// the dataset, so populations of 10,000 clients cost only the Kt shards
-// actually sampled each round.
 package fl
 
 import (
@@ -95,6 +84,12 @@ type RoundConfig struct {
 	LocalIters  int
 	LR          float64
 	TotalRounds int
+	// Scenario is the data-heterogeneity scenario the server publishes:
+	// remote clients repartition their local dataset view with it, so the
+	// whole federation agrees on one client→shard assignment without
+	// per-client configuration. The zero value means the client's own
+	// partition (iid by default) stands.
+	Scenario dataset.Scenario
 	// Engine selects the local-training execution engine: EngineBatched
 	// ("" defaults to it) or EngineReference.
 	Engine string
@@ -271,8 +266,9 @@ type Config struct {
 
 // Aggregation rules.
 const (
-	AggFedSGD = "fedsgd"
-	AggFedAvg = "fedavg"
+	AggFedSGD   = "fedsgd"
+	AggFedAvg   = "fedavg"
+	AggWeighted = "weighted"
 )
 
 func (c *Config) validate() error {
@@ -289,7 +285,7 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: invalid round config %+v", c.Round)
 	case c.Round.LR <= 0:
 		return fmt.Errorf("fl: learning rate must be positive, got %v", c.Round.LR)
-	case c.Aggregation != "" && c.Aggregation != AggFedSGD && c.Aggregation != AggFedAvg:
+	case c.Aggregation != "" && c.Aggregation != AggFedSGD && c.Aggregation != AggFedAvg && c.Aggregation != AggWeighted:
 		return fmt.Errorf("fl: unknown aggregation %q", c.Aggregation)
 	case c.DropoutRate < 0 || c.DropoutRate > 1:
 		return fmt.Errorf("fl: dropout rate %v outside [0,1]", c.DropoutRate)
@@ -307,6 +303,9 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: quorum %d outside [0, Kt=%d]", c.MinQuorum, c.Kt)
 	case c.RoundDeadline < 0:
 		return fmt.Errorf("fl: negative round deadline %v", c.RoundDeadline)
+	}
+	if _, err := c.Round.Scenario.Partitioner(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -345,9 +344,12 @@ func Run(cfg Config) (*History, error) {
 	serverRNG := tensor.Split(cfg.Seed, 2)
 	workers := newWorkerPool(par, cfg.Model)
 	var agg Aggregator
-	if cfg.Aggregation == AggFedAvg {
+	switch cfg.Aggregation {
+	case AggFedAvg:
 		agg = NewFedAvg()
-	} else {
+	case AggWeighted:
+		agg = NewWeightedFedAvg()
+	default:
 		agg = NewFedSGD()
 	}
 	clock := cfg.Clock
@@ -381,7 +383,7 @@ func Run(cfg Config) (*History, error) {
 // aggregation arithmetic itself is shared — both fold through the same
 // Aggregator).
 func runBarrierRound(cfg Config, global *nn.Model, cohort []int, round int, workers *workerPool, serverRNG *tensor.RNG, agg Aggregator) RoundStats {
-	updates, stats := trainCohort(cfg, global, cohort, round, workers)
+	updates, stats, weights := trainCohort(cfg, global, cohort, round, workers)
 	if cs, ok := counterSanitizer(cfg); ok {
 		noise := ServerNoise(cfg.Seed, round)
 		for i, u := range updates {
@@ -394,8 +396,8 @@ func runBarrierRound(cfg Config, global *nn.Model, cohort []int, round int, work
 	}
 	params := global.Params()
 	agg.Begin(params)
-	for _, u := range updates {
-		agg.Fold(u)
+	for i, u := range updates {
+		foldInto(agg, u, weights[i])
 	}
 	rs := RoundStats{Clients: len(cohort)}
 	for _, st := range stats {
@@ -484,10 +486,12 @@ func (p *workerPool) acquire() *worker {
 func (p *workerPool) release(w *worker) { p.slots <- w }
 
 // trainCohort runs local training for every cohort member on the worker
-// pool and returns updates aligned with the cohort order.
-func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers *workerPool) ([][]*tensor.Tensor, []ClientStats) {
+// pool and returns updates, stats and aggregation weights (the client's
+// local example count) aligned with the cohort order.
+func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers *workerPool) ([][]*tensor.Tensor, []ClientStats, []float64) {
 	updates := make([][]*tensor.Tensor, len(cohort))
 	stats := make([]ClientStats, len(cohort))
+	weights := make([]float64, len(cohort))
 	globalParams := tensor.CloneAll(global.Params())
 
 	var wg sync.WaitGroup
@@ -498,11 +502,13 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 			defer wg.Done()
 			defer workers.release(w)
 			w.model.SetParams(globalParams)
+			data := cfg.Data.Client(id)
+			weights[i] = float64(data.Len())
 			env := &ClientEnv{
 				ClientID: id,
 				Round:    round,
 				Model:    w.model,
-				Data:     cfg.Data.Client(id),
+				Data:     data,
 				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
 				Cfg:      cfg.Round,
 				Arena:    w.arena,
@@ -512,7 +518,7 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 		}(i, id, w)
 	}
 	wg.Wait()
-	return updates, stats
+	return updates, stats, weights
 }
 
 // evalChunk bounds the batch width of Evaluate so validation of large sets

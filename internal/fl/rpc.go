@@ -74,10 +74,14 @@ type ParamMsg struct {
 // UpdateMsg is the client→server local update. Exactly one of Delta
 // (dense) or Sparse (indices + values) carries the payload; sparse is
 // chosen by the client when most coordinates are zero (DSSGD, top-k
-// compression — see EncodeUpdate).
+// compression — see EncodeUpdate). Weight is the client's local example
+// count, consumed by weight-aware aggregators (example-count-weighted
+// FedAvg); 0 — e.g. from a client predating the field, which gob decodes
+// as the zero value — is treated as weight 1 at the fold.
 type UpdateMsg struct {
 	ClientID int
 	Round    int
+	Weight   float64
 	Delta    []TensorWire
 	Sparse   []SparseTensorWire
 }
@@ -145,6 +149,7 @@ type roundState struct {
 
 type sessionResult struct {
 	update []*tensor.Tensor
+	weight float64
 	err    error
 }
 
@@ -299,7 +304,7 @@ func (s *RoundServer) handle(conn net.Conn) {
 		_ = enc.Encode(AckMsg{Reason: fmt.Sprintf("round %d is over", upd.Round)})
 		return
 	}
-	if st.deliver(sessionResult{update: upd.Tensors()}) {
+	if st.deliver(sessionResult{update: upd.Tensors(), weight: upd.Weight}) {
 		_ = enc.Encode(AckMsg{Accepted: true})
 	} else {
 		_ = enc.Encode(AckMsg{Reason: "round closed before the update arrived"})
@@ -383,7 +388,7 @@ func (s *RoundServer) StreamRound(round int, params []*tensor.Tensor, cfg RoundC
 			res.Failed++
 			return
 		}
-		agg.Fold(r.update)
+		foldInto(agg, r.update, r.weight)
 		res.Folded++
 	}
 collect:
@@ -479,6 +484,16 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 	if pm.Denied {
 		return fmt.Errorf("%w: %s", ErrRoundClosed, pm.Reason)
 	}
+	if pm.Cfg.Scenario.Name != "" {
+		// The server published a heterogeneity scenario with the round
+		// config: repartition the local dataset view so this client's shard
+		// matches the assignment every other participant uses.
+		p, err := pm.Cfg.Scenario.Partitioner()
+		if err != nil {
+			return err
+		}
+		data = data.Repartition(p)
+	}
 	model := nn.Build(spec, tensor.NewRNG(0))
 	model.SetParams(TensorsFromWire(pm.Params))
 	arena := tensor.NewArena()
@@ -494,7 +509,7 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 		Noise:    clientNoiseFor(pm.Cfg, seed, pm.Round, clientID),
 	}
 	delta, _ := strat.ClientUpdate(env)
-	msg := UpdateMsg{ClientID: clientID, Round: pm.Round}
+	msg := UpdateMsg{ClientID: clientID, Round: pm.Round, Weight: float64(data.Len())}
 	msg.Delta, msg.Sparse = EncodeUpdate(delta)
 	if err := gob.NewEncoder(rw).Encode(msg); err != nil {
 		return fmt.Errorf("fl: sending update: %w", err)

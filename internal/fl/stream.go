@@ -18,11 +18,13 @@ import (
 
 // clientResult carries one finished client's contribution back to the
 // round scheduler. idx is the client's position in the cohort, which the
-// deterministic fold mode uses to commit in cohort order.
+// deterministic fold mode uses to commit in cohort order; weight is the
+// client's local example count, consumed by weight-aware aggregators.
 type clientResult struct {
 	idx    int
 	update []*tensor.Tensor
 	stats  ClientStats
+	weight float64
 }
 
 // dispatchCohort hands every cohort member to the worker pool and streams
@@ -49,18 +51,19 @@ func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, gl
 		go func(i, id int, w *worker) {
 			defer workers.release(w)
 			w.model.SetParams(globalParams)
+			data := cfg.Data.Client(id)
 			env := &ClientEnv{
 				ClientID: id,
 				Round:    round,
 				Model:    w.model,
-				Data:     cfg.Data.Client(id),
+				Data:     data,
 				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
 				Cfg:      cfg.Round,
 				Arena:    w.arena,
 				Noise:    clientNoiseFor(cfg.Round, cfg.Seed, round, id),
 			}
 			upd, st := cfg.Strategy.ClientUpdate(env)
-			results <- clientResult{idx: i, update: upd, stats: st}
+			results <- clientResult{idx: i, update: upd, stats: st, weight: float64(data.Len())}
 		}(i, id, w)
 	}
 }
@@ -83,7 +86,7 @@ func runStreamingRound(cfg Config, global *nn.Model, cohort []int, round int, wo
 	// identical noise per update.
 	commit := func(res clientResult) {
 		serverSanitize(cfg, round, res.idx, res.update, serverRNG)
-		agg.Fold(res.update)
+		foldInto(agg, res.update, res.weight)
 		folded++
 		rs.MeanGradNorm += res.stats.MeanGradNorm
 		rs.MsPerIter += res.stats.MsPerIter()

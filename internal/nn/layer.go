@@ -1,20 +1,3 @@
-// Package nn is a small, from-scratch neural-network library: dense and
-// convolutional layers, pooling, smooth and piecewise-linear activations, a
-// softmax cross-entropy loss, SGD, and gob model serialization.
-//
-// Two execution paths share each layer's parameters. The per-example
-// reference path (Forward/Backward) processes one example at a time and
-// accumulates parameter gradients into the layer's gradient buffers — after
-// one example's backward pass the buffers *are* that example's gradient,
-// the execution model per-example differential privacy (Fed-CDP) is defined
-// against. The batched engine (BatchLayer: ForwardBatch/BackwardBatch, see
-// batch.go) processes whole mini-batches through GEMM and im2col+GEMM while
-// still recovering every example's parameter gradient from the batch
-// buffers; parity tests pin it to the reference path. See DESIGN.md.
-//
-// Layers are stateful between Forward and Backward (cached activations), so a
-// model instance must not be shared across goroutines; use Model.Clone to
-// give each federated client its own copy.
 package nn
 
 import (

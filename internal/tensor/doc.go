@@ -1,0 +1,40 @@
+// Package tensor provides dense float64 tensors and the small set of
+// numerical primitives every other package is built on: shape-checked
+// element-wise arithmetic, blocked and parallel matrix multiplication
+// (MatMul/MatMulT/MatMulTN and their accumulating variants), im2col/col2im
+// for convolution lowering, L2 norms and norm clipping, scratch-buffer
+// arenas, and deterministic random number generation.
+//
+// # Determinism contracts
+//
+// Two generator families cover every random draw in the repository:
+//
+//   - RNG wraps math/rand behind splittable seeds: Split(seed, labels...)
+//     derives a child stream that depends only on (seed, labels...), so any
+//     component can be handed a stable stream regardless of goroutine
+//     scheduling. A stream's draws are sequential — two consumers must not
+//     share one RNG.
+//
+//   - CounterRNG (crng.go) is the counter-mode engine behind the parallel
+//     DP noise path: the k-th Gaussian of stream (seed, labels...) is a
+//     pure function of (seed, labels..., k). There is no shared cursor, so
+//     any goroutine may generate any sub-range of any stream in any order
+//     and the assembled output is bit-identical at every GOMAXPROCS. The
+//     fused kernels (FillNormalBulk/AddNormalBulk/ScaleAddNormalBulk)
+//     honor the same indexing, so bulk ≡ pointwise exactly.
+//
+// Reserved Split/CounterRNG label spaces are documented at their owners:
+// labels 1–7 under the root seed belong to internal/fl (model init, server
+// RNG, cohort sampling, client streams, dropout, counter noise), and the
+// 1000/2000/3xxx/4xxx spaces under the dataset seed belong to
+// internal/dataset (prototypes, samples, partitioners, label flips).
+//
+// # Concurrency
+//
+// Tensors are row-major and mutable; operations that can work in place do
+// so and are documented accordingly. A Tensor is not internally
+// synchronized — concurrent writers need external coordination. Arena is a
+// single-goroutine scratch recycler: each worker owns one. The blocked
+// MatMul kernels may shard rows across goroutines internally; their
+// accumulation order is fixed, so results do not depend on GOMAXPROCS.
+package tensor

@@ -1,12 +1,3 @@
-// Package tensor provides dense float64 tensors and the small set of
-// numerical primitives the rest of the library is built on: shape-checked
-// element-wise arithmetic, matrix multiplication, L2 norms and norm clipping,
-// and deterministic random number generation with splittable seeds.
-//
-// Tensors are row-major and mutable; operations that can work in place do so
-// and are documented accordingly. All randomness flows through *rng.Source
-// style *RNG values so that every experiment in this repository is exactly
-// reproducible from a single root seed.
 package tensor
 
 import (
