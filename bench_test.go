@@ -590,3 +590,34 @@ func BenchmarkGobTransportRound(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimnetRounds measures full-deployment federated rounds over the
+// in-memory simnet fabric — RoundServer on a fabric listener, every cohort
+// member a real RPC client goroutine, gob on the wire, virtual time — the
+// substrate the fault matrix and every future chaos/scale test stands on.
+// The null plan is the BENCH_simnet.json baseline (rounds/sec of pure
+// fabric + protocol overhead); the faulted plan adds the acceptance
+// scenario's chaos, whose latency costs zero wall time by construction.
+func BenchmarkSimnetRounds(b *testing.B) {
+	for _, tc := range []struct{ name, plan string }{
+		{"null", ""},
+		{"faulted", "drop=0.2,crash=2,restart=1,latency=10ms,jitter=5ms"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			const rounds = 3
+			cfg := core.Config{
+				Dataset: "cancer", Method: core.MethodFedCDP,
+				K: 8, Kt: 4, Rounds: rounds, LocalIters: 2,
+				Sigma: 0.06, Seed: 42, ValExamples: 40, EvalEvery: 100,
+				Faults: tc.plan,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunSimnet(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds*b.N)/b.Elapsed().Seconds(), "rounds/sec")
+		})
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 	scenario := flag.String("scenario", "", "data-heterogeneity scenario published to clients: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
 	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
-	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default) or weighted (example-count-weighted FedAvg)")
+	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (example-count-weighted FedAvg)")
 	seed := flag.Int64("seed", 42, "root seed")
 	flag.Parse()
 
@@ -72,14 +72,9 @@ func main() {
 		*dsName, srv.Addr(), *secure, *rounds, *kt, *deadline, *quorum, sc)
 
 	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine, Scenario: sc}
-	var agg fl.Aggregator
-	switch *aggRule {
-	case "", fl.AggFedSGD:
-		agg = fl.NewFedSGD()
-	case fl.AggWeighted:
-		agg = fl.NewWeightedFedAvg()
-	default:
-		fatal(fmt.Errorf("unknown aggregation rule %q", *aggRule))
+	agg, err := fl.NewAggregator(*aggRule)
+	if err != nil {
+		fatal(err)
 	}
 	for round := 0; round < *rounds; round++ {
 		start := time.Now()
@@ -96,8 +91,12 @@ func main() {
 		if !res.Committed {
 			status = "below quorum — model unchanged"
 		}
-		fmt.Printf("round %d: %d/%d updates folded (%d failed), %s, accuracy %.4f, %.1fs\n",
-			round, res.Folded, *kt, res.Failed, status, acc, time.Since(start).Seconds())
+		dups := ""
+		if res.Duplicates > 0 {
+			dups = fmt.Sprintf(", %d duplicate", res.Duplicates)
+		}
+		fmt.Printf("round %d: %d/%d updates folded (%d failed%s), %s, accuracy %.4f, %.1fs\n",
+			round, res.Folded, *kt, res.Failed, dups, status, acc, time.Since(start).Seconds())
 	}
 	fmt.Println("fedserve: done")
 }

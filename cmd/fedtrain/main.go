@@ -9,6 +9,13 @@
 //	fedtrain -dataset mnist -method fedcdp-decay -compress 0.3
 //	fedtrain -dataset mnist -method fedcdp -scenario dirichlet -alpha 0.1
 //	fedtrain -dataset mnist -scenario quantity -agg weighted
+//	fedtrain -dataset cancer -faults 'drop=0.2,crash=2,restart=1'
+//	fedtrain -dataset cancer -simnet -faults 'latency=20ms,crash=2,partition=c0>server@1-2'
+//
+// -faults injects a deterministic fault plan (see DESIGN.md, "Simnet") into
+// the in-process runtime; -simnet additionally runs the whole federation —
+// server, per-client RPC sessions, restarts — over the in-memory simnet
+// fabric on virtual time.
 package main
 
 import (
@@ -45,6 +52,8 @@ func main() {
 	flag.IntVar(&cfg.Scenario.Shards, "shards", 0, "pathological label shards per client (0 = default 2)")
 	flag.StringVar(&cfg.Aggregation, "agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (example-count-weighted FedAvg)")
 	flag.Float64Var(&cfg.DropoutRate, "dropout", 0, "per-round client dropout probability")
+	flag.StringVar(&cfg.Faults, "faults", "", "deterministic fault plan, e.g. 'drop=0.2,crash=2,restart=1' (see DESIGN.md)")
+	useSimnet := flag.Bool("simnet", false, "run the federation over the in-memory simnet fabric (RPC path, virtual time)")
 	flag.DurationVar(&cfg.RoundDeadline, "deadline", 0, "per-round straggler cutoff (0 = wait for full cohort)")
 	flag.IntVar(&cfg.MinQuorum, "quorum", 0, "minimum updates required to commit a round")
 	flag.Int64Var(&cfg.Seed, "seed", 42, "root seed")
@@ -57,14 +66,21 @@ func main() {
 
 	var res *core.Result
 	var err error
-	if *ckptIn != "" {
+	switch {
+	case *ckptIn != "":
+		if *useSimnet {
+			fmt.Fprintln(os.Stderr, "fedtrain: -simnet cannot resume a checkpoint")
+			os.Exit(1)
+		}
 		ckpt, lerr := core.LoadCheckpointFile(*ckptIn)
 		if lerr != nil {
 			fmt.Fprintln(os.Stderr, "fedtrain:", lerr)
 			os.Exit(1)
 		}
 		res, err = ckpt.Resume(cfg.Rounds)
-	} else {
+	case *useSimnet:
+		res, err = core.RunSimnet(cfg)
+	default:
 		res, err = core.Run(cfg)
 	}
 	if err != nil {

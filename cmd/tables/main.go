@@ -9,6 +9,10 @@
 // Scale trades fidelity for time: 1 is the CPU-friendly default, larger
 // values approach the paper's GPU-scale parameters. Table VI always runs at
 // the paper's exact parameters (it is a pure computation).
+//
+// Beyond the paper's tables, "-exp faults" renders the fault-sensitivity
+// matrix: {runtime × scenario × method × fault plan} under deterministic
+// fault injection (see DESIGN.md, "Simnet").
 package main
 
 import (
@@ -40,7 +44,7 @@ func writeCSV(rep *experiments.Report) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig1, fig3, fig4, fig5) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig1, fig3, fig4, fig5, faults) or 'all'")
 	scale := flag.Float64("scale", 1, "effort multiplier (1 = default scaled-down run)")
 	seed := flag.Int64("seed", 42, "root random seed")
 	format := flag.String("format", "text", "output format: text or csv")

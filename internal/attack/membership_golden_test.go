@@ -1,0 +1,117 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"fedcdp/internal/tensor"
+)
+
+// Golden regression coverage for the loss-threshold membership attack:
+// an exact hand-computed micro case pinning the threshold-sweep and AUC
+// arithmetic, and a seeded statistical case pinning the full pipeline's
+// output to 15 digits.
+
+func TestMembershipHandComputedCase(t *testing.T) {
+	// members lose {0.1, 0.35}, non-members {0.2, 0.3}. Sweeping sorted
+	// thresholds: after 0.1 → TPR ½, FPR 0 (advantage ½, the maximum);
+	// after 0.2 → ½,½; after 0.3 → ½,1; after 0.35 → 1,1. ROC points
+	// (0,½),(½,½),(1,½),(1,1) integrate to AUC ½.
+	xs := make([]*tensor.Tensor, 4)
+	for i := range xs {
+		xs[i] = tensor.FromSlice([]float64{float64(i)}, 1)
+	}
+	losses := map[*tensor.Tensor]float64{xs[0]: 0.1, xs[1]: 0.35, xs[2]: 0.2, xs[3]: 0.3}
+	members := []Sample{{X: xs[0]}, {X: xs[1]}}
+	nonMembers := []Sample{{X: xs[2]}, {X: xs[3]}}
+	res := MembershipInference(func(x *tensor.Tensor, y int) float64 { return losses[x] }, members, nonMembers)
+	if res.Advantage != 0.5 || res.TPR != 0.5 || res.FPR != 0 {
+		t.Fatalf("advantage/TPR/FPR = %v/%v/%v, want 0.5/0.5/0", res.Advantage, res.TPR, res.FPR)
+	}
+	if res.Threshold != 0.1 {
+		t.Fatalf("threshold = %v, want 0.1 (the loss attaining the best advantage)", res.Threshold)
+	}
+	if res.AUC != 0.5 {
+		t.Fatalf("AUC = %v, want 0.5", res.AUC)
+	}
+}
+
+func TestMembershipSeededGolden(t *testing.T) {
+	// Members' losses ~ N(0.4, 0.2²), non-members' ~ N(0.6, 0.2²), 60 of
+	// each from one seeded stream: a moderate, realistic leakage signal.
+	// The pinned values are regression anchors for the sweep and the rank
+	// statistic; any change to the attack arithmetic must update them
+	// consciously.
+	rng := tensor.NewRNG(2024)
+	mk := func(n int, mean float64, losses map[*tensor.Tensor]float64) []Sample {
+		ss := make([]Sample, n)
+		for i := range ss {
+			x := tensor.New(4)
+			rng.FillUniform(x, 0, 1)
+			ss[i] = Sample{X: x, Y: i % 3}
+			losses[x] = rng.Normal(mean, 0.2)
+		}
+		return ss
+	}
+	losses := map[*tensor.Tensor]float64{}
+	members := mk(60, 0.4, losses)
+	nonMembers := mk(60, 0.6, losses)
+	res := MembershipInference(func(x *tensor.Tensor, y int) float64 { return losses[x] }, members, nonMembers)
+
+	const tol = 1e-12
+	golden := MembershipResult{
+		Advantage: 0.316666666666667,
+		TPR:       0.683333333333333,
+		FPR:       0.366666666666667,
+		Threshold: 0.524194988700935,
+		AUC:       0.6975,
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.15g, golden %.15g", name, got, want)
+		}
+	}
+	check("Advantage", res.Advantage, golden.Advantage)
+	check("TPR", res.TPR, golden.TPR)
+	check("FPR", res.FPR, golden.FPR)
+	check("Threshold", res.Threshold, golden.Threshold)
+	check("AUC", res.AUC, golden.AUC)
+
+	// Internal consistency regardless of goldens.
+	if res.Advantage != res.TPR-res.FPR {
+		t.Error("advantage must equal TPR−FPR at the chosen threshold")
+	}
+	if res.AUC <= 0.5 || res.AUC > 1 {
+		t.Errorf("AUC %v outside the leaking-model range (0.5, 1]", res.AUC)
+	}
+}
+
+func TestMembershipAttackWeakensWithOverlap(t *testing.T) {
+	// Shrinking the separation between member and non-member loss
+	// distributions must shrink the attack's success — the qualitative
+	// effect differential privacy buys (Table VII's Fed-CDP rows).
+	attackAt := func(gap float64) float64 {
+		rng := tensor.NewRNG(7)
+		losses := map[*tensor.Tensor]float64{}
+		mk := func(n int, mean float64) []Sample {
+			ss := make([]Sample, n)
+			for i := range ss {
+				x := tensor.New(2)
+				rng.FillUniform(x, 0, 1)
+				ss[i] = Sample{X: x}
+				losses[x] = rng.Normal(mean, 0.2)
+			}
+			return ss
+		}
+		members := mk(80, 0.5-gap/2)
+		nonMembers := mk(80, 0.5+gap/2)
+		return MembershipInference(func(x *tensor.Tensor, y int) float64 { return losses[x] }, members, nonMembers).Advantage
+	}
+	wide, narrow := attackAt(0.6), attackAt(0.05)
+	if narrow >= wide {
+		t.Fatalf("advantage must fall as distributions overlap: gap 0.6 → %v, gap 0.05 → %v", wide, narrow)
+	}
+	if wide < 0.5 {
+		t.Fatalf("well-separated losses must leak strongly, got advantage %v", wide)
+	}
+}

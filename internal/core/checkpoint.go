@@ -95,6 +95,12 @@ func (c *Checkpoint) Resume(rounds int) (*Result, error) {
 		return nil, err
 	}
 	ds := dataset.NewPartitioned(spec, cfg.Seed, part)
+	// The fault plan binds over the whole horizon, so a resumed run meets
+	// exactly the failures the uninterrupted run would have met.
+	faults, err := cfg.faultPlan(horizon)
+	if err != nil {
+		return nil, err
+	}
 	hist, err := fl.Run(fl.Config{
 		Data:  ds,
 		Model: spec.ModelSpec(),
@@ -119,6 +125,7 @@ func (c *Checkpoint) Resume(rounds int) (*Result, error) {
 		DropoutRate:     cfg.DropoutRate,
 		RoundDeadline:   cfg.RoundDeadline,
 		MinQuorum:       cfg.MinQuorum,
+		Faults:          faults,
 	})
 	if err != nil {
 		return nil, err

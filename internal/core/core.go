@@ -7,6 +7,7 @@ import (
 	"fedcdp/internal/accountant"
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/fl"
+	"fedcdp/internal/simnet"
 )
 
 // Method names accepted by Config.Method.
@@ -104,6 +105,14 @@ type Config struct {
 	// fl.AggFedAvg, or fl.AggWeighted — example-count-weighted FedAvg, the
 	// rule that corrects for quantity-skewed partitions.
 	Aggregation string
+
+	// Faults is a deterministic fault-injection plan in the simnet grammar
+	// — e.g. "drop=0.2,crash=2,restart=1" (see simnet.ParsePlan). The plan
+	// is bound to (Seed, Rounds, K), so the same configuration always
+	// fails the same way; the empty string runs fault-free. Run injects
+	// the plan in-process; RunSimnet additionally realizes it at the
+	// transport level over the in-memory fabric.
+	Faults string
 }
 
 // withDefaults resolves zero fields against the benchmark spec.
@@ -200,6 +209,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	ds := dataset.NewPartitioned(spec, cfg.Seed, part)
+	horizon := cfg.Rounds
+	if cfg.PlannedRounds > horizon {
+		horizon = cfg.PlannedRounds
+	}
+	faults, err := cfg.faultPlan(horizon)
+	if err != nil {
+		return nil, err
+	}
 
 	hist, err := fl.Run(fl.Config{
 		Data:  ds,
@@ -223,12 +240,28 @@ func Run(cfg Config) (*Result, error) {
 		DropoutRate:     cfg.DropoutRate,
 		RoundDeadline:   cfg.RoundDeadline,
 		MinQuorum:       cfg.MinQuorum,
+		Faults:          faults,
 	})
 	if err != nil {
 		return nil, err
 	}
 	annotateEpsilon(cfg, spec, hist)
 	return &Result{History: hist, Spec: spec, Cfg: cfg}, nil
+}
+
+// faultPlan parses and binds the configured fault plan over a round
+// horizon; a nil fl.FaultPlan (clean run) comes back for the empty string.
+// The horizon matters for resumed runs: binding over the full plan keeps a
+// checkpoint-resumed run failing exactly like the uninterrupted one.
+func (c Config) faultPlan(horizon int) (fl.FaultPlan, error) {
+	if c.Faults == "" {
+		return nil, nil
+	}
+	plan, err := simnet.ParsePlan(c.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Bind(c.Seed, horizon, c.K), nil
 }
 
 // annotateEpsilon fills RoundStats.Epsilon with cumulative privacy spending.

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"fedcdp/internal/core"
+	"fedcdp/internal/tensor"
+)
+
+// The scenario-matrix sweep: every {runtime × scenario × method × plan}
+// cell must uphold the runtime's invariants under fault injection. This
+// test is the simnet layer's standing integration gate and runs under
+// -race in CI's sim job.
+
+// digestParams fingerprints a model's parameters bit-for-bit (FNV-1a over
+// every float64's bit pattern).
+func digestParams(ts []*tensor.Tensor) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, t := range ts {
+		for _, v := range t.Data() {
+			b := math.Float64bits(v)
+			for s := 0; s < 64; s += 8 {
+				buf[s/8] = byte(b >> s)
+			}
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func TestFaultMatrixInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("48 federated runs")
+	}
+	cells, err := RunFaultMatrix(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtimes, scenarios, methods, plans := faultMatrixAxes()
+	if want := len(runtimes) * len(scenarios) * len(methods) * len(plans); len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+
+	sawUncommitted, sawDropped := false, false
+	type key struct{ scenario, method, plan string }
+	digests := map[key]map[string]uint64{} // key → runtime → digest
+	for _, c := range cells {
+		label := fmt.Sprintf("%s/%s/%s/%q", c.Runtime, c.Scenario, c.Method, c.Plan)
+		prevEps := 0.0
+		for i, r := range c.Result.Rounds {
+			// Invariant: quorum honored — committed iff enough folds.
+			if r.Committed != (r.Clients >= faultMatrixQuorum) {
+				t.Fatalf("%s round %d: committed=%v with %d folds under quorum %d", label, i, r.Committed, r.Clients, faultMatrixQuorum)
+			}
+			// Invariant: fold/drop conservation over the sampled cohort.
+			if r.Clients+r.Dropped != 4 {
+				t.Fatalf("%s round %d: %d folded + %d dropped ≠ cohort 4", label, i, r.Clients, r.Dropped)
+			}
+			// Invariant: ε accounting is monotone — and strictly growing
+			// for private methods, even through uncommitted rounds (noise
+			// was released regardless of whether the fold committed).
+			switch c.Method {
+			case core.MethodFedCDP, core.MethodFedSDPSrv:
+				if r.Epsilon <= prevEps {
+					t.Fatalf("%s round %d: ε %v did not grow past %v", label, i, r.Epsilon, prevEps)
+				}
+			default:
+				if r.Epsilon != 0 {
+					t.Fatalf("%s round %d: non-private ε = %v", label, i, r.Epsilon)
+				}
+			}
+			prevEps = r.Epsilon
+			if !r.Committed {
+				sawUncommitted = true
+			}
+			if r.Dropped > 0 {
+				sawDropped = true
+			}
+		}
+		k := key{c.Scenario.String(), c.Method, c.Plan}
+		if digests[k] == nil {
+			digests[k] = map[string]uint64{}
+		}
+		digests[k][c.Runtime] = digestParams(c.Result.Final.Params())
+	}
+
+	// Invariant: the streaming and barrier runtimes commit bit-identical
+	// models under every scenario, method and fault plan.
+	for k, byRuntime := range digests {
+		if len(byRuntime) != len(runtimes) {
+			t.Fatalf("%v: missing a runtime run", k)
+		}
+		var want uint64
+		first := true
+		for rt, d := range byRuntime {
+			if first {
+				want, first = d, false
+				continue
+			}
+			if d != want {
+				t.Fatalf("%v: runtime %s digest %x diverges from %x", k, rt, d, want)
+			}
+		}
+	}
+
+	// The sweep must actually exercise the failure paths it claims to.
+	if !sawDropped {
+		t.Fatal("no cell ever dropped a contribution")
+	}
+	if !sawUncommitted {
+		t.Fatal("no cell ever missed quorum — the heavy plans are too gentle")
+	}
+}
+
+func TestFaultMatrixReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("48 federated runs")
+	}
+	rep, err := Run("faults", Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "faults" || len(rep.Rows) != 48 {
+		t.Fatalf("report %s with %d rows, want faults/48", rep.Name, len(rep.Rows))
+	}
+	if len(rep.Header) != len(rep.Rows[0]) {
+		t.Fatalf("header width %d ≠ row width %d", len(rep.Header), len(rep.Rows[0]))
+	}
+}

@@ -24,6 +24,7 @@ func Registry() map[string]Driver {
 		"fig3":   Fig3,
 		"fig4":   Fig4,
 		"fig5":   Fig5,
+		"faults": FaultMatrix,
 	}
 }
 

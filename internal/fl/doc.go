@@ -48,7 +48,19 @@
 //
 // Reserved Split/CounterRNG label spaces under the root seed: 1 model init,
 // 2 server RNG, 3 cohort sampling, 4 client RNG streams, 5 dropout coins,
-// 6 client-side counter noise, 7 server-side counter noise.
+// 6 client-side counter noise, 7 server-side counter noise; labels 8–11
+// belong to internal/simnet's fault coins.
+//
+// # Fault injection
+//
+// Config.Faults accepts a FaultPlan — deterministic update loss, mid-round
+// client crashes and between-round server restarts, implemented by
+// internal/simnet.Plan. Both runtimes consult the plan at the same
+// decision points (a crashed client's slot resolves without training, a
+// dropped update trains and is then lost, a restart rebuilds every
+// in-memory server structure from checkpointable state), so a faulted
+// seeded run is exactly as reproducible as a clean one and streaming ↔
+// barrier parity holds under any plan.
 //
 // # Remote deployment
 //
@@ -58,5 +70,13 @@
 // receipts. The server publishes its RoundConfig — including the
 // heterogeneity Scenario, which remote clients apply to their local dataset
 // view — so a federation agrees on one configuration without per-client
-// flags.
+// flags. The transport is pluggable at both ends (NewRoundServerOn takes
+// any net.Listener, ClientOptions.Dial any dialer): real TCP is the
+// default, and internal/simnet substitutes an in-memory fabric with
+// seeded link faults so entire deployments — server restarts, reconnects,
+// duplicate submissions, partitions — run deterministically inside one
+// test process. Wire messages that cross a connection are validated
+// before use (wire.go): hostile shapes, lengths and non-finite values
+// error out instead of panicking or poisoning the model, and update
+// re-submissions after a lost ack are acknowledged but folded only once.
 package fl

@@ -259,6 +259,13 @@ type Config struct {
 	// paths deterministically.
 	Clock Clock
 
+	// Faults injects deterministic failures into the round loop: update
+	// loss, mid-round client crashes, server restarts between rounds.
+	// simnet.Plan implements it; nil runs fault-free. Both runtimes consult
+	// the same plan at the same decision points, so seeded runs stay
+	// bit-identical between streaming and barrier under any plan.
+	Faults FaultPlan
+
 	// foldHook, when set (tests only), observes every committed fold as
 	// (round, folds so far this round).
 	foldHook func(round, folded int)
@@ -270,6 +277,50 @@ const (
 	AggFedAvg   = "fedavg"
 	AggWeighted = "weighted"
 )
+
+// NewAggregator constructs the server fold for an aggregation rule (""
+// defaults to FedSGD) — the single rule↔fold mapping shared by the
+// in-process runtimes, cmd/fedserve and the simnet harness.
+func NewAggregator(rule string) (Aggregator, error) {
+	switch rule {
+	case "", AggFedSGD:
+		return NewFedSGD(), nil
+	case AggFedAvg:
+		return NewFedAvg(), nil
+	case AggWeighted:
+		return NewWeightedFedAvg(), nil
+	default:
+		return nil, fmt.Errorf("fl: unknown aggregation %q", rule)
+	}
+}
+
+// FaultPlan injects deterministic failures into a federated run. Every
+// method must be a pure function of its arguments (plus the plan's own
+// seed) — never of wall time or goroutine scheduling — so a faulted run is
+// exactly as reproducible as a clean one. internal/simnet's Plan is the
+// canonical implementation; the interface lives here (structurally) so fl
+// depends on no fault machinery.
+type FaultPlan interface {
+	// CrashClient reports whether the client crashes mid-round: its update
+	// (and its stats) never reach the server.
+	CrashClient(round, client int) bool
+	// DropUpdate reports whether the client's finished update is lost in
+	// transit to the server.
+	DropUpdate(round, client int) bool
+	// RestartServer reports whether the server restarts between round-1 and
+	// round, losing all in-memory state except the checkpointable state
+	// (global parameters and the round counter).
+	RestartServer(round int) bool
+}
+
+// faultLost reports whether a cohort member's contribution is lost to the
+// fault plan this round — the single decision rule shared by the barrier
+// and streaming runtimes (which is what keeps them in lockstep under any
+// plan).
+func faultLost(cfg Config, round, client int) bool {
+	f := cfg.Faults
+	return f != nil && (f.CrashClient(round, client) || f.DropUpdate(round, client))
+}
 
 func (c *Config) validate() error {
 	switch {
@@ -343,21 +394,29 @@ func Run(cfg Config) (*History, error) {
 
 	serverRNG := tensor.Split(cfg.Seed, 2)
 	workers := newWorkerPool(par, cfg.Model)
-	var agg Aggregator
-	switch cfg.Aggregation {
-	case AggFedAvg:
-		agg = NewFedAvg()
-	case AggWeighted:
-		agg = NewWeightedFedAvg()
-	default:
-		agg = NewFedSGD()
-	}
+	agg, _ := NewAggregator(cfg.Aggregation) // rule validated above
 	clock := cfg.Clock
 	if clock == nil {
 		clock = SystemClock
 	}
 	for r := 0; r < cfg.Rounds; r++ {
 		round := cfg.StartRound + r
+		if cfg.Faults != nil && cfg.Faults.RestartServer(round) {
+			// Server restart between rounds: every in-memory structure is
+			// rebuilt, and the only surviving state is what a checkpoint
+			// would carry — the global parameters (round-tripped through
+			// the wire encoding to make the restart observable) and the
+			// round counter. The reference-engine server noise stream is
+			// re-derived from (seed, round), the deterministic rule a
+			// restarted server resumes by; the counter noise engine is
+			// stateless and unaffected.
+			restored := TensorsFromWire(WireFromTensors(global.Params()))
+			global = nn.Build(cfg.Model, tensor.Split(cfg.Seed, 1))
+			global.SetParams(restored)
+			workers = newWorkerPool(par, cfg.Model)
+			agg, _ = NewAggregator(cfg.Aggregation)
+			serverRNG = tensor.Split(cfg.Seed, 2, int64(round))
+		}
 		cohort := sampleCohort(cfg, round)
 		cohort = dropClients(cfg, round, cohort)
 		var rs RoundStats
@@ -384,31 +443,49 @@ func Run(cfg Config) (*History, error) {
 // Aggregator).
 func runBarrierRound(cfg Config, global *nn.Model, cohort []int, round int, workers *workerPool, serverRNG *tensor.RNG, agg Aggregator) RoundStats {
 	updates, stats, weights := trainCohort(cfg, global, cohort, round, workers)
+	// Fault injection: contributions lost to the plan (crashes never
+	// trained — trainCohort skipped them; drops trained but never arrive)
+	// are removed before sanitization and folding, so the barrier round
+	// commits exactly the survivors, in exactly the cohort order, the
+	// streaming runtime commits.
+	live := make([]int, 0, len(cohort))
+	for i, id := range cohort {
+		if updates[i] != nil && !faultLost(cfg, round, id) {
+			live = append(live, i)
+		}
+	}
 	if cs, ok := counterSanitizer(cfg); ok {
 		noise := ServerNoise(cfg.Seed, round)
-		for i, u := range updates {
-			cs.ServerSanitizeCounter(round, i, u, noise)
+		for _, i := range live {
+			// Keyed by original cohort position, matching the streaming
+			// runtime's per-update streams under any survivor set.
+			cs.ServerSanitizeCounter(round, i, updates[i], noise)
 		}
 	} else {
-		// Reference engine: the original one-shot batch call, kept verbatim
-		// so arbitrary strategies see the exact pre-streaming contract.
-		cfg.Strategy.ServerSanitize(round, updates, serverRNG)
+		// Reference engine: the original one-shot batch call, kept so
+		// arbitrary strategies see the exact pre-streaming contract (with
+		// no faults the batch is the whole cohort, verbatim).
+		batch := make([][]*tensor.Tensor, 0, len(live))
+		for _, i := range live {
+			batch = append(batch, updates[i])
+		}
+		cfg.Strategy.ServerSanitize(round, batch, serverRNG)
 	}
 	params := global.Params()
 	agg.Begin(params)
-	for i, u := range updates {
-		foldInto(agg, u, weights[i])
+	for _, i := range live {
+		foldInto(agg, updates[i], weights[i])
 	}
-	rs := RoundStats{Clients: len(cohort)}
-	for _, st := range stats {
-		rs.MeanGradNorm += st.MeanGradNorm
-		rs.MsPerIter += st.MsPerIter()
+	rs := RoundStats{Clients: len(live), Dropped: len(cohort) - len(live)}
+	for _, i := range live {
+		rs.MeanGradNorm += stats[i].MeanGradNorm
+		rs.MsPerIter += stats[i].MsPerIter()
 	}
-	if n := float64(len(stats)); n > 0 {
+	if n := float64(len(live)); n > 0 {
 		rs.MeanGradNorm /= n
 		rs.MsPerIter /= n
 	}
-	rs.Committed = len(updates) >= cfg.MinQuorum
+	rs.Committed = len(live) >= cfg.MinQuorum
 	if rs.Committed {
 		agg.Commit(params)
 	}
@@ -427,11 +504,19 @@ func clientNoiseFor(rc RoundConfig, seed int64, round, clientID int) *tensor.Cou
 
 // sampleCohort picks the participating client IDs for a round.
 func sampleCohort(cfg Config, round int) []int {
-	rng := tensor.Split(cfg.Seed, 3, int64(round))
-	if cfg.SampleWithReplacement {
-		return rng.SampleWithReplacement(cfg.K, cfg.Kt)
+	return SampleCohort(cfg.Seed, round, cfg.K, cfg.Kt, cfg.SampleWithReplacement)
+}
+
+// SampleCohort returns the participating client ids fl.Run would draw for
+// a round — exposed so out-of-process drivers (the simnet deployment
+// harness, ops tooling) agree with the in-process simulator on round
+// membership.
+func SampleCohort(seed int64, round, k, kt int, withReplacement bool) []int {
+	rng := tensor.Split(seed, 3, int64(round))
+	if withReplacement {
+		return rng.SampleWithReplacement(k, kt)
 	}
-	return rng.SampleWithoutReplacement(cfg.K, cfg.Kt)
+	return rng.SampleWithoutReplacement(k, kt)
 }
 
 // dropClients removes clients that fail this round (deterministic per
@@ -501,6 +586,11 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 		go func(i, id int, w *worker) {
 			defer wg.Done()
 			defer workers.release(w)
+			if cfg.Faults != nil && cfg.Faults.CrashClient(round, id) {
+				// Mid-round crash: the update never materializes (the nil
+				// slot marks the loss for the caller).
+				return
+			}
 			w.model.SetParams(globalParams)
 			data := cfg.Data.Client(id)
 			weights[i] = float64(data.Len())

@@ -1,0 +1,152 @@
+package fl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"fedcdp/internal/tensor"
+)
+
+// Fuzz targets for the gob wire codec: whatever bytes a peer sends, the
+// decode-and-validate path must return an error or a sound value — never
+// panic, never hand non-finite or mis-shaped tensors to the runtime. The
+// CI sim job runs each target as a short fuzz smoke on every push; the
+// accumulated corpus can be grown locally with
+//
+//	go test -fuzz=FuzzUpdateMsgDecode -fuzztime=60s ./internal/fl
+
+// gobBytes encodes a value for the seed corpus.
+func gobBytes(tb testing.TB, v any) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzUpdateMsgDecode(f *testing.F) {
+	good := UpdateMsg{ClientID: 3, Round: 1, Weight: 5}
+	good.Delta = WireFromTensors([]*tensor.Tensor{tensor.FromSlice([]float64{1, -2, 3, 4}, 2, 2)})
+	sparse := UpdateMsg{ClientID: 0, Round: 0, Weight: 1}
+	sparse.Sparse = SparseFromTensors([]*tensor.Tensor{tensor.FromSlice([]float64{0, 0, 7, 0}, 4)})
+	hostileNaN := UpdateMsg{ClientID: 1, Round: 0, Delta: []TensorWire{{Shape: []int{1}, Data: []float64{math.NaN()}}}}
+	hostileLen := UpdateMsg{ClientID: 1, Round: 0, Delta: []TensorWire{{Shape: []int{1 << 40}, Data: []float64{1}}}}
+	f.Add(gobBytes(f, good))
+	f.Add(gobBytes(f, sparse))
+	f.Add(gobBytes(f, hostileNaN))
+	f.Add(gobBytes(f, hostileLen))
+	f.Add([]byte{0x03, 0xff, 0x00})
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m UpdateMsg
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+			return // malformed gob is rejected at the transport layer
+		}
+		ts, err := m.DecodeTensors()
+		if err != nil {
+			return // hostile but well-formed gob is rejected by validation
+		}
+		// Whatever survived validation must be sound: finite values in
+		// tensors whose element counts match their declared shapes.
+		for i, w := range m.Delta {
+			if ts[i].Len() != len(w.Data) {
+				t.Fatalf("tensor %d decoded %d elements from %d wire values", i, ts[i].Len(), len(w.Data))
+			}
+		}
+		for _, tt := range ts {
+			for _, v := range tt.Data() {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite value %v survived validation", v)
+				}
+			}
+		}
+		// A validated message re-encodes and re-decodes to the same tensors.
+		var m2 UpdateMsg
+		if err := gob.NewDecoder(bytes.NewReader(gobBytes(t, m))).Decode(&m2); err != nil {
+			t.Fatalf("re-decoding a validated message: %v", err)
+		}
+		ts2, err := m2.DecodeTensors()
+		if err != nil {
+			t.Fatalf("re-validating a validated message: %v", err)
+		}
+		for i := range ts {
+			if !ts[i].Equal(ts2[i], 0) {
+				t.Fatalf("tensor %d does not round-trip", i)
+			}
+		}
+	})
+}
+
+func FuzzParamMsgDecode(f *testing.F) {
+	good := ParamMsg{
+		Round:  2,
+		Params: WireFromTensors([]*tensor.Tensor{tensor.FromSlice([]float64{0.5, -0.5}, 2)}),
+		Cfg:    RoundConfig{BatchSize: 4, LocalIters: 5, LR: 0.1, TotalRounds: 3},
+	}
+	denied := ParamMsg{Denied: true, Reason: "no further rounds"}
+	hostile := ParamMsg{Round: 0, Params: []TensorWire{{Shape: []int{2, -3}, Data: nil}}, Cfg: RoundConfig{BatchSize: 1, LocalIters: 1, LR: 1}}
+	f.Add(gobBytes(f, good))
+	f.Add(gobBytes(f, denied))
+	f.Add(gobBytes(f, hostile))
+	f.Add([]byte{0xff, 0xfe, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m ParamMsg
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			return
+		}
+		if m.Denied {
+			return
+		}
+		// A validated announcement must be installable: TensorsFromWire on
+		// validated params cannot panic, and the config drives finite
+		// training loops.
+		ts := TensorsFromWire(m.Params)
+		for i, w := range m.Params {
+			if ts[i].Len() != len(w.Data) {
+				t.Fatalf("param %d decoded %d elements from %d wire values", i, ts[i].Len(), len(w.Data))
+			}
+		}
+		if m.Cfg.BatchSize <= 0 || m.Cfg.LocalIters <= 0 || !(m.Cfg.LR > 0) {
+			t.Fatalf("unsane round config survived validation: %+v", m.Cfg)
+		}
+	})
+}
+
+func FuzzSparseWire(f *testing.F) {
+	f.Add(4, []byte{0, 2}, []byte{10, 20})
+	f.Add(0, []byte{}, []byte{})
+	f.Add(3, []byte{0, 1, 2, 3, 4}, []byte{1})
+	f.Add(2, []byte{255}, []byte{1})
+
+	f.Fuzz(func(t *testing.T, dim int, idxBytes, valBytes []byte) {
+		w := SparseTensorWire{Shape: []int{dim}}
+		for _, b := range idxBytes {
+			w.Indices = append(w.Indices, int32(b)-8) // some negatives too
+		}
+		for _, b := range valBytes {
+			w.Values = append(w.Values, float64(b)-128)
+		}
+		if err := w.Validate(); err != nil {
+			return
+		}
+		// Validated sparse tensors decode without panics into the declared
+		// shape, and dense→sparse→dense round-trips exactly.
+		// Validation rejected negative dims, so dim is the element count.
+		ts := TensorsFromSparse([]SparseTensorWire{w})
+		if ts[0].Len() != dim {
+			t.Fatalf("decoded %d elements for shape [%d]", ts[0].Len(), dim)
+		}
+		back := TensorsFromSparse(SparseFromTensors(ts))
+		if !ts[0].Equal(back[0], 0) {
+			t.Fatal("sparse round-trip changed the tensor")
+		}
+	})
+}

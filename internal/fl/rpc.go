@@ -144,29 +144,65 @@ type roundState struct {
 
 	mu      sync.Mutex
 	closed  bool
+	folded  map[int]bool // client ids whose update this round already folded
 	results chan sessionResult
 }
 
 type sessionResult struct {
+	client int
 	update []*tensor.Tensor
 	weight float64
+	dup    bool
 	err    error
 }
 
-// deliver hands a session's outcome to the round loop. A false return
-// means the round closed first and the update was dropped — the session
-// reports that to its client in the AckMsg, so "sent" never silently
-// diverges from "folded". Delivering under the mutex makes the contract
-// exact: every true-delivery lands in the buffer before close() returns,
-// and the round loop drains that buffer once more after closing.
-func (st *roundState) deliver(res sessionResult) bool {
+// deliverStatus reports how the round loop received a session's outcome.
+type deliverStatus int
+
+const (
+	// deliverClosed: the round closed first; the outcome was dropped. The
+	// session reports that to its client in the AckMsg, so "sent" never
+	// silently diverges from "folded".
+	deliverClosed deliverStatus = iota
+	// deliverTaken: the outcome reached the round loop (an update will be
+	// folded, an error counted).
+	deliverTaken
+	// deliverDup: the round already folded an update from this client; the
+	// retry is acknowledged but not folded again.
+	deliverDup
+)
+
+// deliver hands a session's outcome to the round loop. Delivering under
+// the mutex makes the contract exact: every taken delivery lands in the
+// buffer before close() returns, and the round loop drains that buffer
+// once more after closing.
+//
+// Successful deliveries are deduplicated by client id: a client that was
+// folded but never saw its ack (the conn died first) re-submits after
+// reconnecting, and folding that retry would double-count its data — so
+// the retry is marked dup, acknowledged as already folded, and not folded
+// again (the regression is pinned in reconnect_test.go).
+func (st *roundState) deliver(res sessionResult) deliverStatus {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return false
+		return deliverClosed
+	}
+	status := deliverTaken
+	if res.err == nil {
+		if st.folded == nil {
+			st.folded = map[int]bool{}
+		}
+		if st.folded[res.client] {
+			res.dup = true
+			res.update = nil
+			status = deliverDup
+		} else {
+			st.folded[res.client] = true
+		}
 	}
 	st.results <- res
-	return true
+	return status
 }
 
 // close stops further deliveries.
@@ -176,15 +212,23 @@ func (st *roundState) close() {
 	st.mu.Unlock()
 }
 
-// NewRoundServer listens on addr (e.g. "127.0.0.1:0").
+// NewRoundServer listens on addr (e.g. "127.0.0.1:0") over TCP.
 func NewRoundServer(addr string) (*RoundServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fl: listening on %s: %w", addr, err)
 	}
+	return NewRoundServerOn(ln), nil
+}
+
+// NewRoundServerOn runs a round server over an arbitrary transport: any
+// net.Listener works — real TCP (NewRoundServer wraps this) or an
+// in-memory fabric like internal/simnet, which is how an entire federated
+// deployment runs deterministically inside one test process.
+func NewRoundServerOn(ln net.Listener) *RoundServer {
 	s := &RoundServer{ln: ln, closedCh: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
-	return s, nil
+	return s
 }
 
 // NewSecureRoundServer listens on addr with encryption enabled.
@@ -304,9 +348,26 @@ func (s *RoundServer) handle(conn net.Conn) {
 		_ = enc.Encode(AckMsg{Reason: fmt.Sprintf("round %d is over", upd.Round)})
 		return
 	}
-	if st.deliver(sessionResult{update: upd.Tensors(), weight: upd.Weight}) {
+	// Hostile-input gate: the update must be structurally valid AND foldable
+	// against this round's parameters before it reaches the aggregator — a
+	// malformed peer gets an error, never a server panic.
+	update, err := upd.DecodeTensors()
+	if err == nil {
+		err = updateMatchesParams(update, st.wire)
+	}
+	if err != nil {
+		st.deliver(sessionResult{err: err})
+		_ = enc.Encode(AckMsg{Reason: err.Error()})
+		return
+	}
+	switch st.deliver(sessionResult{client: upd.ClientID, update: update, weight: upd.Weight}) {
+	case deliverTaken:
 		_ = enc.Encode(AckMsg{Accepted: true})
-	} else {
+	case deliverDup:
+		// The client's data IS in the round (its first copy was folded), so
+		// the honest receipt is an acceptance — just not a second fold.
+		_ = enc.Encode(AckMsg{Accepted: true, Reason: "duplicate update: already folded this round"})
+	default:
 		_ = enc.Encode(AckMsg{Reason: "round closed before the update arrived"})
 	}
 }
@@ -327,9 +388,13 @@ type RoundOptions struct {
 
 // RoundResult reports what a streaming round collected.
 type RoundResult struct {
-	Folded    int
-	Failed    int
-	Committed bool
+	Folded int
+	Failed int
+	// Duplicates counts re-submissions from clients whose update was
+	// already folded this round (reconnects after a lost ack); their data
+	// is in the aggregate exactly once.
+	Duplicates int
+	Committed  bool
 }
 
 // StreamRound serves one federated round with O(model) server memory:
@@ -384,15 +449,18 @@ func (s *RoundServer) StreamRound(round int, params []*tensor.Tensor, cfg RoundC
 
 	var res RoundResult
 	fold := func(r sessionResult) {
-		if r.err != nil {
+		switch {
+		case r.err != nil:
 			res.Failed++
-			return
+		case r.dup:
+			res.Duplicates++
+		default:
+			foldInto(agg, r.update, r.weight)
+			res.Folded++
 		}
-		foldInto(agg, r.update, r.weight)
-		res.Folded++
 	}
 collect:
-	for res.Folded+res.Failed < opt.Clients {
+	for res.Folded+res.Failed+res.Duplicates < opt.Clients {
 		select {
 		case r := <-st.results:
 			if r.err != nil && opt.Deadline == 0 {
@@ -442,6 +510,27 @@ func (s *RoundServer) RunRound(round int, params []*tensor.Tensor, cfg RoundConf
 	return agg.Updates(), nil
 }
 
+// DialFunc opens a client connection to a server address. The default is
+// TCP; internal/simnet provides in-memory fabric dialers so whole
+// deployments run inside one process.
+type DialFunc func(addr string) (net.Conn, error)
+
+// ClientOptions configures how a remote client reaches its server.
+type ClientOptions struct {
+	// Secure runs the X25519/AES-GCM handshake before the protocol (the
+	// server must have been created with NewSecureRoundServer).
+	Secure bool
+	// Dial opens the connection; nil dials TCP.
+	Dial DialFunc
+}
+
+func (o ClientOptions) dial(addr string) (net.Conn, error) {
+	if o.Dial != nil {
+		return o.Dial(addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
 // RunRemoteClient connects to a round server, performs one round of local
 // training with the given strategy, and sends back the update (sparse
 // encoding when the update is mostly zeros). A nil return means the
@@ -450,23 +539,25 @@ func (s *RoundServer) RunRound(round int, params []*tensor.Tensor, cfg RoundConf
 // ErrRoundClosed when the server refuses the session because no further
 // round is available.
 func RunRemoteClient(addr string, clientID int, strat Strategy, data *dataset.ClientData, spec nn.Spec, seed int64) error {
-	return runRemoteClient(addr, clientID, strat, data, spec, seed, false)
+	return RunRemoteClientOpts(addr, clientID, strat, data, spec, seed, ClientOptions{})
 }
 
 // RunSecureRemoteClient is RunRemoteClient over the encrypted channel; the
 // server must have been created with NewSecureRoundServer.
 func RunSecureRemoteClient(addr string, clientID int, strat Strategy, data *dataset.ClientData, spec nn.Spec, seed int64) error {
-	return runRemoteClient(addr, clientID, strat, data, spec, seed, true)
+	return RunRemoteClientOpts(addr, clientID, strat, data, spec, seed, ClientOptions{Secure: true})
 }
 
-func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.ClientData, spec nn.Spec, seed int64, secure bool) error {
-	conn, err := net.Dial("tcp", addr)
+// RunRemoteClientOpts is RunRemoteClient with explicit transport options
+// (custom dialer, encryption).
+func RunRemoteClientOpts(addr string, clientID int, strat Strategy, data *dataset.ClientData, spec nn.Spec, seed int64, opt ClientOptions) error {
+	conn, err := opt.dial(addr)
 	if err != nil {
 		return fmt.Errorf("fl: dialing %s: %w", addr, err)
 	}
 	defer conn.Close()
 	var rw io.ReadWriter = conn
-	if secure {
+	if opt.Secure {
 		sc, err := Handshake(conn)
 		if err != nil {
 			return err
@@ -483,6 +574,9 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 	}
 	if pm.Denied {
 		return fmt.Errorf("%w: %s", ErrRoundClosed, pm.Reason)
+	}
+	if err := pm.Validate(); err != nil {
+		return fmt.Errorf("fl: invalid round announcement: %w", err)
 	}
 	if pm.Cfg.Scenario.Name != "" {
 		// The server published a heterogeneity scenario with the round
@@ -522,4 +616,36 @@ func runRemoteClient(addr string, clientID int, strat Strategy, data *dataset.Cl
 		return fmt.Errorf("fl: update not folded: %s", ack.Reason)
 	}
 	return nil
+}
+
+// AbandonSession connects to a round server, receives the round
+// announcement, and disconnects without submitting an update — the wire
+// footprint of a client that crashes mid-round (or whose update is lost in
+// transit). The server observes the session error and counts the client as
+// failed; fault-injection harnesses (core.RunSimnet) use this to realize a
+// plan's crash and drop events at the transport level. Returns the
+// announced round, or an error if no announcement arrived (e.g. the
+// session was denied).
+func AbandonSession(addr string, opt ClientOptions) (int, error) {
+	conn, err := opt.dial(addr)
+	if err != nil {
+		return 0, fmt.Errorf("fl: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	var rw io.ReadWriter = conn
+	if opt.Secure {
+		sc, err := Handshake(conn)
+		if err != nil {
+			return 0, err
+		}
+		rw = sc
+	}
+	var pm ParamMsg
+	if err := gob.NewDecoder(rw).Decode(&pm); err != nil {
+		return 0, fmt.Errorf("fl: reading params: %w", err)
+	}
+	if pm.Denied {
+		return 0, fmt.Errorf("%w: %s", ErrRoundClosed, pm.Reason)
+	}
+	return pm.Round, nil
 }

@@ -20,11 +20,15 @@ import (
 // round scheduler. idx is the client's position in the cohort, which the
 // deterministic fold mode uses to commit in cohort order; weight is the
 // client's local example count, consumed by weight-aware aggregators.
+// lost marks a contribution the fault plan destroyed (mid-round crash,
+// update dropped in transit): the scheduler must still account for the
+// cohort slot, but nothing is folded.
 type clientResult struct {
 	idx    int
 	update []*tensor.Tensor
 	stats  ClientStats
 	weight float64
+	lost   bool
 }
 
 // dispatchCohort hands every cohort member to the worker pool and streams
@@ -50,6 +54,13 @@ func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, gl
 		}
 		go func(i, id int, w *worker) {
 			defer workers.release(w)
+			if cfg.Faults != nil && cfg.Faults.CrashClient(round, id) {
+				// Mid-round crash: the client dies before its update (or
+				// even its stats) exist. The slot still resolves so the
+				// round's accounting closes.
+				results <- clientResult{idx: i, lost: true}
+				return
+			}
 			w.model.SetParams(globalParams)
 			data := cfg.Data.Client(id)
 			env := &ClientEnv{
@@ -63,6 +74,11 @@ func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, gl
 				Noise:    clientNoiseFor(cfg.Round, cfg.Seed, round, id),
 			}
 			upd, st := cfg.Strategy.ClientUpdate(env)
+			if cfg.Faults != nil && cfg.Faults.DropUpdate(round, id) {
+				// The update was computed but lost in transit.
+				results <- clientResult{idx: i, lost: true}
+				return
+			}
 			results <- clientResult{idx: i, update: upd, stats: st, weight: float64(data.Len())}
 		}(i, id, w)
 	}
@@ -105,7 +121,9 @@ func runStreamingRound(cfg Config, global *nn.Model, cohort []int, round int, wo
 	// Parallelism, in the worst case the cohort).
 	handle := func(res clientResult) {
 		if arrival {
-			commit(res)
+			if !res.lost {
+				commit(res)
+			}
 			return
 		}
 		pending[res.idx] = res
@@ -116,7 +134,9 @@ func runStreamingRound(cfg Config, global *nn.Model, cohort []int, round int, wo
 			}
 			delete(pending, next)
 			next++
-			commit(r)
+			if !r.lost {
+				commit(r)
+			}
 		}
 	}
 	// flushPending commits in-order whatever arrived before a cutoff left
@@ -128,7 +148,9 @@ func runStreamingRound(cfg Config, global *nn.Model, cohort []int, round int, wo
 				if r, ok := pending[i]; ok {
 					delete(pending, i)
 					next = i + 1
-					commit(r)
+					if !r.lost {
+						commit(r)
+					}
 					break
 				}
 			}

@@ -1,0 +1,35 @@
+// Package simnet is a deterministic fault-injection simulation harness for
+// the federation runtime: an in-memory, single-process network fabric with
+// net.Listener/net.Conn endpoints, a virtual clock, and a seeded fault
+// plan.
+//
+// # Virtual time
+//
+// The fabric never sleeps. Clock satisfies the fl.Clock interface but
+// advances only when an event advances it: delivering a message whose
+// virtual stamp lies in the future jumps the clock to that stamp (the
+// discrete-event rule), and tests advance it explicitly to fire deadline
+// timers. Simulating a 500 ms round-trip therefore costs zero wall time,
+// and a test suite sweeping latency distributions runs as fast as its
+// compute.
+//
+// # Fault plan
+//
+// Plan is a pure function from (seed, round, client) — or, for transport
+// faults, (seed, round, link, message) — to failure decisions: update
+// loss, mid-round client crashes, server restarts between rounds, link
+// latency/jitter, message cut/duplication, and asymmetric partitions. See
+// ParsePlan for the grammar. Because nothing depends on goroutine timing,
+// two runs of the same plan against the same seed inject byte-identical
+// failures at any GOMAXPROCS — fault scenarios are reproducible test
+// cases, not flakes.
+//
+// # Layering
+//
+// simnet depends only on internal/tensor (for the splittable RNG). The fl
+// runtime consumes a Plan through its structural fl.FaultPlan interface
+// (in-process injection) and the fabric through its DialFunc/net.Listener
+// seams (RPC injection); core.RunSimnet drives a whole federated
+// deployment — server, clients, restarts — over one fabric. See DESIGN.md,
+// "Simnet".
+package simnet

@@ -1,0 +1,371 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fedcdp/internal/tensor"
+)
+
+// Reserved tensor.Split label spaces under the root seed. Labels 1–7 are
+// claimed by the fl package (model init, server RNG, cohort sampling,
+// client RNG, dropout coins, counter noise streams — see fl/doc.go); the
+// simnet fault plan claims 8–11 so fault coins never collide with any
+// training stream.
+const (
+	labelDrop    = 8  // per-(round, client) update-loss coins
+	labelCrash   = 9  // seeded crash event placement
+	labelRestart = 10 // seeded restart round placement
+	labelMessage = 11 // per-message transport coins (cut/dup/jitter)
+)
+
+// partition is one asymmetric reachability hole: from cannot open new
+// connections to to during rounds [fromRound, toRound].
+type partition struct {
+	from, to           string
+	fromRound, toRound int
+}
+
+// Plan is a deterministic fault plan: every decision it makes is a pure
+// function of (seed, round, client) or (seed, round, link, message), so two
+// runs of the same plan against the same seed inject byte-identical
+// failures regardless of goroutine scheduling or GOMAXPROCS.
+//
+// A plan is built with ParsePlan from a compact grammar (see ParsePlan) and
+// must be Bound to a (seed, rounds, clients) population before use when it
+// carries seeded event counts (crash=N, restart=N); explicit events
+// (crash@r:c, restart@r) work unbound. The zero Plan (and a nil *Plan)
+// injects nothing.
+type Plan struct {
+	// DropRate is the per-(round, client) probability that a client's
+	// update is lost in transit after local training completes.
+	DropRate float64
+	// DupRate is the per-message probability that the transport delivers a
+	// message twice (stresses the wire codec and ack protocol).
+	DupRate float64
+	// MsgDropRate is the per-message probability that the link cuts at that
+	// message: the message is lost and the connection breaks — TCP's
+	// observable failure mode for unrecoverable loss.
+	MsgDropRate float64
+	// Latency and Jitter shape per-message virtual delivery delay:
+	// delay = Latency + U[0, Jitter). Virtual time only — no real sleeps.
+	Latency, Jitter time.Duration
+	// CrashCount and RestartCount are seeded event budgets materialized by
+	// Bind: CrashCount mid-round client crashes at distinct (round, client)
+	// pairs, RestartCount server restarts between rounds.
+	CrashCount, RestartCount int
+
+	crashes  map[[2]int]bool // explicit + bound (round, client) crash events
+	restarts map[int]bool    // explicit + bound restart-before rounds
+	parts    []partition
+
+	seed  int64
+	bound bool
+}
+
+// ParsePlan parses the fault-plan grammar: a comma-separated list of
+// clauses, each of which is one of
+//
+//	drop=0.2            per-(round,client) update-loss probability
+//	crash=2             2 seeded mid-round client crashes (needs Bind)
+//	crash@3:7           client 7 crashes mid-round in round 3
+//	restart=1           1 seeded server restart between rounds (needs Bind)
+//	restart@2           server restarts between rounds 1 and 2
+//	latency=5ms         per-message virtual link latency
+//	jitter=2ms          uniform per-message latency jitter on top
+//	dup=0.05            per-message duplication probability
+//	msgdrop=0.01        per-message link-cut probability
+//	partition=a>b@1-2   host a cannot dial host b during rounds 1..2
+//
+// The empty string is the null plan. Probabilities must lie in [0,1];
+// counts, rounds and durations must be non-negative.
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{crashes: map[[2]int]bool{}, restarts: map[int]bool{}}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := p.parseClause(clause); err != nil {
+			return nil, fmt.Errorf("simnet: plan clause %q: %w", clause, err)
+		}
+	}
+	return p, nil
+}
+
+// MustParsePlan is ParsePlan panicking on error (tests, fixed literals).
+func MustParsePlan(spec string) *Plan {
+	p, err := ParsePlan(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Plan) parseClause(clause string) error {
+	// Event clauses: crash@r:c, restart@r. Rate clauses carry "=" (and the
+	// partition clause's value itself contains "@"), so check for "=" first.
+	if name, arg, ok := strings.Cut(clause, "@"); ok && !strings.Contains(clause, "=") {
+		switch name {
+		case "crash":
+			rs, cs, ok := strings.Cut(arg, ":")
+			if !ok {
+				return fmt.Errorf("want crash@round:client")
+			}
+			r, err1 := strconv.Atoi(rs)
+			c, err2 := strconv.Atoi(cs)
+			if err1 != nil || err2 != nil || r < 0 || c < 0 {
+				return fmt.Errorf("invalid crash event %q", arg)
+			}
+			p.crashes[[2]int{r, c}] = true
+			return nil
+		case "restart":
+			r, err := strconv.Atoi(arg)
+			if err != nil || r < 0 {
+				return fmt.Errorf("invalid restart round %q", arg)
+			}
+			p.restarts[r] = true
+			return nil
+		case "partition":
+			return fmt.Errorf("want partition=from>to@r1-r2")
+		default:
+			return fmt.Errorf("unknown event %q", name)
+		}
+	}
+	name, val, ok := strings.Cut(clause, "=")
+	if !ok {
+		return fmt.Errorf("want name=value or name@event")
+	}
+	prob := func(dst *float64) error {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || v < 0 || v > 1 {
+			return fmt.Errorf("probability %q outside [0,1]", val)
+		}
+		*dst = v
+		return nil
+	}
+	count := func(dst *int) error {
+		v, err := strconv.Atoi(val)
+		if err != nil || v < 0 {
+			return fmt.Errorf("invalid count %q", val)
+		}
+		*dst = v
+		return nil
+	}
+	dur := func(dst *time.Duration) error {
+		v, err := time.ParseDuration(val)
+		if err != nil || v < 0 {
+			return fmt.Errorf("invalid duration %q", val)
+		}
+		*dst = v
+		return nil
+	}
+	switch name {
+	case "drop":
+		return prob(&p.DropRate)
+	case "dup":
+		return prob(&p.DupRate)
+	case "msgdrop":
+		return prob(&p.MsgDropRate)
+	case "crash":
+		return count(&p.CrashCount)
+	case "restart":
+		return count(&p.RestartCount)
+	case "latency":
+		return dur(&p.Latency)
+	case "jitter":
+		return dur(&p.Jitter)
+	case "partition":
+		ends, window, ok := strings.Cut(val, "@")
+		if !ok {
+			return fmt.Errorf("want partition=from>to@r1-r2")
+		}
+		from, to, ok := strings.Cut(ends, ">")
+		if !ok || from == "" || to == "" {
+			return fmt.Errorf("want from>to endpoints")
+		}
+		r1s, r2s, ok := strings.Cut(window, "-")
+		if !ok {
+			r2s = r1s
+		}
+		r1, err1 := strconv.Atoi(r1s)
+		r2, err2 := strconv.Atoi(r2s)
+		if err1 != nil || err2 != nil || r1 < 0 || r2 < r1 {
+			return fmt.Errorf("invalid round window %q", window)
+		}
+		p.parts = append(p.parts, partition{from: from, to: to, fromRound: r1, toRound: r2})
+		return nil
+	default:
+		return fmt.Errorf("unknown fault %q", name)
+	}
+}
+
+// Bind materializes the plan's seeded event budgets against a concrete
+// population: CrashCount crashes land on distinct seeded (round, client)
+// pairs in [0,rounds)×[0,clients), RestartCount restarts on distinct seeded
+// rounds in [1,rounds) ("between rounds" — a restart before round 0 is a
+// cold start, not a fault). Event placement is a pure function of the seed,
+// so the same (plan, seed, population) always fails the same way. Bind
+// returns a bound copy; the receiver is not modified.
+func (p *Plan) Bind(seed int64, rounds, clients int) *Plan {
+	b := *p
+	b.crashes = map[[2]int]bool{}
+	for e := range p.crashes {
+		b.crashes[e] = true
+	}
+	b.restarts = map[int]bool{}
+	for r := range p.restarts {
+		b.restarts[r] = true
+	}
+	b.seed = seed
+	b.bound = true
+	if p.CrashCount > 0 && rounds > 0 && clients > 0 {
+		rng := tensor.Split(seed, labelCrash)
+		// The budget is capped by the slots explicit crash@ events have not
+		// already taken — otherwise rejection sampling on a full domain
+		// would spin forever.
+		taken := 0
+		for e := range b.crashes {
+			if e[0] < rounds && e[1] < clients {
+				taken++
+			}
+		}
+		want := p.CrashCount
+		if free := rounds*clients - taken; want > free {
+			want = free
+		}
+		for n := 0; n < want; {
+			e := [2]int{rng.Intn(rounds), rng.Intn(clients)}
+			if !b.crashes[e] {
+				b.crashes[e] = true
+				n++
+			}
+		}
+	}
+	if p.RestartCount > 0 && rounds > 1 {
+		rng := tensor.Split(seed, labelRestart)
+		taken := 0
+		for r := range b.restarts {
+			if r >= 1 && r < rounds {
+				taken++
+			}
+		}
+		want := p.RestartCount
+		if free := rounds - 1 - taken; want > free {
+			want = free
+		}
+		for n := 0; n < want; {
+			r := 1 + rng.Intn(rounds-1)
+			if !b.restarts[r] {
+				b.restarts[r] = true
+				n++
+			}
+		}
+	}
+	return &b
+}
+
+// mustBeBound guards the seeded-event accessors: consulting a plan whose
+// seeded budgets were never materialized would silently inject nothing,
+// which is the one failure mode a fault-injection harness must not have.
+func (p *Plan) mustBeBound() {
+	if !p.bound && (p.CrashCount > 0 || p.RestartCount > 0 || p.DropRate > 0) {
+		panic("simnet: plan with seeded faults used before Bind (call Plan.Bind(seed, rounds, clients))")
+	}
+}
+
+// CrashClient reports whether client crashes mid-round in round: it trains
+// (or partially trains) but its update never reaches the server.
+func (p *Plan) CrashClient(round, client int) bool {
+	if p == nil {
+		return false
+	}
+	p.mustBeBound()
+	return p.crashes[[2]int{round, client}]
+}
+
+// DropUpdate reports whether client's round update is lost in transit — a
+// seeded coin at rate DropRate, independent per (round, client).
+func (p *Plan) DropUpdate(round, client int) bool {
+	if p == nil || p.DropRate <= 0 {
+		return false
+	}
+	p.mustBeBound()
+	return tensor.Split(p.seed, labelDrop, int64(round), int64(client)).Float64() < p.DropRate
+}
+
+// RestartServer reports whether the server restarts between round-1 and
+// round, losing all in-memory state except its checkpoint.
+func (p *Plan) RestartServer(round int) bool {
+	if p == nil {
+		return false
+	}
+	p.mustBeBound()
+	return p.restarts[round]
+}
+
+// Partitioned reports whether host from cannot reach host to in round.
+func (p *Plan) Partitioned(round int, from, to string) bool {
+	if p == nil {
+		return false
+	}
+	for _, pt := range p.parts {
+		if pt.from == from && pt.to == to && round >= pt.fromRound && round <= pt.toRound {
+			return true
+		}
+	}
+	return false
+}
+
+// Events returns a human-readable summary of the plan's materialized
+// events (bound crashes and restarts), for logs and reports.
+func (p *Plan) Events() string {
+	if p == nil {
+		return "none"
+	}
+	var parts []string
+	for e := range p.crashes {
+		parts = append(parts, fmt.Sprintf("crash@%d:%d", e[0], e[1]))
+	}
+	for r := range p.restarts {
+		parts = append(parts, fmt.Sprintf("restart@%d", r))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// msgFate decides one transport message's fate: cut (lost, link breaks),
+// duplicated, and its virtual delivery delay. A pure function of
+// (seed, round, link, seq), so transport chaos replays identically. The
+// seed comes from the fabric, not the plan, so transport faults work on
+// unbound plans.
+func (p *Plan) msgFate(seed int64, round int, link uint64, seq int64) (cut, dup bool, delay time.Duration) {
+	if p == nil {
+		return false, false, 0
+	}
+	delay = p.Latency
+	if p.MsgDropRate <= 0 && p.DupRate <= 0 && p.Jitter <= 0 {
+		return false, false, delay
+	}
+	rng := tensor.Split(seed, labelMessage, int64(round), int64(link), seq)
+	if p.MsgDropRate > 0 && rng.Float64() < p.MsgDropRate {
+		return true, false, delay
+	}
+	if p.DupRate > 0 && rng.Float64() < p.DupRate {
+		dup = true
+	}
+	if p.Jitter > 0 {
+		delay += time.Duration(rng.Float64() * float64(p.Jitter))
+	}
+	return false, dup, delay
+}
