@@ -593,15 +593,20 @@ func BenchmarkGobTransportRound(b *testing.B) {
 
 // BenchmarkSimnetRounds measures full-deployment federated rounds over the
 // in-memory simnet fabric — RoundServer on a fabric listener, every cohort
-// member a real RPC client goroutine, gob on the wire, virtual time — the
-// substrate the fault matrix and every future chaos/scale test stands on.
-// The null plan is the BENCH_simnet.json baseline (rounds/sec of pure
-// fabric + protocol overhead); the faulted plan adds the acceptance
-// scenario's chaos, whose latency costs zero wall time by construction.
+// member a real RPC client goroutine, virtual time — the substrate the
+// fault matrix and every future chaos/scale test stands on, under both
+// wire codecs. The null/gob row is the BENCH_simnet.json baseline
+// (rounds/sec of pure fabric + protocol overhead); the faulted plans add
+// the acceptance scenario's chaos, whose latency costs zero wall time by
+// construction; the binary rows measure what the framed codec (see
+// DESIGN.md, "Wire codec") buys once gob's per-session reflection and
+// type-descriptor retransmission leave the protocol path.
 func BenchmarkSimnetRounds(b *testing.B) {
-	for _, tc := range []struct{ name, plan string }{
-		{"null", ""},
-		{"faulted", "drop=0.2,crash=2,restart=1,latency=10ms,jitter=5ms"},
+	for _, tc := range []struct{ name, plan, codec string }{
+		{"null/gob", "", ""},
+		{"null/binary", "", fl.CodecBinary},
+		{"faulted/gob", "drop=0.2,crash=2,restart=1,latency=10ms,jitter=5ms", ""},
+		{"faulted/binary", "drop=0.2,crash=2,restart=1,latency=10ms,jitter=5ms", fl.CodecBinary},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			const rounds = 3
@@ -609,7 +614,7 @@ func BenchmarkSimnetRounds(b *testing.B) {
 				Dataset: "cancer", Method: core.MethodFedCDP,
 				K: 8, Kt: 4, Rounds: rounds, LocalIters: 2,
 				Sigma: 0.06, Seed: 42, ValExamples: 40, EvalEvery: 100,
-				Faults: tc.plan,
+				Faults: tc.plan, Codec: tc.codec,
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -31,6 +31,8 @@ func main() {
 	clip := flag.Float64("clip", 4, "clipping bound C")
 	sigma := flag.Float64("sigma", 0.06, "noise scale")
 	secure := flag.Bool("secure", false, "encrypted channel (must match server)")
+	codec := flag.String("codec", "", "preferred wire codec: gob (default) or binary (falls back to gob against a gob server)")
+	quant := flag.Int("quant", 0, "update quantization width on the binary codec: 0 (exact), 8 or 16 bits")
 	seed := flag.Int64("seed", 42, "root seed (must match server for data)")
 	minBackoff := flag.Duration("backoff", 100*time.Millisecond, "initial reconnect backoff")
 	maxBackoff := flag.Duration("max-backoff", 10*time.Second, "reconnect backoff cap")
@@ -46,22 +48,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if !fl.ValidCodec(*codec) {
+		fatal(fmt.Errorf("unknown wire codec %q", *codec))
+	}
+	if !fl.ValidQuant(*quant) {
+		fatal(fmt.Errorf("quantization width %d not in {0, 8, 16}", *quant))
+	}
+	// One options value for the whole run: the quantization error-feedback
+	// state must survive reconnects and server restarts so rounding error
+	// banked in round r is repaid in round r+1.
+	opt := fl.ClientOptions{Secure: *secure, Codec: *codec, Quant: *quant, QuantState: &fl.QuantState{}}
 
 	fmt.Printf("fedclient %d: joining %s as %s\n", *id, *addr, strat.Name())
 	backoff := *minBackoff
 	lastSuccess := time.Now()
 	for done := 0; done < *rounds; {
-		if *secure {
-			err = fl.RunSecureRemoteClient(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed)
-		} else {
-			err = fl.RunRemoteClient(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed)
-		}
+		round, rerr := fl.RunRemoteClientRound(*addr, *id, strat, ds.Client(*id), spec.ModelSpec(), *seed, opt)
+		err = rerr
 		switch {
-		case err == nil:
-			done++
+		case err == nil && round < opt.MinRound:
+			// The server re-served a round this client already completed
+			// (it cannot advance until the rest of the cohort resolves);
+			// the re-submission was acknowledged as a duplicate, so it
+			// counts for nothing. Poll at the base backoff — each poll
+			// retrains a full local round, so hammering is pure waste.
 			backoff = *minBackoff
 			lastSuccess = time.Now()
-			fmt.Printf("fedclient %d: update %d/%d sent\n", *id, done, *rounds)
+			time.Sleep(*minBackoff)
+		case err == nil:
+			done++
+			opt.MinRound = round + 1
+			backoff = *minBackoff
+			lastSuccess = time.Now()
+			fmt.Printf("fedclient %d: update %d/%d sent (round %d)\n", *id, done, *rounds, round)
 		case errors.Is(err, fl.ErrRoundClosed):
 			// The server answered explicitly that no round remains — a
 			// clean end of task, not a failure.

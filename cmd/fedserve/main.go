@@ -33,6 +33,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-round straggler cutoff (0 = wait for all kt updates)")
 	quorum := flag.Int("quorum", 0, "minimum updates required to commit a round")
 	secure := flag.Bool("secure", false, "encrypt the channel (X25519 + AES-GCM)")
+	codec := flag.String("codec", "", "wire codec offered to clients: gob (default) or binary (negotiated per session, see DESIGN.md)")
+	precision := flag.String("precision", "", "client GEMM precision published with the round: fp64 (default) or fp32")
 	noiseEngine := flag.String("noise-engine", "", "DP noise engine published to clients: counter (default) or reference (see DESIGN.md)")
 	scenario := flag.String("scenario", "", "data-heterogeneity scenario published to clients: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
 	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
@@ -58,6 +60,12 @@ func main() {
 	if _, err := sc.Partitioner(); err != nil {
 		fatal(err)
 	}
+	if !fl.ValidCodec(*codec) {
+		fatal(fmt.Errorf("unknown wire codec %q", *codec))
+	}
+	if *precision != "" && *precision != tensor.PrecisionFP64 && *precision != tensor.PrecisionFP32 {
+		fatal(fmt.Errorf("unknown precision %q", *precision))
+	}
 	ds := dataset.New(spec, *seed)
 	model := nn.Build(spec.ModelSpec(), tensor.Split(*seed, 1))
 	valX, valY := ds.Validation(200)
@@ -67,11 +75,12 @@ func main() {
 		fatal(err)
 	}
 	srv.Secure = *secure
+	srv.Codec = *codec
 	defer srv.Close()
-	fmt.Printf("fedserve: %s on %s (secure=%v), %d rounds, %d clients/round, deadline=%v, quorum=%d, scenario=%s\n",
-		*dsName, srv.Addr(), *secure, *rounds, *kt, *deadline, *quorum, sc)
+	fmt.Printf("fedserve: %s on %s (secure=%v, codec=%s), %d rounds, %d clients/round, deadline=%v, quorum=%d, scenario=%s\n",
+		*dsName, srv.Addr(), *secure, codecName(*codec), *rounds, *kt, *deadline, *quorum, sc)
 
-	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine, Scenario: sc}
+	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine, Scenario: sc, Precision: *precision}
 	agg, err := fl.NewAggregator(*aggRule)
 	if err != nil {
 		fatal(err)
@@ -99,6 +108,13 @@ func main() {
 			round, res.Folded, *kt, res.Failed, dups, status, acc, time.Since(start).Seconds())
 	}
 	fmt.Println("fedserve: done")
+}
+
+func codecName(c string) string {
+	if c == "" {
+		return fl.CodecGob
+	}
+	return c
 }
 
 func fatal(err error) {

@@ -47,6 +47,8 @@ func main() {
 	flag.StringVar(&cfg.Engine, "engine", "", "execution engine: batched (default) or reference (see DESIGN.md)")
 	flag.StringVar(&cfg.NoiseEngine, "noise-engine", "", "DP noise engine: counter (default, parallel) or reference (see DESIGN.md)")
 	flag.StringVar(&cfg.Runtime, "runtime", "", "round runtime: streaming (default) or barrier (see DESIGN.md)")
+	flag.StringVar(&cfg.Codec, "codec", "", "wire codec: gob (default, parity oracle) or binary (see DESIGN.md)")
+	flag.StringVar(&cfg.Precision, "precision", "", "client GEMM precision: fp64 (default, parity oracle) or fp32 (see DESIGN.md)")
 	flag.StringVar(&cfg.Scenario.Name, "scenario", "", "data-heterogeneity scenario: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
 	flag.Float64Var(&cfg.Scenario.Alpha, "alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	flag.IntVar(&cfg.Scenario.Shards, "shards", 0, "pathological label shards per client (0 = default 2)")

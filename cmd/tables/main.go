@@ -52,12 +52,16 @@ func main() {
 	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
 	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (pair with -scenario quantity)")
+	precision := flag.String("precision", "", "client GEMM precision: fp64 (default, parity oracle) or fp32 (see DESIGN.md)")
+	codec := flag.String("codec", "", "wire codec: gob (default, parity oracle) or binary (see DESIGN.md)")
 	flag.Parse()
 
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed,
 		Scenario:    dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards},
 		Aggregation: *aggRule,
+		Precision:   *precision,
+		Codec:       *codec,
 	}
 	names := experiments.Names()
 	if *exp != "all" {

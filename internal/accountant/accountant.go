@@ -19,7 +19,7 @@ type Accountant struct {
 
 // New returns an accountant for a fixed δ using the default order grid.
 func New(delta float64) *Accountant {
-	orders := DefaultOrders()
+	orders := defaultOrders()
 	return &Accountant{
 		Delta:  delta,
 		orders: orders,
@@ -28,13 +28,16 @@ func New(delta float64) *Accountant {
 }
 
 // Accumulate adds `steps` compositions of the sampled Gaussian mechanism
-// with sampling rate q and noise scale sigma.
+// with sampling rate q and noise scale sigma. The per-step RDP grid for
+// (q, σ) is memoized across accountants (see defaultGridRDP), so repeated
+// rounds at the same noise scale cost a lookup, not a log-series.
 func (a *Accountant) Accumulate(q, sigma float64, steps int) {
 	if steps < 0 {
 		panic(fmt.Sprintf("accountant: negative steps %d", steps))
 	}
-	for i, o := range a.orders {
-		a.rdp[i] += float64(steps) * RDPAtOrder(q, sigma, o)
+	grid := defaultGridRDP(q, sigma)
+	for i := range a.orders {
+		a.rdp[i] += float64(steps) * grid[i]
 	}
 	a.steps += steps
 }

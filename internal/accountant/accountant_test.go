@@ -139,3 +139,23 @@ func TestPaperTableVIAbadiValues(t *testing.T) {
 		}
 	}
 }
+
+func TestAccumulateMatchesUncachedGrid(t *testing.T) {
+	// Accumulate serves the per-step RDP grid from the (q, σ) memo; the
+	// cached path must be bit-identical to calling RDPAtOrder directly.
+	q, sigma := 0.013, 1.1
+	a := New(1e-5)
+	a.Accumulate(q, sigma, 7)
+	a.Accumulate(q, sigma, 3) // second call is a guaranteed cache hit
+	orders := DefaultOrders()
+	direct := New(1e-5)
+	for i, o := range orders {
+		direct.rdp[i] = 10 * RDPAtOrder(q, sigma, o)
+	}
+	direct.steps = 10
+	eps, ord := a.Epsilon()
+	wantEps, wantOrd := direct.Epsilon()
+	if eps != wantEps || ord != wantOrd {
+		t.Fatalf("cached ε=%v@%v, direct ε=%v@%v", eps, ord, wantEps, wantOrd)
+	}
+}

@@ -18,4 +18,7 @@
 // client-level rate Kt/K) and the Table VI experiment driver. Accounting
 // depends only on (q, σ, steps, δ) — never on the execution engine, fold
 // order, or heterogeneity scenario of the run that spent the budget.
+// Because the per-step RDP grid depends only on (q, σ), it is memoized
+// across rounds and accountants (rdp.go): repeated accumulation at one
+// noise scale is a table lookup, bit-identical to direct computation.
 package accountant

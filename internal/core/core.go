@@ -83,6 +83,18 @@ type Config struct {
 	// checking (see DESIGN.md, "Streaming runtime").
 	Runtime string
 
+	// Codec selects the wire encoding: fl.CodecGob (the default, and the
+	// parity oracle) or fl.CodecBinary, the framed binary codec. Run only
+	// touches the wire on server restarts; RunSimnet deploys the codec on
+	// every transport session (see DESIGN.md, "Wire codec").
+	Codec string
+
+	// Precision selects the client GEMM arithmetic width:
+	// tensor.PrecisionFP64 (the default, pinned as the reference oracle)
+	// or tensor.PrecisionFP32, the bulk float32 path (see DESIGN.md,
+	// "Precision").
+	Precision string
+
 	// DropoutRate is the per-round probability that a selected client
 	// fails to report (device churn); see fl.Config.DropoutRate.
 	DropoutRate float64
@@ -228,7 +240,9 @@ func Run(cfg Config) (*Result, error) {
 			LR:          cfg.LR,
 			Engine:      cfg.Engine,
 			NoiseEngine: cfg.NoiseEngine,
+			Precision:   cfg.Precision,
 		},
+		Codec:           cfg.Codec,
 		Strategy:        strat,
 		Aggregation:     cfg.Aggregation,
 		Seed:            cfg.Seed,

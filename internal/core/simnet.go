@@ -63,6 +63,9 @@ func RunSimnet(cfg Config) (*Result, error) {
 	if cfg.MinQuorum < 0 || cfg.MinQuorum > cfg.Kt {
 		return nil, fmt.Errorf("core: quorum %d outside [0, Kt=%d]", cfg.MinQuorum, cfg.Kt)
 	}
+	if !fl.ValidCodec(cfg.Codec) {
+		return nil, fmt.Errorf("core: unknown wire codec %q", cfg.Codec)
+	}
 
 	n := simnet.New(cfg.Seed, plan)
 	global := nn.Build(spec.ModelSpec(), tensor.Split(cfg.Seed, 1))
@@ -83,6 +86,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 		}
 		srv := fl.NewRoundServerOn(ln)
 		srv.Clock = n.Clock()
+		srv.Codec = cfg.Codec
 		return srv, nil
 	}
 	srv, err := newServer()
@@ -103,6 +107,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 		Scenario:    cfg.Scenario,
 		Engine:      cfg.Engine,
 		NoiseEngine: cfg.NoiseEngine,
+		Precision:   cfg.Precision,
 	}
 	// Under link-level chaos (message cuts, duplicate delivery) ANY
 	// session may legitimately die mid-protocol — those deaths are the
@@ -147,12 +152,12 @@ func RunSimnet(cfg Config) (*Result, error) {
 						// The fault plan destroys this contribution: the
 						// client opens its session, receives the round, and
 						// vanishes — the server counts a failed session.
-						_, aerr := fl.AbandonSession(simnetServerAddr, fl.ClientOptions{Dial: dial})
+						_, aerr := fl.AbandonSession(simnetServerAddr, fl.ClientOptions{Dial: dial, Codec: cfg.Codec})
 						outcomes <- clientOutcome{id: id, planned: true, err: aerr}
 						return
 					}
 					cerr := fl.RunRemoteClientOpts(simnetServerAddr, id, strat, ds.Client(id), spec.ModelSpec(), cfg.Seed,
-						fl.ClientOptions{Dial: dial})
+						fl.ClientOptions{Dial: dial, Codec: cfg.Codec})
 					outcomes <- clientOutcome{id: id, err: cerr}
 				}(id)
 			}

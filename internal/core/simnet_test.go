@@ -262,3 +262,39 @@ func TestRunSimnetQuorum(t *testing.T) {
 		t.Fatalf("round %+v must miss quorum 4 with a crashed client", r)
 	}
 }
+
+// TestRunSimnetBinaryCodec deploys the whole federation over the fabric
+// with the binary wire codec — including a mid-run server restart, so
+// every client session re-negotiates the codec against the reborn server.
+// The codec changes the bytes, never the protocol outcome: per-round
+// folded counts, commits and ε must match the gob deployment exactly.
+func TestRunSimnetBinaryCodec(t *testing.T) {
+	run := func(codec string) []fl.RoundStats {
+		cfg := simnetBaseConfig()
+		cfg.Method = MethodFedCDP
+		cfg.Sigma = 0.06
+		cfg.Faults = "drop=0.2,restart=1"
+		cfg.MinQuorum = 1
+		cfg.Codec = codec
+		res, err := RunSimnet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rounds
+	}
+	gob, bin := run(""), run(fl.CodecBinary)
+	for i := range gob {
+		if gob[i].Clients != bin[i].Clients || gob[i].Committed != bin[i].Committed || gob[i].Epsilon != bin[i].Epsilon {
+			t.Fatalf("round %d diverged across codecs: gob %+v vs binary %+v", i, gob[i], bin[i])
+		}
+	}
+}
+
+// TestRunSimnetUnknownCodecRejected pins the config gate.
+func TestRunSimnetUnknownCodecRejected(t *testing.T) {
+	cfg := simnetBaseConfig()
+	cfg.Codec = "msgpack"
+	if _, err := RunSimnet(cfg); err == nil {
+		t.Fatal("unknown codec must be rejected")
+	}
+}

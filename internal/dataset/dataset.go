@@ -134,6 +134,7 @@ type Dataset struct {
 	seed   int64
 	protos []*tensor.Tensor
 	part   Partitioner
+	cache  *derivedCache // shared across WithPartitioner views; see cache.go
 }
 
 // New builds the benchmark's class prototypes from seed, partitioned with
@@ -147,7 +148,7 @@ func NewPartitioned(spec Spec, seed int64, p Partitioner) *Dataset {
 	if p == nil {
 		p = IID{}
 	}
-	d := &Dataset{Spec: spec, seed: seed, part: p}
+	d := &Dataset{Spec: spec, seed: seed, part: p, cache: newDerivedCache()}
 	d.protos = make([]*tensor.Tensor, spec.Classes)
 	for c := 0; c < spec.Classes; c++ {
 		d.protos[c] = d.makePrototype(c)
@@ -231,12 +232,18 @@ func (d *Dataset) Prototype(class int) *tensor.Tensor { return d.protos[class] }
 
 // Sample deterministically generates the idx-th example of the given class
 // on the given stream. The same (stream, idx, class) always yields the same
-// example.
+// example; repeat draws are served from the derived cache (see cache.go),
+// and the returned tensor is always the caller's to mutate.
 func (d *Dataset) Sample(stream, idx int64, class int) *tensor.Tensor {
+	key := sampleKey{stream: stream, idx: idx, class: class}
+	if x, ok := d.cache.getSample(key); ok {
+		return x
+	}
 	rng := tensor.Split(d.seed, 2000, stream, idx, int64(class))
 	x := d.protos[class].Clone()
 	rng.AddNormal(x, d.Spec.Noise)
 	clamp01(x)
+	d.cache.putSample(key, x)
 	return x
 }
 
@@ -250,11 +257,11 @@ func (d *Dataset) flipLabel(class int, stream, idx int64) int {
 	if rho <= 0 || d.Spec.Classes < 2 {
 		return class
 	}
-	rng := tensor.Split(d.seed, 4000, stream, idx)
-	if rng.Float64() >= rho {
+	fd := d.flipDrawAt(4000, stream, idx)
+	if fd.u >= rho {
 		return class
 	}
-	other := rng.Intn(d.Spec.Classes - 1)
+	other := fd.other
 	if other >= class {
 		other++
 	}
@@ -269,11 +276,11 @@ func (d *Dataset) extraFlip(class int, rho float64, stream, idx int64) int {
 	if rho <= 0 || d.Spec.Classes < 2 {
 		return class
 	}
-	rng := tensor.Split(d.seed, 4100, stream, idx)
-	if rng.Float64() >= rho {
+	fd := d.flipDrawAt(4100, stream, idx)
+	if fd.u >= rho {
 		return class
 	}
-	other := rng.Intn(d.Spec.Classes - 1)
+	other := fd.other
 	if other >= class {
 		other++
 	}

@@ -323,3 +323,46 @@ func TestSyntheticTaskIsLearnable(t *testing.T) {
 		t.Fatalf("cancer accuracy after training = %v, want >= 0.9", acc)
 	}
 }
+
+func TestDerivedCacheIsInvisible(t *testing.T) {
+	// The derived cache (cache.go) memoizes sample tensors, flip draws and
+	// class picks. A warmed dataset must return bit-identical examples to a
+	// fresh one — on every partitioner, including views that share a cache
+	// through WithPartitioner — or the cache is changing streams, not timing.
+	spec, _ := Get("adult") // LabelFlip > 0, so the flip streams are live
+	for _, part := range []Partitioner{IID{}, Dirichlet{Alpha: 0.3}, QuantitySkew{}, LabelNoiseSkew{}} {
+		warm := NewPartitioned(spec, 99, part)
+		wc := warm.Client(3)
+		// First pass populates the cache, second pass reads it back.
+		for pass := 0; pass < 2; pass++ {
+			fresh := NewPartitioned(spec, 99, part).Client(3)
+			for i := 0; i < 32; i++ {
+				wx, wy := wc.Get(i)
+				fx, fy := fresh.Get(i)
+				if wy != fy {
+					t.Fatalf("%s pass %d: cached label %d != fresh label %d at %d", part.Name(), pass, wy, fy, i)
+				}
+				if !wx.Equal(fx, 0) {
+					t.Fatalf("%s pass %d: cached example differs from fresh at %d", part.Name(), pass, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleCacheReturnsPrivateCopies(t *testing.T) {
+	spec, _ := Get("cancer")
+	d := New(spec, 5)
+	a := d.Sample(0, 0, 0)
+	for i := range a.Data() {
+		a.Data()[i] = -1e9 // clobber the caller's copy
+	}
+	b := d.Sample(0, 0, 0)
+	if b.Data()[0] == -1e9 {
+		t.Fatal("mutating a returned sample leaked into the cache")
+	}
+	c := New(spec, 5).Sample(0, 0, 0)
+	if !b.Equal(c, 0) {
+		t.Fatal("cached sample differs from a fresh dataset's sample")
+	}
+}

@@ -147,11 +147,11 @@ func specClasses(s Spec, id int) []int {
 // uniformClassAt is the original per-(client, index) class pick: uniform
 // over the shard's classes, drawn from Split label 3000. IID and
 // LabelNoiseSkew share it, which is what keeps the iid scenario bit-for-bit
-// compatible with the pre-partitioner Client(id).
-func uniformClassAt(seed int64, id int, classes []int) func(int) int {
+// compatible with the pre-partitioner Client(id). Picks are memoized in the
+// dataset's derived cache (see cache.go).
+func uniformClassAt(d *Dataset, id int, classes []int) func(int) int {
 	return func(i int) int {
-		pick := tensor.Split(seed, 3000, int64(id), int64(i))
-		return classes[pick.Intn(len(classes))]
+		return classes[d.pickAt(3000, int64(id), int64(i), len(classes))]
 	}
 }
 
@@ -172,7 +172,7 @@ func (IID) Shard(d *Dataset, id int) Shard {
 	return Shard{
 		N:       d.Spec.PerClient,
 		Classes: classes,
-		ClassAt: uniformClassAt(d.seed, id, classes),
+		ClassAt: uniformClassAt(d, id, classes),
 	}
 }
 
@@ -214,7 +214,7 @@ func (p Dirichlet) Shard(d *Dataset, id int) Shard {
 		N:       s.PerClient,
 		Classes: classes,
 		ClassAt: func(i int) int {
-			u := tensor.Split(d.seed, 3150, int64(id), int64(i)).Float64()
+			u := d.unitAt(3150, int64(id), int64(i))
 			c := sort.SearchFloat64s(cdf, u)
 			if c >= len(cdf) {
 				c = len(cdf) - 1
@@ -319,8 +319,7 @@ func (QuantitySkew) Shard(d *Dataset, id int) Shard {
 		N:       n,
 		Classes: classes,
 		ClassAt: func(i int) int {
-			pick := tensor.Split(d.seed, 3260, int64(id), int64(i))
-			return classes[pick.Intn(len(classes))]
+			return classes[d.pickAt(3260, int64(id), int64(i), len(classes))]
 		},
 	}
 }
@@ -346,7 +345,7 @@ func (LabelNoiseSkew) Shard(d *Dataset, id int) Shard {
 	return Shard{
 		N:        d.Spec.PerClient,
 		Classes:  classes,
-		ClassAt:  uniformClassAt(d.seed, id, classes),
+		ClassAt:  uniformClassAt(d, id, classes),
 		FlipRate: rate,
 	}
 }

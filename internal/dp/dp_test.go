@@ -370,3 +370,29 @@ func TestCompressPropertyKeepsLargest(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCompressZeroAllocSteadyState pins the pooled-scratch contract shared
+// with the binary wire codec's frame buffers (see internal/fl/codec.go):
+// once the magnitude scratch is warm, Compress allocates nothing per call
+// regardless of gradient size — the quickselect buffer belongs to the
+// sync.Pool, not the garbage collector.
+func TestCompressZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts are meaningless")
+	}
+	rng := tensor.NewRNG(9)
+	g := tensor.New(4096)
+	orig := make([]float64, g.Len())
+	rng.FillNormal(g, 0, 1)
+	copy(orig, g.Data())
+	grads := []*tensor.Tensor{g}
+	// Warm run grows the pooled scratch past the default capacity.
+	Compress(grads, 0.5)
+	allocs := testing.AllocsPerRun(50, func() {
+		copy(g.Data(), orig)
+		Compress(grads, 0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("Compress allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}

@@ -61,6 +61,8 @@ func faultCellConfig(o Options, cell FaultCell) core.Config {
 		Scenario:    cell.Scenario,
 		Faults:      cell.Plan,
 		NoiseEngine: o.NoiseEngine,
+		Precision:   o.Precision,
+		Codec:       o.Codec,
 	}
 }
 

@@ -27,6 +27,17 @@ type Options struct {
 	// experiment: "" / fl.NoiseCounter (default, parallel) or
 	// fl.NoiseReference, the sequential stream kept as the parity oracle.
 	NoiseEngine string
+	// Precision selects the client GEMM arithmetic width for every
+	// training-based experiment: "" / tensor.PrecisionFP64 (default, the
+	// reference oracle) or tensor.PrecisionFP32, the bulk float32 path.
+	// Running the suite under both is a whole-system tolerance check of
+	// the fp32 engine (see DESIGN.md, "Precision").
+	Precision string
+	// Codec selects fl's wire encoding for every training-based
+	// experiment: "" / fl.CodecGob (default, the parity oracle) or
+	// fl.CodecBinary, the framed binary codec (see DESIGN.md, "Wire
+	// codec").
+	Codec string
 	// Scenario selects the data-heterogeneity scenario every training and
 	// attack driver partitions its benchmark with (see dataset.Scenario).
 	// The zero value is the paper's Table I partition, under which every

@@ -36,6 +36,8 @@ func runCfg(o Options, ds, method string) core.Config {
 		Seed:        o.Seed,
 		Runtime:     o.Runtime,
 		NoiseEngine: o.NoiseEngine,
+		Precision:   o.Precision,
+		Codec:       o.Codec,
 		Scenario:    o.Scenario,
 		Aggregation: o.Aggregation,
 	}

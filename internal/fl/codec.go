@@ -1,0 +1,845 @@
+package fl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/tensor"
+)
+
+// Binary wire codec. The gob protocol (rpc.go) is self-describing and
+// reflection-driven: every session re-transmits type descriptors, and every
+// float64 costs up to 9 bytes plus per-field overhead. This file adds a
+// versioned, length-prefixed binary framing with raw little-endian float
+// payloads — no reflection, no per-value varint packing, bulk
+// math.Float64bits loops — negotiated per connection so gob peers keep
+// working unchanged and remain the parity oracle (codec_test.go pins
+// bit-identical round-trips between the two).
+//
+// Frame layout (all integers little-endian):
+//
+//	magic   4 bytes  {0x00,'F','C','W'}
+//	version u8       binaryVersion
+//	kind    u8       hello | helloAck | param | update | ack
+//	flags   u16      reserved, zero
+//	length  u32      payload byte count (≤ maxFramePayload)
+//	payload length bytes
+//
+// The magic begins with 0x00, which can never open a gob stream (gob
+// prefixes every message with a nonzero uvarint byte count), so a client
+// can sniff the first four bytes and fall back to gob transparently.
+//
+// Negotiation: a binary-configured server opens every session with a hello
+// frame naming its offered codec; the client answers helloAck with its
+// choice (its own configured codec), and both sides continue in the chosen
+// encoding. A gob-configured server sends no hello and runs the legacy
+// protocol byte-identically; a binary-preferring client that sees no magic
+// falls back to gob. Negotiation is per connection, so a client
+// reconnecting after a server restart re-negotiates from scratch.
+
+// Wire codecs selectable via RoundServer.Codec, ClientOptions.Codec,
+// Config.Codec and core.Config.Codec. CodecGob ("" defaults to it) is the
+// legacy self-describing encoding, kept as the parity oracle; CodecBinary
+// opts into the framed binary encoding above.
+const (
+	CodecGob    = "gob"
+	CodecBinary = "binary"
+)
+
+// ValidCodec reports whether c names a known wire codec ("" means gob).
+func ValidCodec(c string) bool {
+	return c == "" || c == CodecGob || c == CodecBinary
+}
+
+var binaryMagic = [4]byte{0x00, 'F', 'C', 'W'}
+
+const (
+	binaryVersion  = 1
+	frameHeaderLen = 12
+	// maxFramePayload bounds one frame (512 MiB) — the same ceiling a
+	// hostile gob length prefix already enjoys; real frames are far
+	// smaller (maxWireTensors × maxWireElems is gated per tensor anyway).
+	maxFramePayload = 1 << 29
+	// maxWireTensors bounds the tensor count of one message section (real
+	// models carry well under a hundred parameter tensors).
+	maxWireTensors = 4096
+)
+
+// Frame kinds.
+const (
+	kindHello byte = iota + 1
+	kindHelloAck
+	kindParam
+	kindUpdate
+	kindAck
+)
+
+// Per-tensor payload encodings inside param/update frames.
+const (
+	encDense byte = iota
+	encSparse
+	encQuant8
+	encQuant16
+)
+
+// Codec identifiers carried in hello/helloAck payloads.
+const (
+	codecIDGob    byte = 0
+	codecIDBinary byte = 1
+)
+
+// frameBufPool recycles frame encode/decode buffers across sessions and
+// messages — the shared scratch that keeps the binary path allocation-free
+// at steady state (asserted in bench_test.go).
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// grown extends b by n bytes (contents unspecified), reallocating only when
+// capacity runs out.
+func grown(b []byte, n int) []byte {
+	l := len(b)
+	if cap(b)-l >= n {
+		return b[: l+n : cap(b)]
+	}
+	nb := make([]byte, l+n, 2*(l+n))
+	copy(nb, b)
+	return nb
+}
+
+func appendU8(b []byte, v byte) []byte { return append(b, v) }
+
+func appendU16(b []byte, v uint16) []byte {
+	off := len(b)
+	b = grown(b, 2)
+	binary.LittleEndian.PutUint16(b[off:], v)
+	return b
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	off := len(b)
+	b = grown(b, 4)
+	binary.LittleEndian.PutUint32(b[off:], v)
+	return b
+}
+
+func appendI64(b []byte, v int64) []byte {
+	off := len(b)
+	b = grown(b, 8)
+	binary.LittleEndian.PutUint64(b[off:], uint64(v))
+	return b
+}
+
+func appendF64(b []byte, v float64) []byte {
+	off := len(b)
+	b = grown(b, 8)
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+	return b
+}
+
+// appendStr writes a u16 length prefix plus raw bytes; strings beyond the
+// prefix's range (never legitimate here) are truncated.
+func appendStr(b []byte, s string) []byte {
+	if len(s) > 1<<16-1 {
+		s = s[:1<<16-1]
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// appendF64s is the bulk payload loop: one 8-byte little-endian store per
+// value into a buffer grown once.
+func appendF64s(b []byte, vs []float64) []byte {
+	off := len(b)
+	b = grown(b, 8*len(vs))
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+		off += 8
+	}
+	return b
+}
+
+func appendI32s(b []byte, vs []int32) []byte {
+	off := len(b)
+	b = grown(b, 4*len(vs))
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(b[off:], uint32(v))
+		off += 4
+	}
+	return b
+}
+
+// wireReader is a bounds-checked cursor over one frame payload. Every
+// accessor degrades to the zero value once an overrun is recorded; the
+// caller checks err after parsing. Nothing here panics on hostile input —
+// FuzzBinaryDecode pins that.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail("fl: truncated binary frame: need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *wireReader) u8() byte {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (r *wireReader) i64() int64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(s))
+}
+
+func (r *wireReader) f64() float64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(s))
+}
+
+func (r *wireReader) str() string {
+	n := int(r.u16())
+	s := r.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// done rejects trailing bytes: a frame must be consumed exactly.
+func (r *wireReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("fl: %d trailing bytes after binary frame payload", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- Tensor sections -------------------------------------------------------
+
+// appendTensorHeader writes one tensor's geometry: encoding, rank, dims.
+func appendTensorHeader(b []byte, enc byte, shape []int) []byte {
+	b = appendU8(b, enc)
+	b = appendU8(b, byte(len(shape)))
+	for _, d := range shape {
+		b = appendI64(b, int64(d))
+	}
+	return b
+}
+
+// appendDenseSection writes a dense-only tensor section (param frames).
+func appendDenseSection(b []byte, ws []TensorWire) []byte {
+	b = appendI64(b, int64(len(ws)))
+	for _, w := range ws {
+		b = appendTensorHeader(b, encDense, w.Shape)
+		b = appendF64s(b, w.Data)
+	}
+	return b
+}
+
+// appendUpdateSection writes an update's tensor section from its wire forms
+// (whichever of dense/sparse/quantized the message carries).
+func appendUpdateSection(b []byte, m *UpdateMsg) []byte {
+	b = appendI64(b, int64(len(m.Delta)+len(m.Sparse)+len(m.Quant)))
+	for _, w := range m.Delta {
+		b = appendTensorHeader(b, encDense, w.Shape)
+		b = appendF64s(b, w.Data)
+	}
+	for _, w := range m.Sparse {
+		b = appendTensorHeader(b, encSparse, w.Shape)
+		b = appendI64(b, int64(len(w.Indices)))
+		b = appendI32s(b, w.Indices)
+		b = appendF64s(b, w.Values)
+	}
+	for _, w := range m.Quant {
+		b = appendQuantTensor(b, w)
+	}
+	return b
+}
+
+func appendQuantTensor(b []byte, w QuantTensorWire) []byte {
+	enc := encQuant8
+	if w.Bits == QuantInt16 {
+		enc = encQuant16
+	}
+	b = appendTensorHeader(b, enc, w.Shape)
+	b = appendF64(b, w.Scale)
+	if w.Bits == QuantInt16 {
+		off := len(b)
+		b = grown(b, 2*len(w.Q))
+		for _, q := range w.Q {
+			binary.LittleEndian.PutUint16(b[off:], uint16(q))
+			off += 2
+		}
+		return b
+	}
+	off := len(b)
+	b = grown(b, len(w.Q))
+	for _, q := range w.Q {
+		b[off] = byte(int8(q))
+		off++
+	}
+	return b
+}
+
+// appendDirectTensors writes an update section straight from dense in-memory
+// tensors with no intermediate wire structs: the dense-vs-sparse decision is
+// EncodeUpdate's (sparse below 50% density), the sparse entries are counted
+// and streamed in two passes over the raw data, and a requested quantization
+// width routes through QuantizeUpdate (the one transform that must
+// materialize, for its error-feedback residuals).
+func appendDirectTensors(b []byte, ts []*tensor.Tensor, quant int, st *QuantState) []byte {
+	if quant != QuantNone {
+		return appendUpdateSection(b, &UpdateMsg{Quant: QuantizeUpdate(ts, quant, st)})
+	}
+	b = appendI64(b, int64(len(ts)))
+	if sparseWorthwhile(ts) {
+		for _, t := range ts {
+			data := t.Data()
+			nnz := 0
+			for _, v := range data {
+				if v != 0 {
+					nnz++
+				}
+			}
+			b = appendTensorHeader(b, encSparse, t.Shape())
+			b = appendI64(b, int64(nnz))
+			off := len(b)
+			b = grown(b, 12*nnz)
+			for j, v := range data {
+				if v != 0 {
+					binary.LittleEndian.PutUint32(b[off:], uint32(int32(j)))
+					off += 4
+				}
+			}
+			for _, v := range data {
+				if v != 0 {
+					binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+					off += 8
+				}
+			}
+		}
+		return b
+	}
+	for _, t := range ts {
+		b = appendTensorHeader(b, encDense, t.Shape())
+		b = appendF64s(b, t.Data())
+	}
+	return b
+}
+
+// readTensors parses one tensor section, sorting entries by encoding. It
+// bounds every count before allocating and proves the payload bytes are
+// present before converting them; semantic validation (finite values,
+// index ranges) stays with the message Validate gate.
+func readTensors(r *wireReader) (dense []TensorWire, sparse []SparseTensorWire, quant []QuantTensorWire, err error) {
+	count := r.i64()
+	if r.err != nil {
+		return nil, nil, nil, r.err
+	}
+	if count < 0 || count > maxWireTensors {
+		return nil, nil, nil, fmt.Errorf("fl: binary frame declares %d tensors (cap %d)", count, maxWireTensors)
+	}
+	for i := int64(0); i < count; i++ {
+		enc := r.u8()
+		rank := int(r.u8())
+		if rank > maxWireDims {
+			return nil, nil, nil, fmt.Errorf("fl: binary wire tensor rank %d exceeds %d", rank, maxWireDims)
+		}
+		shape := make([]int, rank)
+		for j := range shape {
+			d := r.i64()
+			if d < 0 || d > maxWireElems {
+				return nil, nil, nil, fmt.Errorf("fl: binary wire dimension %d outside [0, %d]", d, maxWireElems)
+			}
+			shape[j] = int(d)
+		}
+		if r.err != nil {
+			return nil, nil, nil, r.err
+		}
+		n, err := validShapeLen(shape)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch enc {
+		case encDense:
+			raw := r.take(8 * n)
+			if r.err != nil {
+				return nil, nil, nil, r.err
+			}
+			data := make([]float64, n)
+			for j := range data {
+				data[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*j:]))
+			}
+			dense = append(dense, TensorWire{Shape: shape, Data: data})
+		case encSparse:
+			nnz64 := r.i64()
+			if r.err != nil {
+				return nil, nil, nil, r.err
+			}
+			if nnz64 < 0 || nnz64 > int64(n) {
+				return nil, nil, nil, fmt.Errorf("fl: binary sparse tensor declares %d entries for %d elements", nnz64, n)
+			}
+			nnz := int(nnz64)
+			rawIdx := r.take(4 * nnz)
+			rawVal := r.take(8 * nnz)
+			if r.err != nil {
+				return nil, nil, nil, r.err
+			}
+			w := SparseTensorWire{
+				Shape:   shape,
+				Indices: make([]int32, nnz),
+				Values:  make([]float64, nnz),
+			}
+			for j := 0; j < nnz; j++ {
+				w.Indices[j] = int32(binary.LittleEndian.Uint32(rawIdx[4*j:]))
+				w.Values[j] = math.Float64frombits(binary.LittleEndian.Uint64(rawVal[8*j:]))
+			}
+			sparse = append(sparse, w)
+		case encQuant8, encQuant16:
+			scale := r.f64()
+			w := QuantTensorWire{Shape: shape, Bits: QuantInt8, Scale: scale}
+			if enc == encQuant16 {
+				w.Bits = QuantInt16
+				raw := r.take(2 * n)
+				if r.err != nil {
+					return nil, nil, nil, r.err
+				}
+				w.Q = make([]int16, n)
+				for j := range w.Q {
+					w.Q[j] = int16(binary.LittleEndian.Uint16(raw[2*j:]))
+				}
+			} else {
+				raw := r.take(n)
+				if r.err != nil {
+					return nil, nil, nil, r.err
+				}
+				w.Q = make([]int16, n)
+				for j := range w.Q {
+					w.Q[j] = int16(int8(raw[j]))
+				}
+			}
+			quant = append(quant, w)
+		default:
+			return nil, nil, nil, fmt.Errorf("fl: unknown binary tensor encoding %d", enc)
+		}
+	}
+	return dense, sparse, quant, nil
+}
+
+// --- Message payloads ------------------------------------------------------
+
+func appendParamPayload(b []byte, m *ParamMsg) []byte {
+	b = appendI64(b, int64(m.Round))
+	if m.Denied {
+		b = appendU8(b, 1)
+	} else {
+		b = appendU8(b, 0)
+	}
+	b = appendStr(b, m.Reason)
+	b = appendI64(b, int64(m.Cfg.BatchSize))
+	b = appendI64(b, int64(m.Cfg.LocalIters))
+	b = appendF64(b, m.Cfg.LR)
+	b = appendI64(b, int64(m.Cfg.TotalRounds))
+	b = appendStr(b, m.Cfg.Scenario.Name)
+	b = appendF64(b, m.Cfg.Scenario.Alpha)
+	b = appendI64(b, int64(m.Cfg.Scenario.Shards))
+	b = appendStr(b, m.Cfg.Engine)
+	b = appendStr(b, m.Cfg.NoiseEngine)
+	b = appendStr(b, m.Cfg.Precision)
+	return appendDenseSection(b, m.Params)
+}
+
+func parseParamPayload(b []byte, m *ParamMsg) error {
+	r := wireReader{b: b}
+	*m = ParamMsg{
+		Round:  int(r.i64()),
+		Denied: r.u8() != 0,
+		Reason: r.str(),
+		Cfg: RoundConfig{
+			BatchSize:   int(r.i64()),
+			LocalIters:  int(r.i64()),
+			LR:          r.f64(),
+			TotalRounds: int(r.i64()),
+			Scenario: dataset.Scenario{
+				Name:   r.str(),
+				Alpha:  r.f64(),
+				Shards: int(r.i64()),
+			},
+			Engine:      r.str(),
+			NoiseEngine: r.str(),
+			Precision:   r.str(),
+		},
+	}
+	dense, sparse, quant, err := readTensors(&r)
+	if err != nil {
+		return err
+	}
+	if len(sparse) > 0 || len(quant) > 0 {
+		return fmt.Errorf("fl: round announcement parameters must be dense")
+	}
+	m.Params = dense
+	return r.done()
+}
+
+func appendUpdatePayload(b []byte, m *UpdateMsg) []byte {
+	b = appendI64(b, int64(m.ClientID))
+	b = appendI64(b, int64(m.Round))
+	b = appendF64(b, m.Weight)
+	return appendUpdateSection(b, m)
+}
+
+func parseUpdatePayload(b []byte, m *UpdateMsg) error {
+	r := wireReader{b: b}
+	*m = UpdateMsg{
+		ClientID: int(r.i64()),
+		Round:    int(r.i64()),
+		Weight:   r.f64(),
+	}
+	var err error
+	m.Delta, m.Sparse, m.Quant, err = readTensors(&r)
+	if err != nil {
+		return err
+	}
+	return r.done()
+}
+
+func appendAckPayload(b []byte, m *AckMsg) []byte {
+	if m.Accepted {
+		b = appendU8(b, 1)
+	} else {
+		b = appendU8(b, 0)
+	}
+	return appendStr(b, m.Reason)
+}
+
+func parseAckPayload(b []byte, m *AckMsg) error {
+	r := wireReader{b: b}
+	*m = AckMsg{Accepted: r.u8() != 0, Reason: r.str()}
+	return r.done()
+}
+
+// --- Sessions --------------------------------------------------------------
+
+// wireSession is one negotiated client/server session's codec seam: the
+// protocol logic in rpc.go speaks messages, the session speaks bytes.
+type wireSession interface {
+	// Codec names the encoding this session settled on.
+	Codec() string
+	WriteParam(*ParamMsg) error
+	ReadParam(*ParamMsg) error
+	// WriteUpdate encodes a prebuilt update message (tests, benchmarks,
+	// trusted re-encoding). The client path uses WriteUpdateTensors.
+	WriteUpdate(*UpdateMsg) error
+	// WriteUpdateTensors encodes a client update straight from its dense
+	// in-memory tensors, applying the session codec's best encoding
+	// (dense/sparse by density, quantized when quant is a Quant* width and
+	// the codec supports it — gob, the exact oracle, ignores quantization).
+	WriteUpdateTensors(clientID, round int, weight float64, ts []*tensor.Tensor, quant int, st *QuantState) error
+	ReadUpdate(*UpdateMsg) error
+	WriteAck(*AckMsg) error
+	ReadAck(*AckMsg) error
+}
+
+// gobSession is the legacy self-describing encoding: one encoder/decoder
+// pair per session (gob decoders read ahead, so a second decoder on the
+// same stream would lose bytes). Its byte stream is identical to the
+// pre-codec protocol.
+type gobSession struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newGobSession(r io.Reader, w io.Writer) *gobSession {
+	return &gobSession{enc: gob.NewEncoder(w), dec: gob.NewDecoder(r)}
+}
+
+func (s *gobSession) Codec() string                  { return CodecGob }
+func (s *gobSession) WriteParam(m *ParamMsg) error   { return s.enc.Encode(m) }
+func (s *gobSession) ReadParam(m *ParamMsg) error    { return s.dec.Decode(m) }
+func (s *gobSession) WriteUpdate(m *UpdateMsg) error { return s.enc.Encode(m) }
+func (s *gobSession) ReadUpdate(m *UpdateMsg) error  { return s.dec.Decode(m) }
+func (s *gobSession) WriteAck(m *AckMsg) error       { return s.enc.Encode(m) }
+func (s *gobSession) ReadAck(m *AckMsg) error        { return s.dec.Decode(m) }
+
+func (s *gobSession) WriteUpdateTensors(clientID, round int, weight float64, ts []*tensor.Tensor, quant int, st *QuantState) error {
+	// Quantization is a binary-codec feature; the gob oracle ships the
+	// exact float64 payload in the smaller of its two encodings.
+	msg := UpdateMsg{ClientID: clientID, Round: round, Weight: weight}
+	msg.Delta, msg.Sparse = EncodeUpdate(ts)
+	return s.enc.Encode(&msg)
+}
+
+// binarySession speaks the framed binary encoding over rw.
+type binarySession struct {
+	r io.Reader
+	w io.Writer
+}
+
+func (s *binarySession) Codec() string { return CodecBinary }
+
+// beginFrame draws a pooled buffer pre-filled with the 12-byte header
+// template (magic, version, kind; flags and length zero until endFrame).
+func beginFrame(kind byte) *[]byte {
+	bp := frameBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, binaryMagic[:]...)
+	b = append(b, binaryVersion, kind, 0, 0, 0, 0, 0, 0)
+	*bp = b
+	return bp
+}
+
+// endFrame stamps the payload length, writes the frame in one call, and
+// recycles the buffer.
+func (s *binarySession) endFrame(bp *[]byte) error {
+	b := *bp
+	defer frameBufPool.Put(bp)
+	n := len(b) - frameHeaderLen
+	if n > maxFramePayload {
+		return fmt.Errorf("fl: binary frame payload %d exceeds %d", n, maxFramePayload)
+	}
+	binary.LittleEndian.PutUint32(b[8:12], uint32(n))
+	if _, err := s.w.Write(b); err != nil {
+		return fmt.Errorf("fl: writing binary frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one frame of the wanted kind into a pooled buffer,
+// returning the payload and a release function to call once parsed.
+func (s *binarySession) readFrame(wantKind byte) ([]byte, func(), error) {
+	var h [frameHeaderLen]byte
+	if _, err := io.ReadFull(s.r, h[:]); err != nil {
+		return nil, nil, fmt.Errorf("fl: reading binary frame header: %w", err)
+	}
+	if !bytes.Equal(h[:4], binaryMagic[:]) {
+		return nil, nil, fmt.Errorf("fl: bad binary frame magic % x", h[:4])
+	}
+	if h[4] != binaryVersion {
+		return nil, nil, fmt.Errorf("fl: unsupported binary codec version %d", h[4])
+	}
+	if h[5] != wantKind {
+		return nil, nil, fmt.Errorf("fl: unexpected binary frame kind %d, want %d", h[5], wantKind)
+	}
+	n := binary.LittleEndian.Uint32(h[8:12])
+	if n > maxFramePayload {
+		return nil, nil, fmt.Errorf("fl: binary frame payload %d exceeds %d", n, maxFramePayload)
+	}
+	bp := frameBufPool.Get().(*[]byte)
+	b := *bp
+	if cap(b) < int(n) {
+		b = make([]byte, n)
+	} else {
+		b = b[:n]
+	}
+	*bp = b
+	if _, err := io.ReadFull(s.r, b); err != nil {
+		frameBufPool.Put(bp)
+		return nil, nil, fmt.Errorf("fl: reading binary frame payload: %w", err)
+	}
+	return b, func() { frameBufPool.Put(bp) }, nil
+}
+
+func (s *binarySession) WriteParam(m *ParamMsg) error {
+	bp := beginFrame(kindParam)
+	*bp = appendParamPayload(*bp, m)
+	return s.endFrame(bp)
+}
+
+func (s *binarySession) ReadParam(m *ParamMsg) error {
+	b, release, err := s.readFrame(kindParam)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return parseParamPayload(b, m)
+}
+
+func (s *binarySession) WriteUpdate(m *UpdateMsg) error {
+	bp := beginFrame(kindUpdate)
+	*bp = appendUpdatePayload(*bp, m)
+	return s.endFrame(bp)
+}
+
+func (s *binarySession) WriteUpdateTensors(clientID, round int, weight float64, ts []*tensor.Tensor, quant int, st *QuantState) error {
+	bp := beginFrame(kindUpdate)
+	b := *bp
+	b = appendI64(b, int64(clientID))
+	b = appendI64(b, int64(round))
+	b = appendF64(b, weight)
+	*bp = appendDirectTensors(b, ts, quant, st)
+	return s.endFrame(bp)
+}
+
+func (s *binarySession) ReadUpdate(m *UpdateMsg) error {
+	b, release, err := s.readFrame(kindUpdate)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return parseUpdatePayload(b, m)
+}
+
+func (s *binarySession) WriteAck(m *AckMsg) error {
+	bp := beginFrame(kindAck)
+	*bp = appendAckPayload(*bp, m)
+	return s.endFrame(bp)
+}
+
+func (s *binarySession) ReadAck(m *AckMsg) error {
+	b, release, err := s.readFrame(kindAck)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return parseAckPayload(b, m)
+}
+
+// --- Negotiation -----------------------------------------------------------
+
+// newServerSession opens the server side of one session. A gob-configured
+// server speaks the legacy protocol byte-identically (no hello); a
+// binary-configured server offers binary in a hello frame and settles on
+// whatever the client answers.
+func newServerSession(rw io.ReadWriter, codec string) (wireSession, error) {
+	switch codec {
+	case "", CodecGob:
+		return newGobSession(rw, rw), nil
+	case CodecBinary:
+	default:
+		return nil, fmt.Errorf("fl: unknown wire codec %q", codec)
+	}
+	bs := &binarySession{r: rw, w: rw}
+	bp := beginFrame(kindHello)
+	*bp = appendU8(*bp, codecIDBinary)
+	if err := bs.endFrame(bp); err != nil {
+		return nil, fmt.Errorf("fl: sending codec hello: %w", err)
+	}
+	payload, release, err := bs.readFrame(kindHelloAck)
+	if err != nil {
+		return nil, fmt.Errorf("fl: reading codec answer: %w", err)
+	}
+	r := wireReader{b: payload}
+	chosen := r.u8()
+	err = r.done()
+	release()
+	if err != nil {
+		return nil, err
+	}
+	switch chosen {
+	case codecIDGob:
+		return newGobSession(rw, rw), nil
+	case codecIDBinary:
+		return bs, nil
+	default:
+		return nil, fmt.Errorf("fl: client chose unknown codec %d", chosen)
+	}
+}
+
+// newClientSession opens the client side of one session, sniffing the first
+// four bytes for the binary magic. No magic means a legacy/gob server: the
+// session falls back to gob transparently regardless of preference. A hello
+// is answered with the client's preferred codec; negotiation is per
+// connection, so reconnecting after a server restart re-negotiates.
+func newClientSession(rw io.ReadWriter, pref string) (wireSession, error) {
+	if !ValidCodec(pref) {
+		return nil, fmt.Errorf("fl: unknown wire codec %q", pref)
+	}
+	br := bufio.NewReader(rw)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil || !bytes.Equal(head, binaryMagic[:]) {
+		// Not a binary hello (or the peek failed — the gob decode surfaces
+		// the transport error exactly as the legacy path did).
+		return newGobSession(br, rw), nil
+	}
+	bs := &binarySession{r: br, w: rw}
+	payload, release, err := bs.readFrame(kindHello)
+	if err != nil {
+		return nil, fmt.Errorf("fl: reading codec hello: %w", err)
+	}
+	r := wireReader{b: payload}
+	offered := r.u8()
+	err = r.done()
+	release()
+	if err != nil {
+		return nil, err
+	}
+	chosen := codecIDGob
+	if pref == CodecBinary && offered == codecIDBinary {
+		chosen = codecIDBinary
+	}
+	bp := beginFrame(kindHelloAck)
+	*bp = appendU8(*bp, chosen)
+	if err := bs.endFrame(bp); err != nil {
+		return nil, fmt.Errorf("fl: answering codec hello: %w", err)
+	}
+	if chosen == codecIDBinary {
+		return bs, nil
+	}
+	return newGobSession(br, rw), nil
+}
+
+// roundTripParams re-encodes parameters through the configured codec's wire
+// form and back — how the in-process simulator makes a restarted server's
+// recovery observable at the encoding actually deployed (Run's fault path).
+func roundTripParams(codec string, params []*tensor.Tensor) []*tensor.Tensor {
+	if codec != CodecBinary {
+		return TensorsFromWire(WireFromTensors(params))
+	}
+	bp := frameBufPool.Get().(*[]byte)
+	b := appendDenseSection((*bp)[:0], WireFromTensors(params))
+	r := wireReader{b: b}
+	dense, _, _, err := readTensors(&r)
+	*bp = b
+	frameBufPool.Put(bp)
+	if err != nil {
+		// Unreachable for in-memory parameters; fall back to the oracle.
+		return TensorsFromWire(WireFromTensors(params))
+	}
+	return TensorsFromWire(dense)
+}

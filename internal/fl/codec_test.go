@@ -1,0 +1,814 @@
+package fl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/simnet"
+	"fedcdp/internal/tensor"
+)
+
+// Tests for the binary wire codec: cross-parity against the gob oracle
+// (both codecs must decode every message kind to bit-identical values),
+// the per-connection negotiation matrix, hostile-frame rejection, the
+// quantization error-feedback contract, and the zero-alloc steady state
+// of the pooled encode path.
+
+// testParamMsg is a round announcement exercising every field the codec
+// must carry, including the full RoundConfig.
+func testParamMsg() *ParamMsg {
+	return &ParamMsg{
+		Round: 3,
+		Params: WireFromTensors([]*tensor.Tensor{
+			tensor.FromSlice([]float64{0.125, -7.5, 3.25, 1e-9}, 2, 2),
+			tensor.FromSlice([]float64{42}, 1),
+		}),
+		Cfg: RoundConfig{
+			BatchSize: 8, LocalIters: 5, LR: 0.05, TotalRounds: 9,
+			Scenario:    dataset.Scenario{Name: "dirichlet", Alpha: 0.3},
+			Engine:      EngineBatched,
+			NoiseEngine: NoiseCounter,
+			Precision:   tensor.PrecisionFP32,
+		},
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func shapesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkParamEqual asserts b decodes bit-identically to a.
+func checkParamEqual(t *testing.T, label string, a, b *ParamMsg) {
+	t.Helper()
+	if a.Round != b.Round || a.Denied != b.Denied || a.Reason != b.Reason || a.Cfg != b.Cfg {
+		t.Fatalf("%s: header/config changed: %+v vs %+v", label, a, b)
+	}
+	if len(a.Params) != len(b.Params) {
+		t.Fatalf("%s: %d params decoded, want %d", label, len(b.Params), len(a.Params))
+	}
+	for i := range a.Params {
+		if !shapesEqual(a.Params[i].Shape, b.Params[i].Shape) || !bitsEqual(a.Params[i].Data, b.Params[i].Data) {
+			t.Fatalf("%s: param %d not bit-identical", label, i)
+		}
+	}
+}
+
+// checkUpdateEqual asserts b decodes bit-identically to a, across all
+// three payload encodings.
+func checkUpdateEqual(t *testing.T, label string, a, b *UpdateMsg) {
+	t.Helper()
+	if a.ClientID != b.ClientID || a.Round != b.Round || math.Float64bits(a.Weight) != math.Float64bits(b.Weight) {
+		t.Fatalf("%s: header changed: %+v vs %+v", label, a, b)
+	}
+	if len(a.Delta) != len(b.Delta) || len(a.Sparse) != len(b.Sparse) || len(a.Quant) != len(b.Quant) {
+		t.Fatalf("%s: payload sections changed: %d/%d/%d vs %d/%d/%d", label,
+			len(a.Delta), len(a.Sparse), len(a.Quant), len(b.Delta), len(b.Sparse), len(b.Quant))
+	}
+	for i := range a.Delta {
+		if !shapesEqual(a.Delta[i].Shape, b.Delta[i].Shape) || !bitsEqual(a.Delta[i].Data, b.Delta[i].Data) {
+			t.Fatalf("%s: dense tensor %d not bit-identical", label, i)
+		}
+	}
+	for i := range a.Sparse {
+		aw, bw := a.Sparse[i], b.Sparse[i]
+		if !shapesEqual(aw.Shape, bw.Shape) || len(aw.Indices) != len(bw.Indices) || !bitsEqual(aw.Values, bw.Values) {
+			t.Fatalf("%s: sparse tensor %d not bit-identical", label, i)
+		}
+		for j := range aw.Indices {
+			if aw.Indices[j] != bw.Indices[j] {
+				t.Fatalf("%s: sparse tensor %d index %d changed", label, i, j)
+			}
+		}
+	}
+	for i := range a.Quant {
+		aw, bw := a.Quant[i], b.Quant[i]
+		if !shapesEqual(aw.Shape, bw.Shape) || aw.Bits != bw.Bits || math.Float64bits(aw.Scale) != math.Float64bits(bw.Scale) || len(aw.Q) != len(bw.Q) {
+			t.Fatalf("%s: quant tensor %d header changed", label, i)
+		}
+		for j := range aw.Q {
+			if aw.Q[j] != bw.Q[j] {
+				t.Fatalf("%s: quant tensor %d code %d changed", label, i, j)
+			}
+		}
+	}
+}
+
+// testUpdateMsgs returns one update per payload encoding, including a
+// rank-0 scalar tensor (geometry edge) in the dense case.
+func testUpdateMsgs() map[string]*UpdateMsg {
+	dense := &UpdateMsg{ClientID: 2, Round: 3, Weight: 17}
+	dense.Delta = []TensorWire{
+		{Shape: []int{2, 3}, Data: []float64{1, -2.5, 0, 4.125, -1e-30, 6}},
+		{Shape: []int{}, Data: []float64{3.14159}},
+	}
+	sparse := &UpdateMsg{ClientID: 0, Round: 3, Weight: 1}
+	sparse.Sparse = SparseFromTensors([]*tensor.Tensor{
+		tensor.FromSlice([]float64{0, 0, 7.25, 0, 0, 0, -3, 0}, 8),
+	})
+	q8 := &UpdateMsg{ClientID: 5, Round: 3, Weight: 4}
+	q8.Quant = QuantizeUpdate([]*tensor.Tensor{tensor.FromSlice([]float64{0.5, -1, 0.25, 1}, 4)}, QuantInt8, nil)
+	q16 := &UpdateMsg{ClientID: 6, Round: 3, Weight: 4}
+	q16.Quant = QuantizeUpdate([]*tensor.Tensor{tensor.FromSlice([]float64{0.5, -1, 0.25, 1}, 2, 2)}, QuantInt16, nil)
+	return map[string]*UpdateMsg{"dense": dense, "sparse": sparse, "quant8": q8, "quant16": q16}
+}
+
+// bufSession builds a session of the named codec reading and writing one
+// in-memory buffer — message-level round-trips without a peer.
+func bufSession(codec string, buf *bytes.Buffer) wireSession {
+	if codec == CodecBinary {
+		return &binarySession{r: buf, w: buf}
+	}
+	return newGobSession(buf, buf)
+}
+
+// TestCodecMessageParityMatrix round-trips every message kind and payload
+// encoding through both codecs: each must reproduce the original message
+// bit-identically, making gob and binary interchangeable oracles of one
+// another.
+func TestCodecMessageParityMatrix(t *testing.T) {
+	for _, codec := range []string{CodecGob, CodecBinary} {
+		var buf bytes.Buffer
+		s := bufSession(codec, &buf)
+
+		pm := testParamMsg()
+		if err := s.WriteParam(pm); err != nil {
+			t.Fatalf("%s: WriteParam: %v", codec, err)
+		}
+		var gotPM ParamMsg
+		if err := s.ReadParam(&gotPM); err != nil {
+			t.Fatalf("%s: ReadParam: %v", codec, err)
+		}
+		checkParamEqual(t, codec+"/param", pm, &gotPM)
+
+		denied := &ParamMsg{Denied: true, Reason: "no further rounds"}
+		if err := s.WriteParam(denied); err != nil {
+			t.Fatal(err)
+		}
+		var gotDenied ParamMsg
+		if err := s.ReadParam(&gotDenied); err != nil {
+			t.Fatal(err)
+		}
+		checkParamEqual(t, codec+"/denied", denied, &gotDenied)
+
+		for name, um := range testUpdateMsgs() {
+			if err := s.WriteUpdate(um); err != nil {
+				t.Fatalf("%s/%s: WriteUpdate: %v", codec, name, err)
+			}
+			var got UpdateMsg
+			if err := s.ReadUpdate(&got); err != nil {
+				t.Fatalf("%s/%s: ReadUpdate: %v", codec, name, err)
+			}
+			checkUpdateEqual(t, codec+"/"+name, um, &got)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s/%s: decoded update invalid: %v", codec, name, err)
+			}
+		}
+
+		for _, ack := range []*AckMsg{{Accepted: true}, {Accepted: false, Reason: "round closed"}} {
+			if err := s.WriteAck(ack); err != nil {
+				t.Fatal(err)
+			}
+			var got AckMsg
+			if err := s.ReadAck(&got); err != nil {
+				t.Fatal(err)
+			}
+			if got != *ack {
+				t.Fatalf("%s: ack %+v round-tripped to %+v", codec, *ack, got)
+			}
+		}
+	}
+}
+
+// TestWriteUpdateTensorsParity pins the direct (zero-intermediate) encode
+// against the materializing one: for dense, sparse and quantized inputs,
+// WriteUpdateTensors must put the same decoded values on the wire as
+// building the UpdateMsg first — on both codecs (gob ignores quantization
+// by contract and ships exact floats).
+func TestWriteUpdateTensorsParity(t *testing.T) {
+	denseTs := []*tensor.Tensor{tensor.FromSlice([]float64{1, -2, 3.5, 4, 5, -6}, 3, 2)}
+	sparseTs := []*tensor.Tensor{tensor.FromSlice([]float64{0, 0, 0, 0, 0, 0, 9.5, 0}, 8)}
+	for _, tc := range []struct {
+		name  string
+		ts    []*tensor.Tensor
+		quant int
+	}{
+		{"dense", denseTs, QuantNone},
+		{"sparse", sparseTs, QuantNone},
+		{"quant8", denseTs, QuantInt8},
+		{"quant16", denseTs, QuantInt16},
+	} {
+		var buf bytes.Buffer
+		s := bufSession(CodecBinary, &buf)
+		if err := s.WriteUpdateTensors(4, 2, 11, tc.ts, tc.quant, nil); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var direct UpdateMsg
+		if err := s.ReadUpdate(&direct); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+
+		want := &UpdateMsg{ClientID: 4, Round: 2, Weight: 11}
+		if tc.quant != QuantNone {
+			want.Quant = QuantizeUpdate(tc.ts, tc.quant, nil)
+		} else {
+			want.Delta, want.Sparse = EncodeUpdate(tc.ts)
+		}
+		checkUpdateEqual(t, "binary/"+tc.name, want, &direct)
+
+		// The gob oracle ships exact floats regardless of quant.
+		var gbuf bytes.Buffer
+		g := bufSession(CodecGob, &gbuf)
+		if err := g.WriteUpdateTensors(4, 2, 11, tc.ts, tc.quant, nil); err != nil {
+			t.Fatal(err)
+		}
+		var gotGob UpdateMsg
+		if err := g.ReadUpdate(&gotGob); err != nil {
+			t.Fatal(err)
+		}
+		exact := &UpdateMsg{ClientID: 4, Round: 2, Weight: 11}
+		exact.Delta, exact.Sparse = EncodeUpdate(tc.ts)
+		checkUpdateEqual(t, "gob/"+tc.name, exact, &gotGob)
+	}
+}
+
+// runNegotiation runs a full param→update→ack exchange between a server
+// session with the given codec and a client session with the given
+// preference, over a synchronous in-memory pipe, returning the codecs the
+// two sides settled on.
+func runNegotiation(t *testing.T, serverCodec, clientPref string) (serverChose, clientChose string) {
+	t.Helper()
+	sc, cc := net.Pipe()
+	defer sc.Close()
+	defer cc.Close()
+
+	pm := testParamMsg()
+	um := testUpdateMsgs()["dense"]
+	ack := &AckMsg{Accepted: true}
+
+	var (
+		wg      sync.WaitGroup
+		srvErr  error
+		srvSess wireSession
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := newServerSession(sc, serverCodec)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srvSess = sess
+		var gotUM UpdateMsg
+		if err := sess.WriteParam(pm); err != nil {
+			srvErr = err
+			return
+		}
+		if err := sess.ReadUpdate(&gotUM); err != nil {
+			srvErr = err
+			return
+		}
+		checkUpdateEqual(t, "negotiated update", um, &gotUM)
+		srvErr = sess.WriteAck(ack)
+	}()
+
+	cliSess, err := newClientSession(cc, clientPref)
+	if err != nil {
+		t.Fatalf("client session: %v", err)
+	}
+	var gotPM ParamMsg
+	if err := cliSess.ReadParam(&gotPM); err != nil {
+		t.Fatalf("client ReadParam: %v", err)
+	}
+	checkParamEqual(t, "negotiated param", pm, &gotPM)
+	if err := cliSess.WriteUpdate(um); err != nil {
+		t.Fatalf("client WriteUpdate: %v", err)
+	}
+	var gotAck AckMsg
+	if err := cliSess.ReadAck(&gotAck); err != nil {
+		t.Fatalf("client ReadAck: %v", err)
+	}
+	if gotAck != *ack {
+		t.Fatalf("ack changed in transit: %+v", gotAck)
+	}
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server session: %v", srvErr)
+	}
+	return srvSess.Codec(), cliSess.Codec()
+}
+
+// TestCodecNegotiationMatrix pins the 2×2 server/client codec matrix:
+// binary runs only when BOTH sides opt in; every other combination falls
+// back to gob, and every combination completes the full message exchange
+// with bit-identical payloads.
+func TestCodecNegotiationMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		server, client, want string
+	}{
+		{CodecGob, CodecGob, CodecGob},
+		{CodecGob, CodecBinary, CodecGob},
+		{CodecBinary, CodecGob, CodecGob},
+		{CodecBinary, CodecBinary, CodecBinary},
+	} {
+		name := tc.server + "+" + tc.client
+		srvChose, cliChose := runNegotiation(t, tc.server, tc.client)
+		if srvChose != tc.want || cliChose != tc.want {
+			t.Fatalf("%s: settled on server=%s client=%s, want %s", name, srvChose, cliChose, tc.want)
+		}
+	}
+}
+
+// frameBytes assembles a raw binary frame for hostile-input tests.
+func frameBytes(version, kind byte, payload []byte) []byte {
+	b := append([]byte{}, binaryMagic[:]...)
+	b = append(b, version, kind, 0, 0)
+	b = appendU32(b, uint32(len(payload)))
+	return append(b, payload...)
+}
+
+// TestBinaryHostileFrames feeds corrupted frames to the binary decode
+// path: every case must return an error — never panic, never a partial
+// message.
+func TestBinaryHostileFrames(t *testing.T) {
+	goodPayload := appendAckPayload(nil, &AckMsg{Accepted: true, Reason: "ok"})
+	good := frameBytes(binaryVersion, kindAck, goodPayload)
+
+	cases := []struct {
+		name string
+		raw  []byte
+		want string
+	}{
+		{"empty stream", nil, "frame header"},
+		{"truncated header", good[:7], "frame header"},
+		{"bad magic", append([]byte{'g', 'o', 'b', '!'}, good[4:]...), "magic"},
+		{"bad version", frameBytes(99, kindAck, goodPayload), "version"},
+		{"wrong kind", frameBytes(binaryVersion, kindParam, goodPayload), "kind"},
+		{"truncated payload", good[:len(good)-2], "payload"},
+		{"trailing payload bytes", frameBytes(binaryVersion, kindAck, append(append([]byte{}, goodPayload...), 0xEE)), "trailing"},
+	}
+	// Oversized declared length: stamp a length beyond the cap.
+	over := append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(over[8:12], maxFramePayload+1)
+	cases = append(cases, struct {
+		name string
+		raw  []byte
+		want string
+	}{"oversized length", over, "exceeds"})
+
+	for _, tc := range cases {
+		s := &binarySession{r: bytes.NewReader(tc.raw)}
+		var ack AckMsg
+		err := s.ReadAck(&ack)
+		if err == nil {
+			t.Fatalf("%s: hostile frame decoded without error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBinaryHostileTensorSections feeds structurally hostile tensor
+// sections through the update decode path: bad counts, bad geometry,
+// impossible sparse populations, unknown encodings.
+func TestBinaryHostileTensorSections(t *testing.T) {
+	head := func() []byte {
+		b := appendI64(nil, 9) // ClientID
+		b = appendI64(b, 0)    // Round
+		return appendF64(b, 1) // Weight
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+		want    string
+	}{
+		{"tensor count over cap", appendI64(head(), maxWireTensors+1), "declares"},
+		{"negative tensor count", appendI64(head(), -1), "declares"},
+		{"rank over cap", func() []byte {
+			b := appendI64(head(), 1)
+			b = appendU8(b, encDense)
+			return appendU8(b, maxWireDims+1)
+		}(), "rank"},
+		{"negative dimension", func() []byte {
+			b := appendI64(head(), 1)
+			b = appendU8(b, encDense)
+			b = appendU8(b, 1)
+			return appendI64(b, -4)
+		}(), "outside"},
+		{"overflowing shape", func() []byte {
+			b := appendI64(head(), 1)
+			b = appendU8(b, encDense)
+			b = appendU8(b, 2)
+			b = appendI64(b, maxWireElems)
+			return appendI64(b, maxWireElems)
+		}(), "exceeds"},
+		{"dense payload missing", func() []byte {
+			b := appendI64(head(), 1)
+			b = appendTensorHeader(b, encDense, []int{1 << 20})
+			return b // declares 2^20 floats, carries none
+		}(), "truncated"},
+		{"sparse overpopulated", func() []byte {
+			b := appendI64(head(), 1)
+			b = appendTensorHeader(b, encSparse, []int{4})
+			return appendI64(b, 5) // 5 nonzeros in a 4-element tensor
+		}(), "declares"},
+		{"unknown encoding", func() []byte {
+			b := appendI64(head(), 1)
+			b = appendU8(b, 0xEE)
+			return appendU8(b, 0)
+		}(), "unknown"},
+		{"trailing bytes", func() []byte {
+			b := appendI64(head(), 0)
+			return append(b, 0xAB)
+		}(), "trailing"},
+	}
+	for _, tc := range cases {
+		var m UpdateMsg
+		err := parseUpdatePayload(tc.payload, &m)
+		if err == nil {
+			t.Fatalf("%s: hostile section decoded without error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Quantized parameters must be refused at the announcement gate.
+	qp := appendI64(nil, 0) // Round
+	qp = appendU8(qp, 0)    // Denied
+	qp = appendStr(qp, "")  // Reason
+	qp = appendI64(qp, 1)   // BatchSize
+	qp = appendI64(qp, 1)   // LocalIters
+	qp = appendF64(qp, 0.1) // LR
+	qp = appendI64(qp, 1)   // TotalRounds
+	qp = appendStr(qp, "")  // Scenario.Name
+	qp = appendF64(qp, 0)   // Scenario.Alpha
+	qp = appendI64(qp, 0)   // Scenario.Shards
+	qp = appendStr(qp, "")  // Engine
+	qp = appendStr(qp, "")  // NoiseEngine
+	qp = appendStr(qp, "")  // Precision
+	qp = appendUpdateSection(qp, &UpdateMsg{Quant: QuantizeUpdate([]*tensor.Tensor{tensor.FromSlice([]float64{1}, 1)}, QuantInt8, nil)})
+	var pm ParamMsg
+	if err := parseParamPayload(qp, &pm); err == nil || !strings.Contains(err.Error(), "dense") {
+		t.Fatalf("quantized announcement params must be refused, got %v", err)
+	}
+}
+
+// TestQuantizeRoundTrip pins the quantization error bound: without
+// residual state, every dequantized value is within Scale/2 of the
+// original, and the wire form validates and survives the codec.
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	src := tensor.New(257)
+	for i := range src.Data() {
+		src.Data()[i] = rng.Float64()*4 - 2
+	}
+	for _, bits := range []int{QuantInt8, QuantInt16} {
+		ws := QuantizeUpdate([]*tensor.Tensor{src}, bits, nil)
+		if len(ws) != 1 {
+			t.Fatalf("bits=%d: %d wire tensors", bits, len(ws))
+		}
+		w := ws[0]
+		if err := w.Validate(); err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		back := w.Dequantize()
+		bound := w.Scale/2 + 1e-15
+		for i, v := range src.Data() {
+			if d := math.Abs(back.Data[i] - v); d > bound {
+				t.Fatalf("bits=%d: element %d error %g exceeds Scale/2=%g", bits, i, d, bound)
+			}
+		}
+	}
+}
+
+// TestQuantizeErrorFeedback pins the DSSGD-style residual contract: with a
+// QuantState, the rounding error banked in round r is repaid in round r+1,
+// so the cumulative sum of dequantized updates tracks the cumulative true
+// signal within one quantization step — instead of drifting by R·Scale/2
+// over R rounds.
+func TestQuantizeErrorFeedback(t *testing.T) {
+	// A constant update whose values sit between int8 steps, the worst
+	// case for repeated stateless rounding.
+	src := tensor.FromSlice([]float64{0.7007, -0.31113, 0.00923, 1}, 4)
+	const rounds = 64
+	st := &QuantState{}
+	acc := make([]float64, src.Len())
+	var scale float64
+	for r := 0; r < rounds; r++ {
+		w := QuantizeUpdate([]*tensor.Tensor{src}, QuantInt8, st)[0]
+		d := w.Dequantize()
+		for i := range acc {
+			acc[i] += d.Data[i]
+		}
+		if w.Scale > scale {
+			scale = w.Scale
+		}
+	}
+	for i, v := range src.Data() {
+		drift := math.Abs(acc[i] - float64(rounds)*v)
+		if drift > scale {
+			t.Fatalf("element %d drifted %g over %d rounds (scale %g) — error feedback not repaying", i, drift, rounds, scale)
+		}
+	}
+
+	// The same run without state is allowed to drift — proving the
+	// feedback is what holds the line, not luck.
+	accRaw := make([]float64, src.Len())
+	for r := 0; r < rounds; r++ {
+		w := QuantizeUpdate([]*tensor.Tensor{src}, QuantInt8, nil)[0]
+		d := w.Dequantize()
+		for i := range accRaw {
+			accRaw[i] += d.Data[i]
+		}
+	}
+	worst := 0.0
+	for i, v := range src.Data() {
+		if drift := math.Abs(accRaw[i] - float64(rounds)*v); drift > worst {
+			worst = drift
+		}
+	}
+	if worst <= scale {
+		t.Logf("stateless drift %g stayed under one scale — benign vectors, feedback still pinned above", worst)
+	}
+}
+
+// TestQuantizeZeroTensor pins the all-zero edge: zero scale, zero codes,
+// residuals untouched.
+func TestQuantizeZeroTensor(t *testing.T) {
+	st := &QuantState{}
+	ws := QuantizeUpdate([]*tensor.Tensor{tensor.New(5)}, QuantInt8, st)
+	if ws[0].Scale != 0 {
+		t.Fatalf("zero tensor got scale %g", ws[0].Scale)
+	}
+	for _, q := range ws[0].Q {
+		if q != 0 {
+			t.Fatal("zero tensor got nonzero codes")
+		}
+	}
+	if err := ws[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryEncodeZeroAlloc pins the shared-pool contract: once the frame
+// pool is warm, encoding a dense or sparse update through the binary
+// session allocates nothing — the scratch is the sync.Pool's, not the
+// garbage collector's.
+func TestBinaryEncodeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts are meaningless")
+	}
+	dense := []*tensor.Tensor{tensor.New(2048), tensor.New(64)}
+	rng := tensor.NewRNG(5)
+	for _, ts := range dense {
+		for i := range ts.Data() {
+			ts.Data()[i] = rng.Float64() - 0.5
+		}
+	}
+	sparse := []*tensor.Tensor{tensor.New(2048)}
+	for i := 0; i < 2048; i += 64 {
+		sparse[0].Data()[i] = rng.Float64()
+	}
+	s := &binarySession{w: io.Discard}
+	for name, ts := range map[string][]*tensor.Tensor{"dense": dense, "sparse": sparse} {
+		ts := ts
+		// Warm the pool so the buffer has steady-state capacity.
+		if err := s.WriteUpdateTensors(0, 0, 1, ts, QuantNone, nil); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := s.WriteUpdateTensors(0, 0, 1, ts, QuantNone, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: binary encode allocates %.1f objects/op at steady state, want 0", name, allocs)
+		}
+	}
+}
+
+// binaryRawSession runs one hand-rolled client session over the fabric
+// with an explicit codec preference, returning the codec the session
+// settled on (the observable the re-negotiation test pins).
+func binaryRawSession(t *testing.T, n *simnet.Net, host string, pref string, clientID int, update []float64) (string, AckMsg) {
+	t.Helper()
+	conn, err := n.Dialer(host)("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sess, err := newClientSession(conn, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pm ParamMsg
+	if err := sess.ReadParam(&pm); err != nil {
+		t.Fatalf("%s: reading params: %v", host, err)
+	}
+	if pm.Denied {
+		t.Fatalf("%s: session denied: %s", host, pm.Reason)
+	}
+	ts := []*tensor.Tensor{tensor.FromSlice(append([]float64(nil), update...), len(update))}
+	if err := sess.WriteUpdateTensors(clientID, pm.Round, 1, ts, QuantNone, nil); err != nil {
+		t.Fatalf("%s: sending update: %v", host, err)
+	}
+	var ack AckMsg
+	if err := sess.ReadAck(&ack); err != nil {
+		t.Fatalf("%s: reading ack: %v", host, err)
+	}
+	return sess.Codec(), ack
+}
+
+// TestCodecRenegotiationAcrossRestart restarts the server between rounds
+// with a DIFFERENT codec each time: because negotiation is per
+// connection, the reconnecting client must settle on binary against the
+// binary server, fall back to gob against its gob-configured replacement,
+// and return to binary after the next restart — with every round's update
+// folded correctly throughout.
+func TestCodecRenegotiationAcrossRestart(t *testing.T) {
+	n := simnet.New(3, nil)
+	params := []*tensor.Tensor{tensor.FromSlice([]float64{0, 0}, 2)}
+	cfg := RoundConfig{BatchSize: 1, LocalIters: 1, LR: 0.1, TotalRounds: 3}
+
+	runRound := func(round int, serverCodec, wantCodec string, update []float64) {
+		t.Helper()
+		ln, err := n.Listen("server")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewRoundServerOn(ln)
+		srv.Codec = serverCodec
+		type outcome struct {
+			res RoundResult
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			res, err := srv.StreamRound(round, params, cfg, NewFedSGD(), RoundOptions{Clients: 1})
+			done <- outcome{res, err}
+		}()
+		codec, ack := binaryRawSession(t, n, "c0", CodecBinary, 0, update)
+		if codec != wantCodec {
+			t.Fatalf("round %d: session settled on %s, want %s", round, codec, wantCodec)
+		}
+		if !ack.Accepted {
+			t.Fatalf("round %d: update rejected: %s", round, ack.Reason)
+		}
+		o := <-done
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.res.Folded != 1 {
+			t.Fatalf("round %d: %+v", round, o.res)
+		}
+		// Restart: the listener dies with the server; the next round
+		// rebinds the address under a different codec configuration.
+		srv.Close()
+	}
+
+	runRound(0, CodecBinary, CodecBinary, []float64{1, 1})
+	runRound(1, "", CodecGob, []float64{2, 2})
+	runRound(2, CodecBinary, CodecBinary, []float64{3, 3})
+	if got := params[0].Data(); got[0] != 6 || got[1] != 6 {
+		t.Fatalf("params %v after three rounds across codec-flipping restarts, want [6 6]", got)
+	}
+}
+
+// TestBinaryCodecParityOverFabric runs the same seeded single-client round
+// twice — once per codec — through the full deployment path (RoundServer,
+// real client training, fabric transport): the exact binary codec must
+// leave the global model bit-identical to the gob oracle's.
+func TestBinaryCodecParityOverFabric(t *testing.T) {
+	run := func(codec string) []float64 {
+		spec, err := dataset.Get("cancer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := dataset.New(spec, 42)
+		n := simnet.New(42, nil)
+		ln, err := n.Listen("server")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewRoundServerOn(ln)
+		srv.Codec = codec
+		defer srv.Close()
+
+		params := tensorsForSpec(t, spec)
+		cfg := RoundConfig{BatchSize: 4, LocalIters: 2, LR: 0.1, TotalRounds: 1}
+		done := make(chan error, 1)
+		go func() {
+			done <- RunRemoteClientOpts("server", 0, sgdStrategy{}, ds.Client(0), spec.ModelSpec(), 42,
+				ClientOptions{Dial: n.Dialer("c0"), Codec: codec})
+		}()
+		if _, err := srv.StreamRound(0, params, cfg, NewFedSGD(), RoundOptions{Clients: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		var flat []float64
+		for _, p := range params {
+			flat = append(flat, p.Data()...)
+		}
+		return flat
+	}
+	gobParams := run("")
+	binParams := run(CodecBinary)
+	if !bitsEqual(gobParams, binParams) {
+		t.Fatal("binary codec round diverged from the gob oracle — the exact codec must be bit-transparent")
+	}
+}
+
+// BenchmarkWire measures per-update encode and decode cost and wire bytes
+// for a CNN-scale dense update: the gob oracle vs the binary codec, exact
+// and quantized. The binary encode rows must stay allocation-free at
+// steady state (the pooled-scratch contract TestBinaryEncodeZeroAlloc
+// asserts); wire-B is the bytes-per-message acceptance metric.
+func BenchmarkWire(b *testing.B) {
+	const n = 100000
+	rng := tensor.NewRNG(3)
+	src := tensor.New(n)
+	for i := range src.Data() {
+		src.Data()[i] = rng.Float64()*2 - 1
+	}
+	ts := []*tensor.Tensor{src}
+
+	encCases := []struct {
+		name  string
+		codec string
+		quant int
+	}{
+		{"gob", CodecGob, QuantNone},
+		{"binary", CodecBinary, QuantNone},
+		{"binary-quant16", CodecBinary, QuantInt16},
+		{"binary-quant8", CodecBinary, QuantInt8},
+	}
+	for _, tc := range encCases {
+		b.Run("encode/"+tc.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			st := &QuantState{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				s := bufSession(tc.codec, &buf)
+				if err := s.WriteUpdateTensors(0, 0, 1, ts, tc.quant, st); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(buf.Len()), "wire-B")
+		})
+	}
+	for _, tc := range encCases {
+		var buf bytes.Buffer
+		if err := bufSession(tc.codec, &buf).WriteUpdateTensors(0, 0, 1, ts, tc.quant, nil); err != nil {
+			b.Fatal(err)
+		}
+		raw := append([]byte(nil), buf.Bytes()...)
+		b.Run("decode/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var m UpdateMsg
+				var s wireSession
+				if tc.codec == CodecBinary {
+					s = &binarySession{r: bytes.NewReader(raw)}
+				} else {
+					s = newGobSession(bytes.NewReader(raw), io.Discard)
+				}
+				if err := s.ReadUpdate(&m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(raw)), "wire-B")
+		})
+	}
+}

@@ -64,19 +64,30 @@
 //
 // # Remote deployment
 //
-// rpc.go carries the same rounds over TCP with gob encoding (dense or
-// sparse per update density), optional X25519/AES-GCM channel encryption,
-// concurrent client sessions, explicit round-over refusals and update
-// receipts. The server publishes its RoundConfig — including the
-// heterogeneity Scenario, which remote clients apply to their local dataset
-// view — so a federation agrees on one configuration without per-client
-// flags. The transport is pluggable at both ends (NewRoundServerOn takes
-// any net.Listener, ClientOptions.Dial any dialer): real TCP is the
+// rpc.go carries the same rounds over TCP, with the wire format negotiated
+// per connection (codec.go): CodecGob (default) speaks encoding/gob,
+// byte-identical to the original protocol and kept as the parity oracle;
+// CodecBinary is a versioned, length-prefixed binary codec — magic header,
+// tensor geometry sections, raw little-endian float payloads, sparse
+// sections, and optional int8/int16 update quantization (quant.go) with
+// per-tensor scale and client-side error-feedback residuals (QuantState).
+// A binary server announces itself with a hello frame; clients sniff the
+// first bytes and fall back to gob transparently, so mixed fleets
+// interoperate and a reconnecting client re-negotiates after a server
+// restart. Updates ship dense or sparse per update density, with optional
+// X25519/AES-GCM channel encryption, concurrent client sessions, explicit
+// round-over refusals and update receipts. The server publishes its
+// RoundConfig — including the heterogeneity Scenario, which remote clients
+// apply to their local dataset view, and the GEMM Precision — so a
+// federation agrees on one configuration without per-client flags. The
+// transport is pluggable at both ends (NewRoundServerOn takes any
+// net.Listener, ClientOptions.Dial any dialer): real TCP is the
 // default, and internal/simnet substitutes an in-memory fabric with
 // seeded link faults so entire deployments — server restarts, reconnects,
 // duplicate submissions, partitions — run deterministically inside one
 // test process. Wire messages that cross a connection are validated
-// before use (wire.go): hostile shapes, lengths and non-finite values
-// error out instead of panicking or poisoning the model, and update
-// re-submissions after a lost ack are acknowledged but folded only once.
+// before use (wire.go) regardless of codec: hostile shapes, lengths,
+// truncated or oversized frames and non-finite values error out instead
+// of panicking or poisoning the model, and update re-submissions after a
+// lost ack are acknowledged but folded only once.
 package fl

@@ -97,6 +97,12 @@ type RoundConfig struct {
 	// it) or NoiseReference, the sequential math/rand stream kept as the
 	// parity oracle.
 	NoiseEngine string
+	// Precision selects the arithmetic width of client GEMM kernels:
+	// tensor.PrecisionFP64 ("" defaults to it, the pinned reference
+	// oracle) or tensor.PrecisionFP32, the bulk float32 path. Published
+	// with the round so every participant trains at the same width;
+	// evaluation and DP noise always run at float64.
+	Precision string
 }
 
 // ClientEnv is everything a strategy needs to run one client's local
@@ -254,6 +260,13 @@ type Config struct {
 	// to it, deterministic) or FoldArrival (no reorder buffer).
 	FoldOrder string
 
+	// Codec selects the wire encoding the deployment would use: CodecGob
+	// ("" defaults to it) or CodecBinary. The in-process simulator only
+	// touches the wire on server restarts (parameters round-trip through
+	// the encoding to make recovery observable); core.RunSimnet threads
+	// the same choice into the transport-level harness.
+	Codec string
+
 	// Clock drives the streaming runtime's deadline timers; nil uses the
 	// system clock. Tests inject fakes to exercise deadline and quorum
 	// paths deterministically.
@@ -346,6 +359,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: unknown execution engine %q", c.Round.Engine)
 	case c.Round.NoiseEngine != "" && c.Round.NoiseEngine != NoiseCounter && c.Round.NoiseEngine != NoiseReference:
 		return fmt.Errorf("fl: unknown noise engine %q", c.Round.NoiseEngine)
+	case c.Round.Precision != "" && c.Round.Precision != tensor.PrecisionFP64 && c.Round.Precision != tensor.PrecisionFP32:
+		return fmt.Errorf("fl: unknown precision %q", c.Round.Precision)
+	case !ValidCodec(c.Codec):
+		return fmt.Errorf("fl: unknown wire codec %q", c.Codec)
 	case c.Runtime != "" && c.Runtime != RuntimeStreaming && c.Runtime != RuntimeBarrier:
 		return fmt.Errorf("fl: unknown runtime %q", c.Runtime)
 	case c.FoldOrder != "" && c.FoldOrder != FoldCohort && c.FoldOrder != FoldArrival:
@@ -410,7 +427,7 @@ func Run(cfg Config) (*History, error) {
 			// re-derived from (seed, round), the deterministic rule a
 			// restarted server resumes by; the counter noise engine is
 			// stateless and unaffected.
-			restored := TensorsFromWire(WireFromTensors(global.Params()))
+			restored := roundTripParams(cfg.Codec, global.Params())
 			global = nn.Build(cfg.Model, tensor.Split(cfg.Seed, 1))
 			global.SetParams(restored)
 			workers = newWorkerPool(par, cfg.Model)
@@ -592,6 +609,7 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 				return
 			}
 			w.model.SetParams(globalParams)
+			w.model.SetPrecision(cfg.Round.Precision)
 			data := cfg.Data.Client(id)
 			weights[i] = float64(data.Len())
 			env := &ClientEnv{

@@ -120,6 +120,56 @@ func FuzzParamMsgDecode(f *testing.F) {
 	})
 }
 
+// FuzzBinaryDecode drives the binary codec's frame and payload parsers
+// with arbitrary bytes: whatever a peer sends, decode must return an
+// error or a sound message — never panic, never allocate past the wire
+// bounds. A payload that parses AND validates must re-encode and re-parse
+// to bit-identical tensors (the codec is self-inverse on its own output).
+func FuzzBinaryDecode(f *testing.F) {
+	um := &UpdateMsg{ClientID: 3, Round: 1, Weight: 5}
+	um.Delta = WireFromTensors([]*tensor.Tensor{tensor.FromSlice([]float64{1, -2, 3, 4}, 2, 2)})
+	sp := &UpdateMsg{ClientID: 0, Round: 0, Weight: 1}
+	sp.Sparse = SparseFromTensors([]*tensor.Tensor{tensor.FromSlice([]float64{0, 0, 7, 0}, 4)})
+	q := &UpdateMsg{ClientID: 1, Round: 2, Weight: 3}
+	q.Quant = QuantizeUpdate([]*tensor.Tensor{tensor.FromSlice([]float64{0.5, -1}, 2)}, QuantInt8, nil)
+	pm := testParamMsg()
+	f.Add(appendUpdatePayload(nil, um))
+	f.Add(appendUpdatePayload(nil, sp))
+	f.Add(appendUpdatePayload(nil, q))
+	f.Add(appendParamPayload(nil, pm))
+	f.Add(appendAckPayload(nil, &AckMsg{Accepted: true, Reason: "ok"}))
+	f.Add(frameBytes(binaryVersion, kindUpdate, appendUpdatePayload(nil, um)))
+	f.Add([]byte{0x00, 'F', 'C', 'W', 1, 4, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var gotPM ParamMsg
+		if parseParamPayload(data, &gotPM) == nil && gotPM.Validate() == nil && !gotPM.Denied {
+			re := appendParamPayload(nil, &gotPM)
+			var again ParamMsg
+			if err := parseParamPayload(re, &again); err != nil {
+				t.Fatalf("re-parsing a validated announcement: %v", err)
+			}
+			checkParamEqual(t, "fuzz param", &gotPM, &again)
+		}
+		var gotUM UpdateMsg
+		if parseUpdatePayload(data, &gotUM) == nil && gotUM.Validate() == nil {
+			re := appendUpdatePayload(nil, &gotUM)
+			var again UpdateMsg
+			if err := parseUpdatePayload(re, &again); err != nil {
+				t.Fatalf("re-parsing a validated update: %v", err)
+			}
+			checkUpdateEqual(t, "fuzz update", &gotUM, &again)
+		}
+		var gotAck AckMsg
+		_ = parseAckPayload(data, &gotAck)
+		// The framed path must survive the same bytes as a whole stream.
+		s := &binarySession{r: bytes.NewReader(data)}
+		var m UpdateMsg
+		_ = s.ReadUpdate(&m)
+	})
+}
+
 func FuzzSparseWire(f *testing.F) {
 	f.Add(4, []byte{0, 2}, []byte{10, 20})
 	f.Add(0, []byte{}, []byte{})

@@ -1,0 +1,175 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fedcdp/internal/tensor"
+)
+
+// Update quantization for the binary wire codec (DSSGD-style lossy
+// compression, Shokri & Shmatikov's selective-sharing lineage): each tensor
+// is scaled by maxAbs/qmax and rounded to int8 or int16, cutting dense wire
+// bytes 8× (int8) or 4× (int16) against raw float64. The rounding error is
+// not discarded — QuantState keeps a per-tensor residual that is added back
+// into the next round's update before quantizing (error feedback), so the
+// bias a single round introduces is repaid over the run instead of
+// compounding. Quantization is a binary-codec feature: a session that falls
+// back to gob ships the exact float64 payload.
+
+// Quantization widths selectable via ClientOptions.Quant. QuantNone ships
+// exact float64 payloads.
+const (
+	QuantNone  = 0
+	QuantInt8  = 8
+	QuantInt16 = 16
+)
+
+// ValidQuant reports whether q is a recognized quantization width.
+func ValidQuant(q int) bool {
+	return q == QuantNone || q == QuantInt8 || q == QuantInt16
+}
+
+// QuantTensorWire is the quantized wire form of a tensor: per-tensor scale
+// plus rounded integer codes. Bits selects the code width (8 or 16); codes
+// are held in int16 in memory either way — the binary codec packs them to
+// 1 or 2 bytes on the wire. Decoding dequantizes to q·Scale.
+type QuantTensorWire struct {
+	Shape []int
+	Bits  int
+	Scale float64
+	Q     []int16
+}
+
+// qmax returns the largest code magnitude for a width.
+func qmax(bits int) float64 {
+	if bits == QuantInt8 {
+		return 127
+	}
+	return 32767
+}
+
+// Validate reports whether the quantized wire tensor is structurally sound:
+// sane shape, matching code count, recognized width, finite non-negative
+// scale, codes within the width's range.
+func (w QuantTensorWire) Validate() error {
+	n, err := validShapeLen(w.Shape)
+	if err != nil {
+		return err
+	}
+	if w.Bits != QuantInt8 && w.Bits != QuantInt16 {
+		return fmt.Errorf("fl: quantized wire width %d bits not in {8, 16}", w.Bits)
+	}
+	if len(w.Q) != n {
+		return fmt.Errorf("fl: quantized payload length %d does not match shape %v (want %d)", len(w.Q), w.Shape, n)
+	}
+	if math.IsNaN(w.Scale) || math.IsInf(w.Scale, 0) || w.Scale < 0 {
+		return fmt.Errorf("fl: invalid quantization scale %v", w.Scale)
+	}
+	m := qmax(w.Bits)
+	for i, q := range w.Q {
+		if float64(q) > m || float64(q) < -m {
+			return fmt.Errorf("fl: quantized code %d at offset %d outside ±%g", q, i, m)
+		}
+	}
+	return nil
+}
+
+// Dequantize reconstructs the dense wire tensor q·Scale.
+func (w QuantTensorWire) Dequantize() TensorWire {
+	data := make([]float64, len(w.Q))
+	for i, q := range w.Q {
+		data[i] = float64(q) * w.Scale
+	}
+	return TensorWire{Shape: append([]int(nil), w.Shape...), Data: data}
+}
+
+// TensorsFromQuant dequantizes quantized wire tensors back to dense
+// *tensor.Tensor.
+func TensorsFromQuant(ws []QuantTensorWire) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ws))
+	for i, w := range ws {
+		d := w.Dequantize()
+		out[i] = tensor.FromSlice(d.Data, d.Shape...)
+	}
+	return out
+}
+
+// QuantState carries a client's error-feedback residuals across rounds: the
+// rounding error of round r's quantization is added to round r+1's update
+// before quantizing. Safe for concurrent use; the zero value is ready (nil
+// is also accepted everywhere and means no error feedback).
+type QuantState struct {
+	mu       sync.Mutex
+	residual [][]float64
+}
+
+// QuantizeUpdate converts a dense update to quantized wire form at the given
+// width, folding in (and refreshing) st's error-feedback residuals when st is
+// non-nil. The input tensors are not modified.
+func QuantizeUpdate(ts []*tensor.Tensor, bits int, st *QuantState) []QuantTensorWire {
+	if bits != QuantInt8 && bits != QuantInt16 {
+		panic(fmt.Sprintf("fl: quantization width %d bits not in {8, 16}", bits))
+	}
+	var res [][]float64
+	if st != nil {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if len(st.residual) != len(ts) {
+			st.residual = make([][]float64, len(ts))
+		}
+		res = st.residual
+	}
+	m := qmax(bits)
+	out := make([]QuantTensorWire, len(ts))
+	for i, t := range ts {
+		data := t.Data()
+		w := QuantTensorWire{
+			Shape: append([]int(nil), t.Shape()...),
+			Bits:  bits,
+			Q:     make([]int16, len(data)),
+		}
+		var e []float64
+		if res != nil {
+			if len(res[i]) != len(data) {
+				res[i] = make([]float64, len(data))
+			}
+			e = res[i]
+		}
+		// Pass 1: the scale is maxAbs of the residual-corrected update.
+		var maxAbs float64
+		for j, v := range data {
+			if e != nil {
+				v += e[j]
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			// All-zero tensor: zero scale, zero codes, residual unchanged.
+			out[i] = w
+			continue
+		}
+		w.Scale = maxAbs / m
+		// Pass 2: round, clamp, and bank the rounding error.
+		for j, v := range data {
+			if e != nil {
+				v += e[j]
+			}
+			q := math.RoundToEven(v / w.Scale)
+			if q > m {
+				q = m
+			} else if q < -m {
+				q = -m
+			}
+			w.Q[j] = int16(q)
+			if e != nil {
+				e[j] = v - q*w.Scale
+			}
+		}
+		out[i] = w
+	}
+	return out
+}

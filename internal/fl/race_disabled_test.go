@@ -1,0 +1,7 @@
+//go:build !race
+
+package fl
+
+// raceEnabled reports that the race detector is active; see
+// race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package fl
+
+// raceEnabled reports that the race detector is active. Zero-alloc
+// assertions skip under it: race instrumentation allocates shadow state,
+// which is not the regression those tests exist to catch.
+const raceEnabled = true

@@ -54,6 +54,14 @@ func rawSession(t *testing.T, n *simnet.Net, host string, clientID int, update [
 // retry (the client's data IS in the round) without folding it a second
 // time — before deduplication, the retry double-counted the client and
 // consumed the round's quorum with a phantom update.
+//
+// It also pins the slot accounting around that retry: the duplicate must
+// consume NEITHER a completion slot (a round with Clients=2 may only
+// commit on two DISTINCT resolutions — a fast client's re-submission once
+// closed the round before the slow client's update arrived) NOR an
+// admission slot (the second distinct client below can only be admitted
+// if the duplicate session returned the quota it briefly occupied;
+// without the release this test deadlocks in admit()).
 func TestReconnectDoesNotDoubleFold(t *testing.T) {
 	n := simnet.New(1, nil)
 	ln, err := n.Listen("server")
@@ -72,7 +80,7 @@ func TestReconnectDoesNotDoubleFold(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := srv.StreamRound(0, params, cfg, agg, RoundOptions{Clients: 3, MinQuorum: 2})
+		res, err := srv.StreamRound(0, params, cfg, agg, RoundOptions{Clients: 2, MinQuorum: 2})
 		done <- outcome{res, err}
 	}()
 
@@ -87,6 +95,14 @@ func TestReconnectDoesNotDoubleFold(t *testing.T) {
 	}
 	if !strings.Contains(ack.Reason, "duplicate") {
 		t.Fatalf("duplicate ack should say so, got %q", ack.Reason)
+	}
+	// The duplicate resolved the round's second SESSION, but not its
+	// second CLIENT: the round must still be open, waiting for c1 — and
+	// must still have an admission slot to give it.
+	select {
+	case o := <-done:
+		t.Fatalf("round closed on a duplicate session: %+v (err %v)", o.res, o.err)
+	default:
 	}
 	if ack := rawSession(t, n, "c1", 1, []float64{3, 4, 5, 6}); !ack.Accepted {
 		t.Fatalf("second client rejected: %s", ack.Reason)

@@ -1,7 +1,6 @@
 package fl
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -16,8 +15,10 @@ import (
 
 // This file provides a real network deployment of federated rounds: a
 // server that pushes global parameters to connecting clients over TCP and
-// folds their updates into an Aggregator as they arrive, with gob wire
-// encoding (dense or sparse). The in-process simulator (Run) is the tool
+// folds their updates into an Aggregator as they arrive, with a negotiated
+// wire encoding — gob by default, the framed binary codec (codec.go) when
+// both sides opt in — dense, sparse or quantized per update. The
+// in-process simulator (Run) is the tool
 // for experiments; the RPC path exists so the library can be deployed
 // across processes/machines and is exercised by tests, cmd/fedserve and
 // cmd/fedclient. The paper assumes the channel itself is encrypted; set
@@ -72,24 +73,30 @@ type ParamMsg struct {
 }
 
 // UpdateMsg is the client→server local update. Exactly one of Delta
-// (dense) or Sparse (indices + values) carries the payload; sparse is
-// chosen by the client when most coordinates are zero (DSSGD, top-k
-// compression — see EncodeUpdate). Weight is the client's local example
-// count, consumed by weight-aware aggregators (example-count-weighted
-// FedAvg); 0 — e.g. from a client predating the field, which gob decodes
-// as the zero value — is treated as weight 1 at the fold.
+// (dense), Sparse (indices + values) or Quant (scaled integer codes)
+// carries the payload; sparse is chosen by the client when most
+// coordinates are zero (DSSGD, top-k compression — see EncodeUpdate) and
+// quantized when the client opted into lossy compression on the binary
+// codec (see quant.go). Weight is the client's local example count,
+// consumed by weight-aware aggregators (example-count-weighted FedAvg);
+// 0 — e.g. from a client predating the field, which gob decodes as the
+// zero value — is treated as weight 1 at the fold.
 type UpdateMsg struct {
 	ClientID int
 	Round    int
 	Weight   float64
 	Delta    []TensorWire
 	Sparse   []SparseTensorWire
+	Quant    []QuantTensorWire
 }
 
 // Tensors decodes the update payload, whichever encoding was used.
 func (m *UpdateMsg) Tensors() []*tensor.Tensor {
-	if len(m.Sparse) > 0 {
+	switch {
+	case len(m.Sparse) > 0:
 		return TensorsFromSparse(m.Sparse)
+	case len(m.Quant) > 0:
+		return TensorsFromQuant(m.Quant)
 	}
 	return TensorsFromWire(m.Delta)
 }
@@ -117,6 +124,12 @@ var ErrRoundClosed = errors.New("fl: round closed by server")
 type RoundServer struct {
 	ln     net.Listener
 	Secure bool
+	// Codec selects the wire encoding offered to clients: CodecGob (""
+	// defaults to it) runs the legacy self-describing protocol
+	// byte-identically; CodecBinary opens every session with a codec hello
+	// and speaks the framed binary encoding to clients that accept (gob
+	// clients keep working — see codec.go). Set before the first round.
+	Codec string
 	// Clock drives round deadlines; nil uses the system clock (tests
 	// inject fakes).
 	Clock Clock
@@ -131,9 +144,10 @@ type RoundServer struct {
 }
 
 // roundState is one open round: its announcement, admission quota and
-// result stream. results is buffered to the full quota — admitted ≤ max
-// sessions deliver at most once each — so sends under the mutex never
-// block.
+// result stream. results is buffered to the full quota — at most max
+// sessions are admitted-but-unresolved at any moment and each delivers at
+// most once (duplicates never enter the stream) — so sends under the
+// mutex never block.
 type roundState struct {
 	round    int
 	cfg      RoundConfig
@@ -145,6 +159,7 @@ type roundState struct {
 	mu      sync.Mutex
 	closed  bool
 	folded  map[int]bool // client ids whose update this round already folded
+	dups    int          // re-submissions acknowledged but not folded
 	results chan sessionResult
 }
 
@@ -152,7 +167,6 @@ type sessionResult struct {
 	client int
 	update []*tensor.Tensor
 	weight float64
-	dup    bool
 	err    error
 }
 
@@ -180,29 +194,30 @@ const (
 // Successful deliveries are deduplicated by client id: a client that was
 // folded but never saw its ack (the conn died first) re-submits after
 // reconnecting, and folding that retry would double-count its data — so
-// the retry is marked dup, acknowledged as already folded, and not folded
-// again (the regression is pinned in reconnect_test.go).
+// the retry is acknowledged as already folded and not folded again (the
+// regression is pinned in reconnect_test.go). A duplicate never enters
+// the result stream and never consumes a completion slot: the round keeps
+// waiting for its quota of DISTINCT clients, and the duplicate session's
+// admission slot is released (handle() calls releaseSlot) so a client
+// still waiting to join is not locked out by a retry.
 func (st *roundState) deliver(res sessionResult) deliverStatus {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
 		return deliverClosed
 	}
-	status := deliverTaken
 	if res.err == nil {
 		if st.folded == nil {
 			st.folded = map[int]bool{}
 		}
 		if st.folded[res.client] {
-			res.dup = true
-			res.update = nil
-			status = deliverDup
-		} else {
-			st.folded[res.client] = true
+			st.dups++
+			return deliverDup
 		}
+		st.folded[res.client] = true
 	}
 	st.results <- res
-	return status
+	return deliverTaken
 }
 
 // close stops further deliveries.
@@ -299,6 +314,17 @@ func (s *RoundServer) admit() *roundState {
 	}
 }
 
+// releaseSlot returns a session's admission slot to the round — called
+// when the session resolved as a duplicate, so the quota it occupied must
+// go back to a distinct client still waiting in admit(). Harmless if the
+// round already advanced.
+func (s *RoundServer) releaseSlot(st *roundState) {
+	s.mu.Lock()
+	st.admitted--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
 // waitingSessions reports how many sessions are parked until a round
 // opens (introspection; tests use it to sequence close/denial paths).
 func (s *RoundServer) waitingSessions() int {
@@ -307,9 +333,11 @@ func (s *RoundServer) waitingSessions() int {
 	return s.waiting
 }
 
-// handle runs one client session end to end. One gob encoder/decoder
-// pair serves the whole session (gob decoders buffer ahead, so a second
-// decoder on the same stream would lose bytes).
+// handle runs one client session end to end. The wire encoding is settled
+// by newServerSession before admission: a gob server speaks the legacy
+// byte stream; a binary server negotiates per connection (codec.go). One
+// session object serves the whole connection (gob decoders buffer ahead,
+// so a second decoder on the same stream would lose bytes).
 func (s *RoundServer) handle(conn net.Conn) {
 	defer conn.Close()
 	var rw io.ReadWriter = conn
@@ -320,12 +348,15 @@ func (s *RoundServer) handle(conn net.Conn) {
 		}
 		rw = sc
 	}
-	enc := gob.NewEncoder(rw)
+	sess, err := newServerSession(rw, s.Codec)
+	if err != nil {
+		return
+	}
 	st := s.admit()
 	if st == nil {
 		// Protocol-level "round over": late sessions get an answer, not a
 		// hang or a bare RST.
-		_ = enc.Encode(ParamMsg{Denied: true, Reason: "no further rounds"})
+		_ = sess.WriteParam(&ParamMsg{Denied: true, Reason: "no further rounds"})
 		return
 	}
 	if !st.cutoff.IsZero() {
@@ -334,18 +365,18 @@ func (s *RoundServer) handle(conn net.Conn) {
 		// forever. Wall-clock on purpose — it bounds I/O, not the round.
 		_ = conn.SetDeadline(st.cutoff.Add(5 * time.Second))
 	}
-	if err := enc.Encode(ParamMsg{Round: st.round, Params: st.wire, Cfg: st.cfg}); err != nil {
+	if err := sess.WriteParam(&ParamMsg{Round: st.round, Params: st.wire, Cfg: st.cfg}); err != nil {
 		st.deliver(sessionResult{err: fmt.Errorf("fl: sending params: %w", err)})
 		return
 	}
 	var upd UpdateMsg
-	if err := gob.NewDecoder(rw).Decode(&upd); err != nil {
+	if err := sess.ReadUpdate(&upd); err != nil {
 		st.deliver(sessionResult{err: fmt.Errorf("fl: reading update: %w", err)})
 		return
 	}
 	if upd.Round != st.round {
 		st.deliver(sessionResult{err: fmt.Errorf("fl: client answered round %d, want %d", upd.Round, st.round)})
-		_ = enc.Encode(AckMsg{Reason: fmt.Sprintf("round %d is over", upd.Round)})
+		_ = sess.WriteAck(&AckMsg{Reason: fmt.Sprintf("round %d is over", upd.Round)})
 		return
 	}
 	// Hostile-input gate: the update must be structurally valid AND foldable
@@ -357,18 +388,21 @@ func (s *RoundServer) handle(conn net.Conn) {
 	}
 	if err != nil {
 		st.deliver(sessionResult{err: err})
-		_ = enc.Encode(AckMsg{Reason: err.Error()})
+		_ = sess.WriteAck(&AckMsg{Reason: err.Error()})
 		return
 	}
 	switch st.deliver(sessionResult{client: upd.ClientID, update: update, weight: upd.Weight}) {
 	case deliverTaken:
-		_ = enc.Encode(AckMsg{Accepted: true})
+		_ = sess.WriteAck(&AckMsg{Accepted: true})
 	case deliverDup:
 		// The client's data IS in the round (its first copy was folded), so
-		// the honest receipt is an acceptance — just not a second fold.
-		_ = enc.Encode(AckMsg{Accepted: true, Reason: "duplicate update: already folded this round"})
+		// the honest receipt is an acceptance — just not a second fold. Its
+		// admission slot goes back to the round: a duplicate must never
+		// consume quota a distinct client is waiting for.
+		s.releaseSlot(st)
+		_ = sess.WriteAck(&AckMsg{Accepted: true, Reason: "duplicate update: already folded this round"})
 	default:
-		_ = enc.Encode(AckMsg{Reason: "round closed before the update arrived"})
+		_ = sess.WriteAck(&AckMsg{Reason: "round closed before the update arrived"})
 	}
 }
 
@@ -392,7 +426,8 @@ type RoundResult struct {
 	Failed int
 	// Duplicates counts re-submissions from clients whose update was
 	// already folded this round (reconnects after a lost ack); their data
-	// is in the aggregate exactly once.
+	// is in the aggregate exactly once, and a duplicate never consumes a
+	// slot of the round's Clients quota.
 	Duplicates int
 	Committed  bool
 }
@@ -449,18 +484,20 @@ func (s *RoundServer) StreamRound(round int, params []*tensor.Tensor, cfg RoundC
 
 	var res RoundResult
 	fold := func(r sessionResult) {
-		switch {
-		case r.err != nil:
+		if r.err != nil {
 			res.Failed++
-		case r.dup:
-			res.Duplicates++
-		default:
-			foldInto(agg, r.update, r.weight)
-			res.Folded++
+			return
 		}
+		foldInto(agg, r.update, r.weight)
+		res.Folded++
 	}
+	// Duplicates are acknowledged out-of-band (roundState.deliver) and do
+	// not count toward the quota: the round holds out for opt.Clients
+	// DISTINCT resolutions — the premature-commit regression where a fast
+	// client's re-submission consumed a slower client's slot is pinned in
+	// reconnect_test.go.
 collect:
-	for res.Folded+res.Failed+res.Duplicates < opt.Clients {
+	for res.Folded+res.Failed < opt.Clients {
 		select {
 		case r := <-st.results:
 			if r.err != nil && opt.Deadline == 0 {
@@ -489,6 +526,9 @@ drain:
 			break drain
 		}
 	}
+	st.mu.Lock()
+	res.Duplicates = st.dups
+	st.mu.Unlock()
 	res.Committed = res.Folded >= opt.MinQuorum
 	if res.Committed {
 		agg.Commit(params)
@@ -522,6 +562,32 @@ type ClientOptions struct {
 	Secure bool
 	// Dial opens the connection; nil dials TCP.
 	Dial DialFunc
+	// Codec is the preferred wire encoding: CodecGob ("" defaults to it)
+	// or CodecBinary. The session settles per connection — a legacy/gob
+	// server gets gob regardless, so reconnecting after a server restart
+	// re-negotiates transparently (see codec.go).
+	Codec string
+	// Quant opts the binary codec into lossy update compression at the
+	// given width (QuantInt8 or QuantInt16); QuantNone ships exact
+	// float64 payloads. Ignored on sessions that settle on gob — the
+	// oracle codec is always exact.
+	Quant int
+	// QuantState carries quantization error-feedback residuals across
+	// rounds; share one per client process so rounding error is repaid
+	// instead of compounding. Nil quantizes without feedback.
+	QuantState *QuantState
+	// MinRound marks rounds below it as already completed by this client
+	// process. The server can re-serve a round the client finished (it
+	// cannot advance until every cohort slot resolves, and the protocol
+	// has no polite decline — disconnecting after admission would count
+	// the client as failed), so the session participates honestly anyway:
+	// local training is a pure function of (seed, round, clientID), the
+	// re-submission is byte-equivalent, and the server acknowledges it as
+	// a duplicate without folding. A stale round leaves QuantState
+	// untouched so error-feedback residuals bank each round exactly once.
+	// Callers looping over rounds should use RunRemoteClientRound to
+	// learn the served round and keep MinRound at lastDone+1.
+	MinRound int
 }
 
 func (o ClientOptions) dial(addr string) (net.Conn, error) {
@@ -551,32 +617,45 @@ func RunSecureRemoteClient(addr string, clientID int, strat Strategy, data *data
 // RunRemoteClientOpts is RunRemoteClient with explicit transport options
 // (custom dialer, encryption).
 func RunRemoteClientOpts(addr string, clientID int, strat Strategy, data *dataset.ClientData, spec nn.Spec, seed int64, opt ClientOptions) error {
+	_, err := RunRemoteClientRound(addr, clientID, strat, data, spec, seed, opt)
+	return err
+}
+
+// RunRemoteClientRound is RunRemoteClientOpts reporting which round the
+// server actually served. A client looping until it has contributed N
+// rounds must count DISTINCT rounds, not sessions: when this client is
+// faster than the rest of the cohort the server re-serves the round it is
+// still collecting, the session resolves as an acknowledged duplicate,
+// and counting it would both exit the loop early and starve later rounds
+// of this client (see ClientOptions.MinRound and cmd/fedclient).
+func RunRemoteClientRound(addr string, clientID int, strat Strategy, data *dataset.ClientData, spec nn.Spec, seed int64, opt ClientOptions) (int, error) {
 	conn, err := opt.dial(addr)
 	if err != nil {
-		return fmt.Errorf("fl: dialing %s: %w", addr, err)
+		return 0, fmt.Errorf("fl: dialing %s: %w", addr, err)
 	}
 	defer conn.Close()
 	var rw io.ReadWriter = conn
 	if opt.Secure {
 		sc, err := Handshake(conn)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rw = sc
 	}
 
-	// One decoder for the whole session: gob decoders read ahead, so the
-	// params message and the ack must share it.
-	dec := gob.NewDecoder(rw)
+	sess, err := newClientSession(rw, opt.Codec)
+	if err != nil {
+		return 0, err
+	}
 	var pm ParamMsg
-	if err := dec.Decode(&pm); err != nil {
-		return fmt.Errorf("fl: reading params: %w", err)
+	if err := sess.ReadParam(&pm); err != nil {
+		return 0, fmt.Errorf("fl: reading params: %w", err)
 	}
 	if pm.Denied {
-		return fmt.Errorf("%w: %s", ErrRoundClosed, pm.Reason)
+		return 0, fmt.Errorf("%w: %s", ErrRoundClosed, pm.Reason)
 	}
 	if err := pm.Validate(); err != nil {
-		return fmt.Errorf("fl: invalid round announcement: %w", err)
+		return 0, fmt.Errorf("fl: invalid round announcement: %w", err)
 	}
 	if pm.Cfg.Scenario.Name != "" {
 		// The server published a heterogeneity scenario with the round
@@ -584,12 +663,13 @@ func RunRemoteClientOpts(addr string, clientID int, strat Strategy, data *datase
 		// matches the assignment every other participant uses.
 		p, err := pm.Cfg.Scenario.Partitioner()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		data = data.Repartition(p)
 	}
 	model := nn.Build(spec, tensor.NewRNG(0))
 	model.SetParams(TensorsFromWire(pm.Params))
+	model.SetPrecision(pm.Cfg.Precision)
 	arena := tensor.NewArena()
 	model.UseArena(arena)
 	env := &ClientEnv{
@@ -603,19 +683,25 @@ func RunRemoteClientOpts(addr string, clientID int, strat Strategy, data *datase
 		Noise:    clientNoiseFor(pm.Cfg, seed, pm.Round, clientID),
 	}
 	delta, _ := strat.ClientUpdate(env)
-	msg := UpdateMsg{ClientID: clientID, Round: pm.Round, Weight: float64(data.Len())}
-	msg.Delta, msg.Sparse = EncodeUpdate(delta)
-	if err := gob.NewEncoder(rw).Encode(msg); err != nil {
-		return fmt.Errorf("fl: sending update: %w", err)
+	qs := opt.QuantState
+	if pm.Round < opt.MinRound {
+		// Re-serving a round this client already completed: submit the
+		// (deterministically identical) update so the session resolves
+		// honestly — the server acknowledges it as a duplicate — but do
+		// not bank its quantization error a second time.
+		qs = nil
+	}
+	if err := sess.WriteUpdateTensors(clientID, pm.Round, float64(data.Len()), delta, opt.Quant, qs); err != nil {
+		return pm.Round, fmt.Errorf("fl: sending update: %w", err)
 	}
 	var ack AckMsg
-	if err := dec.Decode(&ack); err != nil {
-		return fmt.Errorf("fl: reading update receipt: %w", err)
+	if err := sess.ReadAck(&ack); err != nil {
+		return pm.Round, fmt.Errorf("fl: reading update receipt: %w", err)
 	}
 	if !ack.Accepted {
-		return fmt.Errorf("fl: update not folded: %s", ack.Reason)
+		return pm.Round, fmt.Errorf("fl: update not folded: %s", ack.Reason)
 	}
-	return nil
+	return pm.Round, nil
 }
 
 // AbandonSession connects to a round server, receives the round
@@ -640,8 +726,12 @@ func AbandonSession(addr string, opt ClientOptions) (int, error) {
 		}
 		rw = sc
 	}
+	sess, err := newClientSession(rw, opt.Codec)
+	if err != nil {
+		return 0, err
+	}
 	var pm ParamMsg
-	if err := gob.NewDecoder(rw).Decode(&pm); err != nil {
+	if err := sess.ReadParam(&pm); err != nil {
 		return 0, fmt.Errorf("fl: reading params: %w", err)
 	}
 	if pm.Denied {

@@ -62,6 +62,7 @@ func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, gl
 				return
 			}
 			w.model.SetParams(globalParams)
+			w.model.SetPrecision(cfg.Round.Precision)
 			data := cfg.Data.Client(id)
 			env := &ClientEnv{
 				ClientID: id,

@@ -103,10 +103,18 @@ func (m *UpdateMsg) Validate() error {
 		return fmt.Errorf("fl: negative client id %d", m.ClientID)
 	case math.IsNaN(m.Weight) || math.IsInf(m.Weight, 0) || m.Weight < 0:
 		return fmt.Errorf("fl: invalid update weight %v", m.Weight)
-	case len(m.Delta) > 0 && len(m.Sparse) > 0:
-		return fmt.Errorf("fl: update carries both dense and sparse payloads")
-	case len(m.Delta) == 0 && len(m.Sparse) == 0:
-		return fmt.Errorf("fl: update carries no payload")
+	}
+	encodings := 0
+	for _, n := range []int{len(m.Delta), len(m.Sparse), len(m.Quant)} {
+		if n > 0 {
+			encodings++
+		}
+	}
+	if encodings != 1 {
+		if encodings == 0 {
+			return fmt.Errorf("fl: update carries no payload")
+		}
+		return fmt.Errorf("fl: update mixes payload encodings")
 	}
 	for i, w := range m.Delta {
 		if err := w.Validate(); err != nil {
@@ -114,6 +122,11 @@ func (m *UpdateMsg) Validate() error {
 		}
 	}
 	for i, w := range m.Sparse {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("fl: update tensor %d: %w", i, err)
+		}
+	}
+	for i, w := range m.Quant {
 		if err := w.Validate(); err != nil {
 			return fmt.Errorf("fl: update tensor %d: %w", i, err)
 		}
@@ -151,6 +164,8 @@ func (m *ParamMsg) Validate() error {
 		return fmt.Errorf("fl: announced learning rate %v not positive and finite", m.Cfg.LR)
 	case len(m.Params) == 0:
 		return fmt.Errorf("fl: announcement carries no parameters")
+	case m.Cfg.Precision != "" && m.Cfg.Precision != tensor.PrecisionFP64 && m.Cfg.Precision != tensor.PrecisionFP32:
+		return fmt.Errorf("fl: announced precision %q unknown", m.Cfg.Precision)
 	}
 	for i, w := range m.Params {
 		if err := w.Validate(); err != nil {

@@ -23,6 +23,7 @@ type Conv2D struct {
 	// matrix, flattened), the cached output-gradient batch, owned
 	// output/input-gradient buffers, and a patch-gradient scratch.
 	arena   *tensor.Arena
+	prec    string
 	colsB   *tensor.Tensor
 	gB      *tensor.Tensor
 	yB, dxB *tensor.Tensor
@@ -148,6 +149,12 @@ var _ BatchLayer = (*Conv2D)(nil)
 
 func (c *Conv2D) setArena(a *tensor.Arena) { c.arena = a }
 
+var _ precisionLayer = (*Conv2D)(nil)
+
+func (c *Conv2D) setPrecision(p string) { c.prec = p }
+
+func (c *Conv2D) fp32() bool { return c.prec == tensor.PrecisionFP32 }
+
 // patchDims returns the im2col geometry: rows C·K·K, columns OH·OW.
 func (c *Conv2D) patchDims() (ckk, p int) {
 	return c.InC * c.K * c.K, c.OutH() * c.OutW()
@@ -198,7 +205,11 @@ func (c *Conv2D) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
 				row[j] = bd[oc]
 			}
 		}
-		tensor.AddMatMul(y, wmat, cols)
+		if c.fp32() {
+			tensor.AddMatMul32(y, wmat, cols)
+		} else {
+			tensor.AddMatMul(y, wmat, cols)
+		}
 	}
 	return c.yB
 }
@@ -214,7 +225,11 @@ func (c *Conv2D) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
 	wmat := c.W.View(c.OutC, ckk)
 	for i := 0; i < b; i++ {
 		gi := grad.Row(i).View(c.OutC, p)
-		tensor.MatMulTN(c.dcols, wmat, gi)
+		if c.fp32() {
+			tensor.MatMulTN32(c.dcols, wmat, gi)
+		} else {
+			tensor.MatMulTN(c.dcols, wmat, gi)
+		}
 		tensor.Col2Im(c.dxB.Row(i), c.dcols, c.InC, c.InH, c.InW, c.K, c.Stride, c.Pad)
 	}
 	return c.dxB
@@ -230,7 +245,11 @@ func (c *Conv2D) AccumGrads() {
 	for i := 0; i < b; i++ {
 		gi := c.gB.Row(i).View(c.OutC, p)
 		cols := c.colsB.Row(i).View(ckk, p)
-		tensor.AddMatMulT(gwmat, gi, cols)
+		if c.fp32() {
+			tensor.AddMatMulT32(gwmat, gi, cols)
+		} else {
+			tensor.AddMatMulT(gwmat, gi, cols)
+		}
 		biasRowSums(gbd, gi.Data(), p, true)
 	}
 }

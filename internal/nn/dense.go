@@ -17,8 +17,10 @@ type Dense struct {
 	in      *tensor.Tensor
 
 	// Batched-engine state: cached input/output-gradient batches and owned
-	// output buffers (see batch.go for the execution contract).
+	// output buffers (see batch.go for the execution contract); prec selects
+	// the GEMM kernel width (fp64 default, fp32 bulk path).
 	arena   *tensor.Arena
+	prec    string
 	xB, gB  *tensor.Tensor
 	yB, dxB *tensor.Tensor
 }
@@ -61,6 +63,12 @@ var _ BatchLayer = (*Dense)(nil)
 
 func (d *Dense) setArena(a *tensor.Arena) { d.arena = a }
 
+var _ precisionLayer = (*Dense)(nil)
+
+func (d *Dense) setPrecision(p string) { d.prec = p }
+
+func (d *Dense) fp32() bool { return d.prec == tensor.PrecisionFP32 }
+
 // ForwardBatch computes Y = X·Wᵀ + b for a (B × In) batch in one GEMM. Each
 // row reproduces Forward on that example bit-for-bit (identical accumulation
 // order).
@@ -71,7 +79,11 @@ func (d *Dense) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
 	}
 	d.xB = x
 	d.yB = ensureBuf(d.arena, d.yB, b, d.Out)
-	tensor.MatMulT(d.yB, x, d.W)
+	if d.fp32() {
+		tensor.MatMulT32(d.yB, x, d.W)
+	} else {
+		tensor.MatMulT(d.yB, x, d.W)
+	}
 	yd, bd := d.yB.Data(), d.B.Data()
 	for i := 0; i < b; i++ {
 		row := yd[i*d.Out : (i+1)*d.Out]
@@ -86,14 +98,22 @@ func (d *Dense) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
 func (d *Dense) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
 	d.gB = grad
 	d.dxB = ensureBuf(d.arena, d.dxB, grad.Shape()[0], d.In)
-	tensor.MatMul(d.dxB, grad, d.W)
+	if d.fp32() {
+		tensor.MatMul32(d.dxB, grad, d.W)
+	} else {
+		tensor.MatMul(d.dxB, grad, d.W)
+	}
 	return d.dxB
 }
 
 // AccumGrads adds the batch-summed gradients: GW += dYᵀ·X (one GEMM) and
 // GB += column sums of dY.
 func (d *Dense) AccumGrads() {
-	tensor.AddMatMulTN(d.GW, d.gB, d.xB)
+	if d.fp32() {
+		tensor.AddMatMulTN32(d.GW, d.gB, d.xB)
+	} else {
+		tensor.AddMatMulTN(d.GW, d.gB, d.xB)
+	}
 	b := d.gB.Shape()[0]
 	gd, gbd := d.gB.Data(), d.GB.Data()
 	for i := 0; i < b; i++ {

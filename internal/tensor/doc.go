@@ -5,6 +5,16 @@
 // for convolution lowering, L2 norms and norm clipping, scratch-buffer
 // arenas, and deterministic random number generation.
 //
+// # Precision
+//
+// Storage is always float64. The GEMM kernels are generic over the element
+// type and instantiated for both widths: the 32-suffixed variants
+// (MatMul32, AddMatMulT32, …) round their float64 inputs into pooled
+// float32 scratch, multiply at float32, and widen the result back — a
+// compute format, not a storage format, selected per run through
+// PrecisionFP32 (see internal/nn and core.Config.Precision). PrecisionFP64
+// is the pinned reference; parity tests bound the fp32 paths against it.
+//
 // # Determinism contracts
 //
 // Two generator families cover every random draw in the repository:

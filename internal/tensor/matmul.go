@@ -21,6 +21,15 @@ import (
 // (2×2 register blocking halves their store traffic), so they agree with
 // the sequential reference to rounding error only; the engine parity tests
 // pin the end-to-end difference below 1e-9 (see DESIGN.md).
+//
+// The kernel bodies are generic over the element type (gemmElem): the
+// float64 instantiation is the default engine and the reference oracle; the
+// float32 instantiation backs the fp32 bulk path in matmul32.go. One body
+// per variant means the two precisions cannot drift apart structurally —
+// only in element width.
+
+// gemmElem is the element type a GEMM kernel runs at.
+type gemmElem interface{ ~float32 | ~float64 }
 
 const (
 	// gemmBlockK is the reduction-dimension block: 256 float64 rows of B
@@ -122,7 +131,12 @@ func MatMul(dst, a, b *Tensor) *Tensor {
 func AddMatMul(dst, a, b *Tensor) {
 	m, k := mat2(a, "AddMatMul")
 	_, n := mat2(b, "AddMatMul")
-	ad, bd, cd := a.data, b.data, dst.data
+	addMatMulKernel(dst.data, a.data, b.data, m, n, k)
+}
+
+// addMatMulKernel is the NN GEMM body: cd += ad·bd for row-major ad (m×k),
+// bd (k×n), cd (m×n).
+func addMatMulKernel[F gemmElem](cd, ad, bd []F, m, n, k int) {
 	parallelRows(m, m*n*k, func(lo, hi int) {
 		for kk := 0; kk < k; kk += gemmBlockK {
 			kend := kk + gemmBlockK
@@ -218,7 +232,12 @@ func MatMulT(dst, a, b *Tensor) *Tensor {
 func AddMatMulT(dst, a, b *Tensor) {
 	m, k := mat2(a, "AddMatMulT")
 	n, _ := mat2(b, "AddMatMulT")
-	ad, bd, cd := a.data, b.data, dst.data
+	addMatMulTKernel(dst.data, a.data, b.data, m, n, k)
+}
+
+// addMatMulTKernel is the NT GEMM body: cd += ad·bdᵀ for row-major ad
+// (m×k), bd (n×k), cd (m×n).
+func addMatMulTKernel[F gemmElem](cd, ad, bd []F, m, n, k int) {
 	parallelRows(m, m*n*k, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ai := ad[i*k : (i+1)*k]
@@ -229,7 +248,7 @@ func AddMatMulT(dst, a, b *Tensor) {
 				b0 = b0[:len(ai)]
 				b1 := bd[(j+1)*k : (j+2)*k]
 				b1 = b1[:len(ai)]
-				var s0, s1 float64
+				var s0, s1 F
 				for x, av := range ai {
 					s0 += av * b0[x]
 					s1 += av * b1[x]
@@ -240,7 +259,7 @@ func AddMatMulT(dst, a, b *Tensor) {
 			for ; j < n; j++ {
 				bj := bd[j*k : (j+1)*k]
 				bj = bj[:len(ai)]
-				var s float64
+				var s F
 				for x, av := range ai {
 					s += av * bj[x]
 				}
@@ -278,7 +297,12 @@ func MatMulTN(dst, a, b *Tensor) *Tensor {
 func AddMatMulTN(dst, a, b *Tensor) {
 	k, m := mat2(a, "AddMatMulTN")
 	_, n := mat2(b, "AddMatMulTN")
-	ad, bd, cd := a.data, b.data, dst.data
+	addMatMulTNKernel(dst.data, a.data, b.data, m, n, k)
+}
+
+// addMatMulTNKernel is the TN GEMM body: cd += adᵀ·bd for row-major ad
+// (k×m), bd (k×n), cd (m×n).
+func addMatMulTNKernel[F gemmElem](cd, ad, bd []F, m, n, k int) {
 	parallelRows(m, m*n*k, func(lo, hi int) {
 		i := lo
 		for ; i+1 < hi; i += 2 {

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// relDiff returns max_i |a_i - b_i| / (1 + |b_i|), the relative metric the
+// precision parity bars use.
+func relDiff(a, b *Tensor) float64 {
+	var m float64
+	for i, v := range a.data {
+		d := math.Abs(v-b.data[i]) / (1 + math.Abs(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestMatMul32ParityWithFP64 pins every f32 GEMM variant against its fp64
+// oracle on random operands, at sizes spanning the serial and parallel
+// kernel paths and both the paired and tail reduction loops.
+func TestMatMul32ParityWithFP64(t *testing.T) {
+	const tol = 1e-4
+	for _, dims := range [][3]int{{3, 5, 7}, {16, 16, 16}, {33, 31, 129}, {64, 200, 300}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, n, k), func(t *testing.T) {
+			rng := NewRNG(int64(m*n + k))
+			mk, kn, nk, km, mn := New(m, k), New(k, n), New(n, k), New(k, m), New(m, n)
+			rng.FillUniform(mk, -1, 1)
+			rng.FillUniform(kn, -1, 1)
+			rng.FillUniform(nk, -1, 1)
+			rng.FillUniform(km, -1, 1)
+			rng.FillUniform(mn, -1, 1)
+
+			cases := []struct {
+				name string
+				f64  func(dst *Tensor)
+				f32  func(dst *Tensor)
+			}{
+				{"MatMul", func(d *Tensor) { MatMul(d, mk, kn) }, func(d *Tensor) { MatMul32(d, mk, kn) }},
+				{"AddMatMul", func(d *Tensor) { AddMatMul(d, mk, kn) }, func(d *Tensor) { AddMatMul32(d, mk, kn) }},
+				{"MatMulT", func(d *Tensor) { MatMulT(d, mk, nk) }, func(d *Tensor) { MatMulT32(d, mk, nk) }},
+				{"AddMatMulT", func(d *Tensor) { AddMatMulT(d, mk, nk) }, func(d *Tensor) { AddMatMulT32(d, mk, nk) }},
+				{"MatMulTN", func(d *Tensor) { MatMulTN(d, km, kn) }, func(d *Tensor) { MatMulTN32(d, km, kn) }},
+				{"AddMatMulTN", func(d *Tensor) { AddMatMulTN(d, km, kn) }, func(d *Tensor) { AddMatMulTN32(d, km, kn) }},
+			}
+			for _, tc := range cases {
+				ref, got := mn.Clone(), mn.Clone()
+				tc.f64(ref)
+				tc.f32(got)
+				if d := relDiff(got, ref); d > tol {
+					t.Errorf("%s: fp32 diverges from fp64 oracle by %g (tol %g)", tc.name, d, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestMatMul32Deterministic pins that the f32 path is reproducible: pooled
+// scratch reuse must never leak state between calls.
+func TestMatMul32Deterministic(t *testing.T) {
+	rng := NewRNG(7)
+	a, b := New(20, 30), New(30, 25)
+	rng.FillUniform(a, -1, 1)
+	rng.FillUniform(b, -1, 1)
+	first := New(20, 25)
+	MatMul32(first, a, b)
+	for i := 0; i < 5; i++ {
+		again := New(20, 25)
+		MatMul32(again, a, b)
+		if !first.Equal(again, 0) {
+			t.Fatalf("MatMul32 run %d differs from first run", i)
+		}
+	}
+}
