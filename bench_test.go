@@ -14,6 +14,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -419,6 +420,63 @@ func BenchmarkNoiseEngine(b *testing.B) {
 	}
 	b.Run("fedcdp-iter/reference", func(b *testing.B) { iteration(b, fl.NoiseReference) })
 	b.Run("fedcdp-iter/counter", func(b *testing.B) { iteration(b, fl.NoiseCounter) })
+}
+
+// BenchmarkSimnetScale measures hierarchical simnet deployments along the
+// population axis — the scaling story of DESIGN.md's "Hierarchical
+// aggregation": K=8 flat legacy (the SimnetRounds baseline shape), K=1,000
+// under an 8-shard edge tree, and a K=100,000 / Kt=1,000 / 32-shard
+// deployment (the acceptance scenario, 2 rounds at L=1). Every variant
+// reports rounds/sec, wire bytes per round (from the fabric's write
+// counter), and the post-run live heap — the scheduler's memory footprint
+// is O(worker pool + cohort cursors), not O(K), which is what lets the
+// 100k row exist at all.
+func BenchmarkSimnetScale(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		cfg    core.Config
+		rounds int
+	}{
+		{"flat/k=8", core.Config{
+			Dataset: "cancer", Method: core.MethodFedCDP,
+			K: 8, Kt: 4, Rounds: 3, LocalIters: 2,
+			Sigma: 0.06, Seed: 42, ValExamples: 40, EvalEvery: 100,
+		}, 3},
+		{"tree/k=1000", core.Config{
+			Dataset: "cancer", Method: core.MethodFedCDP,
+			K: 1000, Kt: 100, Rounds: 3, LocalIters: 2,
+			Sigma: 0.06, Seed: 42, ValExamples: 40, EvalEvery: 100,
+			Shards: 8, Sampler: fl.SamplerFloyd, Codec: fl.CodecBinary,
+		}, 3},
+		{"tree/k=100000", core.Config{
+			Dataset: "cancer", Method: core.MethodFedCDP,
+			K: 100_000, Kt: 1000, Rounds: 2, LocalIters: 1,
+			Sigma: 0.06, Seed: 42, ValExamples: 40, EvalEvery: 100,
+			Shards: 32, Sampler: fl.SamplerFloyd, Codec: fl.CodecBinary,
+		}, 2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var wire int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunSimnet(tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wire = 0
+				for _, r := range res.Rounds {
+					wire += r.WireBytes
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tc.rounds*b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			b.ReportMetric(float64(wire)/float64(tc.rounds), "wire-B/round")
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "live-heap-MB")
+		})
+	}
 }
 
 // BenchmarkRDPAccountant measures a full ε computation over the default

@@ -40,6 +40,8 @@ func main() {
 	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
 	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (example-count-weighted FedAvg)")
+	aggShards := flag.Int("agg-shards", 0, "aggregation topology: 0 = legacy flat float fold, 1 = flat exact fold, >=2 = in-process aggregation tree (bit-identical to 1; see DESIGN.md)")
+	treeFanout := flag.Int("tree", 0, "aggregation-tree partial compose fan-in (0 = all at once)")
 	seed := flag.Int64("seed", 42, "root seed")
 	flag.Parse()
 
@@ -81,7 +83,9 @@ func main() {
 		*dsName, srv.Addr(), *secure, codecName(*codec), *rounds, *kt, *deadline, *quorum, sc)
 
 	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine, Scenario: sc, Precision: *precision}
-	agg, err := fl.NewAggregator(*aggRule)
+	// K=0: a standalone server has no declared population, so tree shards
+	// partition client ids by modulo instead of contiguous ranges.
+	agg, err := fl.NewAggregatorFor(*aggRule, *aggShards, *treeFanout, 0)
 	if err != nil {
 		fatal(err)
 	}

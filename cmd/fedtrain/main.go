@@ -11,11 +11,15 @@
 //	fedtrain -dataset mnist -scenario quantity -agg weighted
 //	fedtrain -dataset cancer -faults 'drop=0.2,crash=2,restart=1'
 //	fedtrain -dataset cancer -simnet -faults 'latency=20ms,crash=2,partition=c0>server@1-2'
+//	fedtrain -dataset cancer -simnet -k 100000 -kt 1000 -agg-shards 32 -sampler floyd -codec binary -iters 1
 //
 // -faults injects a deterministic fault plan (see DESIGN.md, "Simnet") into
 // the in-process runtime; -simnet additionally runs the whole federation —
 // server, per-client RPC sessions, restarts — over the in-memory simnet
-// fabric on virtual time.
+// fabric on virtual time. -agg-shards switches aggregation to the exact
+// hierarchical topology (under -simnet, real edge-aggregator hosts), which
+// with -sampler floyd and the multiplexed client scheduler scales seeded
+// deployments to K=100,000 (see DESIGN.md, "Hierarchical aggregation").
 package main
 
 import (
@@ -53,6 +57,10 @@ func main() {
 	flag.Float64Var(&cfg.Scenario.Alpha, "alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	flag.IntVar(&cfg.Scenario.Shards, "shards", 0, "pathological label shards per client (0 = default 2)")
 	flag.StringVar(&cfg.Aggregation, "agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (example-count-weighted FedAvg)")
+	flag.IntVar(&cfg.Shards, "agg-shards", 0, "aggregation topology: 0 = legacy flat float fold, 1 = flat exact fold, >=2 = edge-aggregator tree (bit-identical to 1 at any count; see DESIGN.md)")
+	flag.IntVar(&cfg.TreeFanout, "tree", 0, "aggregation-tree partial compose fan-in (0 = all at once)")
+	flag.StringVar(&cfg.Sampler, "sampler", "", "cohort sampler: legacy (default, O(K) per round) or floyd (O(Kt), for large populations)")
+	flag.IntVar(&cfg.MuxWorkers, "mux-workers", 0, "simnet virtual-client worker pool size (0 = GOMAXPROCS; population size is unconstrained)")
 	flag.Float64Var(&cfg.DropoutRate, "dropout", 0, "per-round client dropout probability")
 	flag.StringVar(&cfg.Faults, "faults", "", "deterministic fault plan, e.g. 'drop=0.2,crash=2,restart=1' (see DESIGN.md)")
 	useSimnet := flag.Bool("simnet", false, "run the federation over the in-memory simnet fabric (RPC path, virtual time)")

@@ -118,6 +118,34 @@ type Config struct {
 	// rule that corrects for quantity-skewed partitions.
 	Aggregation string
 
+	// Shards selects the aggregation topology. 0 (the default) keeps the
+	// legacy float aggregators and flat fold — every pre-hierarchy run
+	// reproduces bit-for-bit. 1 switches to the flat exact-arithmetic
+	// aggregator, the parity oracle for the tree. 2 or more builds an
+	// edge-aggregator tree of that many shards: each edge folds its range
+	// of the client population and forwards one weight-carrying partial,
+	// and the root composes partials exactly — bit-identical to the flat
+	// exact fold at ANY shard count (see DESIGN.md, "Hierarchical
+	// aggregation").
+	Shards int
+
+	// TreeFanout bounds how many partials the in-process tree composes per
+	// merge step (0 = all at once). Exactness makes the fanout
+	// result-invisible; it exists to shape merge concurrency.
+	TreeFanout int
+
+	// Sampler selects cohort sampling: "" / fl.SamplerLegacy (the default
+	// O(K) Fisher–Yates prefix, the golden-pinned oracle) or
+	// fl.SamplerFloyd, Floyd's O(Kt) distinct-sample algorithm for
+	// populations where allocating K slots per round dominates.
+	Sampler string
+
+	// MuxWorkers bounds concurrent multiplexed client sessions in
+	// RunSimnet's hierarchical path (0 = GOMAXPROCS). Population size is
+	// unconstrained by it: K=100,000 virtual clients run over this many
+	// goroutines and model workspaces.
+	MuxWorkers int
+
 	// Faults is a deterministic fault-injection plan in the simnet grammar
 	// — e.g. "drop=0.2,crash=2,restart=1" (see simnet.ParsePlan). The plan
 	// is bound to (Seed, Rounds, K), so the same configuration always
@@ -245,6 +273,9 @@ func Run(cfg Config) (*Result, error) {
 		Codec:           cfg.Codec,
 		Strategy:        strat,
 		Aggregation:     cfg.Aggregation,
+		Shards:          cfg.Shards,
+		TreeFanout:      cfg.TreeFanout,
+		Sampler:         cfg.Sampler,
 		Seed:            cfg.Seed,
 		ValExamples:     cfg.ValExamples,
 		EvalEvery:       cfg.EvalEvery,

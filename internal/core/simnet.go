@@ -17,6 +17,15 @@ const simnetServerAddr = "server"
 
 func simnetClientHost(id int) string { return fmt.Sprintf("c%d", id) }
 
+// simnetCohort picks a round's participating clients honoring the
+// configured sampler — the same draw fl.Run would make.
+func simnetCohort(cfg Config, round int) []int {
+	if cfg.Sampler == fl.SamplerFloyd {
+		return fl.SampleCohortFloyd(cfg.Seed, round, cfg.K, cfg.Kt)
+	}
+	return fl.SampleCohort(cfg.Seed, round, cfg.K, cfg.Kt, false)
+}
+
 // clientOutcome is one simnet client goroutine's terminal state. planned
 // marks clients the fault plan destroyed on purpose — their session errors
 // are the injected fault, not a harness bug.
@@ -65,6 +74,17 @@ func RunSimnet(cfg Config) (*Result, error) {
 	}
 	if !fl.ValidCodec(cfg.Codec) {
 		return nil, fmt.Errorf("core: unknown wire codec %q", cfg.Codec)
+	}
+	switch cfg.Sampler {
+	case "", fl.SamplerLegacy, fl.SamplerFloyd:
+	default:
+		return nil, fmt.Errorf("core: unknown sampler %q", cfg.Sampler)
+	}
+	if cfg.Shards < 0 || cfg.Shards > cfg.K {
+		return nil, fmt.Errorf("core: shards %d outside [0, K=%d]", cfg.Shards, cfg.K)
+	}
+	if cfg.Shards > 0 {
+		return runSimnetTree(cfg, spec, strat, ds, plan)
 	}
 
 	n := simnet.New(cfg.Seed, plan)
@@ -131,7 +151,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 			}
 		}
 
-		cohort := fl.SampleCohort(cfg.Seed, round, cfg.K, cfg.Kt, false)
+		cohort := simnetCohort(cfg, round)
 		// Partitioned members cannot even open a session; they are excluded
 		// from the round's admission quota (the harness, unlike the server,
 		// is allowed to know who is unreachable).
@@ -143,6 +163,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 		}
 
 		rs := fl.RoundStats{Round: round, Committed: 0 >= cfg.MinQuorum, Dropped: len(cohort)}
+		wireBefore := n.BytesWritten()
 		if len(reachable) > 0 {
 			outcomes := make(chan clientOutcome, len(reachable))
 			for _, id := range reachable {
@@ -183,6 +204,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 			rs.Dropped = len(cohort) - res.Folded
 			rs.Committed = res.Committed
 		}
+		rs.WireBytes = n.BytesWritten() - wireBefore
 		if round%evalEvery == 0 || round == cfg.Rounds-1 {
 			rs.Accuracy = fl.Evaluate(global, valX, valY)
 			rs.Evaluated = true

@@ -47,6 +47,17 @@ type Options struct {
 	// fl.AggFedSGD, fl.AggFedAvg, or fl.AggWeighted (example-count-weighted
 	// FedAvg, the rule matched to quantity-skewed scenarios).
 	Aggregation string
+	// Shards selects the aggregation topology for training drivers: 0
+	// (default) keeps the legacy flat float fold, 1 the flat exact fold,
+	// ≥2 the in-process aggregation tree — exact, so any shard count
+	// reports identically to Shards=1 (see DESIGN.md, "Hierarchical
+	// aggregation").
+	Shards int
+	// TreeFanout bounds the tree's partial compose fan-in (0 = all).
+	TreeFanout int
+	// Sampler selects cohort sampling for training drivers: "" /
+	// fl.SamplerLegacy (default, golden-pinned) or fl.SamplerFloyd.
+	Sampler string
 }
 
 // newDataset builds the benchmark partitioned by the options' scenario.

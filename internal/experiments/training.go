@@ -40,6 +40,9 @@ func runCfg(o Options, ds, method string) core.Config {
 		Codec:       o.Codec,
 		Scenario:    o.Scenario,
 		Aggregation: o.Aggregation,
+		Shards:      o.Shards,
+		TreeFanout:  o.TreeFanout,
+		Sampler:     o.Sampler,
 	}
 }
 

@@ -224,6 +224,14 @@ func (r *wireReader) u16() uint16 {
 	return binary.LittleEndian.Uint16(s)
 }
 
+func (r *wireReader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
 func (r *wireReader) i64() int64 {
 	s := r.take(8)
 	if s == nil {
@@ -378,7 +386,10 @@ func appendDirectTensors(b []byte, ts []*tensor.Tensor, quant int, st *QuantStat
 // present before converting them; semantic validation (finite values,
 // index ranges) stays with the message Validate gate.
 func readTensors(r *wireReader) (dense []TensorWire, sparse []SparseTensorWire, quant []QuantTensorWire, err error) {
-	count := r.i64()
+	return readTensorsCount(r, r.i64())
+}
+
+func readTensorsCount(r *wireReader, count int64) (dense []TensorWire, sparse []SparseTensorWire, quant []QuantTensorWire, err error) {
 	if r.err != nil {
 		return nil, nil, nil, r.err
 	}
@@ -527,11 +538,120 @@ func parseParamPayload(b []byte, m *ParamMsg) error {
 	return r.done()
 }
 
+// partialSentinel marks an update frame whose payload is an edge's exact
+// partial fold instead of a tensor section. Every pre-partial frame starts
+// its section with a non-negative tensor count, so the sentinel is
+// unambiguous and leaves all existing frames byte-identical.
+const partialSentinel int64 = -1
+
 func appendUpdatePayload(b []byte, m *UpdateMsg) []byte {
 	b = appendI64(b, int64(m.ClientID))
 	b = appendI64(b, int64(m.Round))
 	b = appendF64(b, m.Weight)
+	if m.Partial != nil {
+		b = appendI64(b, partialSentinel)
+		return appendPartial(b, m.Partial)
+	}
 	return appendUpdateSection(b, m)
+}
+
+// appendExactScalar writes one exact accumulator element: spec, sign,
+// exponent, and the length-prefixed big-endian mantissa.
+func appendExactScalar(b []byte, w ExactScalarWire) []byte {
+	b = appendU8(b, w.Spec)
+	if w.Neg {
+		b = appendU8(b, 1)
+	} else {
+		b = appendU8(b, 0)
+	}
+	b = appendI64(b, w.Exp)
+	b = appendU32(b, uint32(len(w.Mant)))
+	return append(b, w.Mant...)
+}
+
+func parseExactScalar(r *wireReader) ExactScalarWire {
+	w := ExactScalarWire{Spec: r.u8(), Neg: r.u8() != 0, Exp: r.i64()}
+	n := r.u32()
+	if n > exactMantBytes {
+		r.fail("fl: exact mantissa of %d bytes exceeds %d", n, exactMantBytes)
+		return w
+	}
+	if raw := r.take(int(n)); raw != nil {
+		w.Mant = append([]byte(nil), raw...)
+	}
+	return w
+}
+
+// appendPartial writes an edge partial: rule, client count, optional
+// weight sum, then the exact-sum tensors (rank, dims, per-element scalars).
+func appendPartial(b []byte, p *PartialWire) []byte {
+	b = appendStr(b, p.Rule)
+	b = appendI64(b, int64(p.Clients))
+	if p.HasWSum {
+		b = appendU8(b, 1)
+		b = appendExactScalar(b, p.WSum)
+	} else {
+		b = appendU8(b, 0)
+	}
+	b = appendI64(b, int64(len(p.Sums)))
+	for _, t := range p.Sums {
+		b = appendU8(b, byte(len(t.Shape)))
+		for _, d := range t.Shape {
+			b = appendI64(b, int64(d))
+		}
+		for _, e := range t.Elems {
+			b = appendExactScalar(b, e)
+		}
+	}
+	return b
+}
+
+// parsePartial is appendPartial's bounds-checked inverse; semantic
+// validation (rule, counts, scalar envelope) stays with PartialWire.Validate.
+func parsePartial(r *wireReader) (*PartialWire, error) {
+	p := &PartialWire{Rule: r.str(), Clients: int(r.i64())}
+	if r.u8() != 0 {
+		p.HasWSum = true
+		p.WSum = parseExactScalar(r)
+	}
+	count := r.i64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if count < 0 || count > maxWireTensors {
+		return nil, fmt.Errorf("fl: binary partial declares %d tensors (cap %d)", count, maxWireTensors)
+	}
+	p.Sums = make([]ExactTensorWire, 0, count)
+	for i := int64(0); i < count; i++ {
+		rank := int(r.u8())
+		if rank > maxWireDims {
+			return nil, fmt.Errorf("fl: binary partial tensor rank %d exceeds %d", rank, maxWireDims)
+		}
+		shape := make([]int, rank)
+		for j := range shape {
+			d := r.i64()
+			if d < 0 || d > maxWireElems {
+				return nil, fmt.Errorf("fl: binary partial dimension %d outside [0, %d]", d, maxWireElems)
+			}
+			shape[j] = int(d)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		n, err := validShapeLen(shape)
+		if err != nil {
+			return nil, err
+		}
+		elems := make([]ExactScalarWire, n)
+		for j := range elems {
+			elems[j] = parseExactScalar(r)
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+		p.Sums = append(p.Sums, ExactTensorWire{Shape: shape, Elems: elems})
+	}
+	return p, r.err
 }
 
 func parseUpdatePayload(b []byte, m *UpdateMsg) error {
@@ -541,8 +661,17 @@ func parseUpdatePayload(b []byte, m *UpdateMsg) error {
 		Round:    int(r.i64()),
 		Weight:   r.f64(),
 	}
+	count := r.i64()
+	if count == partialSentinel && r.err == nil {
+		p, err := parsePartial(&r)
+		if err != nil {
+			return err
+		}
+		m.Partial = p
+		return r.done()
+	}
 	var err error
-	m.Delta, m.Sparse, m.Quant, err = readTensors(&r)
+	m.Delta, m.Sparse, m.Quant, err = readTensorsCount(&r, count)
 	if err != nil {
 		return err
 	}

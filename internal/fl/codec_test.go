@@ -411,7 +411,31 @@ func TestBinaryHostileTensorSections(t *testing.T) {
 		want    string
 	}{
 		{"tensor count over cap", appendI64(head(), maxWireTensors+1), "declares"},
-		{"negative tensor count", appendI64(head(), -1), "declares"},
+		// -1 is the partial sentinel (see partialSentinel), so the negative
+		// rejection is pinned at -2 and the sentinel gets its own hostile
+		// cases below.
+		{"negative tensor count", appendI64(head(), -2), "declares"},
+		{"truncated partial", appendI64(head(), partialSentinel), "truncated"},
+		{"partial tensor count over cap", func() []byte {
+			b := appendI64(head(), partialSentinel)
+			b = appendStr(b, AggFedSGD)
+			b = appendI64(b, 1) // Clients
+			b = appendU8(b, 0)  // no WSum
+			return appendI64(b, maxWireTensors+1)
+		}(), "declares"},
+		{"partial mantissa over cap", func() []byte {
+			b := appendI64(head(), partialSentinel)
+			b = appendStr(b, AggFedSGD)
+			b = appendI64(b, 1) // Clients
+			b = appendU8(b, 0)  // no WSum
+			b = appendI64(b, 1) // one tensor
+			b = appendU8(b, 1)  // rank 1
+			b = appendI64(b, 1) // dim 1
+			b = appendU8(b, 0)  // spec
+			b = appendU8(b, 0)  // neg
+			b = appendI64(b, 0) // exp
+			return appendU32(b, exactMantBytes+1)
+		}(), "mantissa"},
 		{"rank over cap", func() []byte {
 			b := appendI64(head(), 1)
 			b = appendU8(b, encDense)

@@ -1,6 +1,10 @@
 package fl
 
-import "testing"
+import (
+	"testing"
+
+	"fedcdp/internal/tensor"
+)
 
 func TestDropoutReducesCohort(t *testing.T) {
 	cfg := smallConfig(t, sgdStrategy{})
@@ -109,5 +113,52 @@ func TestStartRoundOffsetsHistory(t *testing.T) {
 	}
 	if !hist.Rounds[len(hist.Rounds)-1].Evaluated {
 		t.Fatal("final round of an offset run must still be evaluated")
+	}
+}
+
+// TestDropClientsZeroAlloc pins the hot-path contract: the per-round
+// dropout sweep reseeds one long-lived coin instead of deriving a fresh
+// Split child per cohort member, so steady-state round setup allocates
+// nothing per client.
+func TestDropClientsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts are meaningless")
+	}
+	cfg := Config{Seed: 42, DropoutRate: 0.3}
+	cohort := make([]int, 1000)
+	scratch := make([]int, 1000)
+	for i := range cohort {
+		cohort[i] = i
+	}
+	coin := tensor.NewRNG(0)
+	allocs := testing.AllocsPerRun(20, func() {
+		copy(scratch, cohort)
+		dropClients(cfg, 3, scratch, coin)
+	})
+	if allocs != 0 {
+		t.Fatalf("dropClients allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}
+
+// TestDropClientsReseededCoinMatchesSplit pins that the reused coin draws
+// the exact stream the original per-client Split children drew, so every
+// pre-existing seeded golden keeps its survivor sets.
+func TestDropClientsReseededCoinMatchesSplit(t *testing.T) {
+	cfg := Config{Seed: 99, DropoutRate: 0.4}
+	cohort := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	got := dropClients(cfg, 7, append([]int(nil), cohort...), tensor.NewRNG(0))
+	var want []int
+	for _, id := range cohort {
+		if tensor.Split(cfg.Seed, 5, 7, int64(id)).Float64() >= cfg.DropoutRate {
+			want = append(want, id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("survivors %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("survivors %v, want %v", got, want)
+		}
 	}
 }

@@ -1,0 +1,824 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+
+	"fedcdp/internal/tensor"
+)
+
+// Hierarchical (sharded) aggregation. Edge aggregators each own a shard of
+// the client population, fold their shard's updates locally, and forward
+// one weight-carrying partial fold upstream; the root composes partials
+// exactly as it composes client updates. The correctness obligation is
+// strong: a tree fold over ANY shard assignment must reproduce the flat
+// fold bit for bit. Floating-point addition is not associative, so a float
+// partial sum cannot honor that — instead the sharded fold accumulates in
+// an exact wide fixed-point representation (ExactVec below): every float64
+// addend is absorbed without rounding, sums over any grouping and in any
+// order are the same mathematical value, and a single round-to-nearest
+// happens at Commit. Exactness is what makes the tree ≡ flat guarantee a
+// theorem instead of a tolerance — and, as a bonus, makes arrival-order
+// streaming folds bit-reproducible at any GOMAXPROCS.
+//
+// The exact fold is opt-in (Config.Shards ≥ 1, core.Config.Shards,
+// fedserve -agg-shards): its committed bits differ from the legacy float
+// aggregators' order-dependent sums, so the flat parity oracle for a tree
+// fold is the single-shard exact fold (Shards=1), and every pre-existing
+// seeded golden — which runs with Shards=0 — is untouched.
+
+// exactPrec is the accumulator width in bits. A float64 addend spans at
+// most 53 mantissa bits anywhere in [2^-1074, 2^1024); after N ≤ 2^150
+// exact additions the sum's magnitude is below 2^(1024+150), so the widest
+// window any reachable sum needs is (1024+150) − (−1074) + margin < 2304.
+// Within that window big.Float addition at this precision never rounds.
+const exactPrec = 2304
+
+// Special-value codes tracked per element beside the exact accumulator
+// (big.Float has no NaN, and ±Inf must merge by IEEE rules: opposite
+// infinities yield NaN, NaN absorbs everything).
+const (
+	exactFinite byte = iota
+	exactPosInf
+	exactNegInf
+	exactNaN
+)
+
+// mergeSpec combines two special-value codes under IEEE addition rules.
+func mergeSpec(a, b byte) byte {
+	switch {
+	case a == exactFinite:
+		return b
+	case b == exactFinite:
+		return a
+	case a == b:
+		return a
+	default: // mixed infinities, or anything with NaN
+		return exactNaN
+	}
+}
+
+// specFloat materializes a special-value code.
+func specFloat(s byte) float64 {
+	switch s {
+	case exactPosInf:
+		return math.Inf(1)
+	case exactNegInf:
+		return math.Inf(-1)
+	default:
+		return math.NaN()
+	}
+}
+
+// ExactVec is a vector of exact fixed-point accumulators for float64
+// addends. Addition is exact (see exactPrec), hence commutative and
+// associative: sums are invariant to arrival order, grouping, shard
+// assignment and tree fanout, which is the arithmetic foundation of the
+// hierarchical fold. Round performs the single round-to-nearest-even per
+// element. Not safe for concurrent use; the aggregators lock around it.
+type ExactVec struct {
+	acc     []big.Float
+	spec    []byte
+	scratch big.Float
+}
+
+// NewExactVec returns a zeroed n-element exact accumulator.
+func NewExactVec(n int) *ExactVec {
+	v := &ExactVec{acc: make([]big.Float, n), spec: make([]byte, n)}
+	for i := range v.acc {
+		v.acc[i].SetPrec(exactPrec)
+	}
+	v.scratch.SetPrec(53)
+	return v
+}
+
+// Len returns the element count.
+func (v *ExactVec) Len() int { return len(v.acc) }
+
+// Zero resets every element to an empty sum (for reuse across rounds).
+func (v *ExactVec) Zero() {
+	for i := range v.acc {
+		v.acc[i].SetInt64(0)
+		v.spec[i] = exactFinite
+	}
+}
+
+// Add absorbs one float64 addend into element i, exactly. Zero addends are
+// skipped (an exact sum is unchanged; note this canonicalizes a sum of
+// negative zeros to +0, one of the documented exact-mode semantics).
+// Non-finite addends fold into the element's special-value code.
+func (v *ExactVec) Add(i int, x float64) {
+	if x == 0 {
+		return
+	}
+	if math.IsNaN(x) {
+		v.spec[i] = mergeSpec(v.spec[i], exactNaN)
+		return
+	}
+	if math.IsInf(x, 1) {
+		v.spec[i] = mergeSpec(v.spec[i], exactPosInf)
+		return
+	}
+	if math.IsInf(x, -1) {
+		v.spec[i] = mergeSpec(v.spec[i], exactNegInf)
+		return
+	}
+	v.scratch.SetFloat64(x)
+	v.acc[i].Add(&v.acc[i], &v.scratch)
+}
+
+// AddAll absorbs data element-wise: acc[i] += data[i].
+func (v *ExactVec) AddAll(data []float64) {
+	for i, x := range data {
+		v.Add(i, x)
+	}
+}
+
+// AddAllScaled absorbs the float64-rounded products fl(s·data[i]) —
+// exactly the addends the legacy weighted fold produces, so the exact and
+// legacy folds agree on what each client contributes and differ only in
+// how contributions are summed.
+func (v *ExactVec) AddAllScaled(s float64, data []float64) {
+	for i, x := range data {
+		v.Add(i, s*x)
+	}
+}
+
+// Merge absorbs another accumulator: the grouping step of a tree fold.
+func (v *ExactVec) Merge(o *ExactVec) error {
+	if o.Len() != v.Len() {
+		return fmt.Errorf("fl: exact merge of %d elements into %d", o.Len(), v.Len())
+	}
+	for i := range v.acc {
+		v.spec[i] = mergeSpec(v.spec[i], o.spec[i])
+		v.acc[i].Add(&v.acc[i], &o.acc[i])
+	}
+	return nil
+}
+
+// Round returns element i rounded once to the nearest float64 (ties to
+// even); sums beyond the float64 range come back as ±Inf, and elements
+// poisoned by non-finite addends as their IEEE-merged special value.
+func (v *ExactVec) Round(i int) float64 {
+	if v.spec[i] != exactFinite {
+		return specFloat(v.spec[i])
+	}
+	f, _ := v.acc[i].Float64()
+	return f
+}
+
+// --- Wire form -------------------------------------------------------------
+
+// Caps on hostile wire input: a mantissa cannot be wider than the
+// accumulator, and no reachable sum's exponent leaves ±2^20.
+const (
+	exactMantBytes = exactPrec / 8
+	exactExpBound  = 1 << 20
+)
+
+// ExactScalarWire is one exact accumulator element in wire form: the value
+// is sign·Mant·2^Exp with Mant a big-endian minimal mantissa (empty means
+// zero), plus the special-value code. The representation is canonical, so
+// encode/decode round-trips preserve the sum bit for bit.
+type ExactScalarWire struct {
+	Spec byte
+	Neg  bool
+	Exp  int64
+	Mant []byte
+}
+
+// ScalarWire returns element i in wire form.
+func (v *ExactVec) ScalarWire(i int) ExactScalarWire {
+	w := ExactScalarWire{Spec: v.spec[i]}
+	a := &v.acc[i]
+	if a.Sign() == 0 {
+		return w
+	}
+	w.Neg = a.Signbit()
+	var mant big.Float
+	exp := a.MantExp(&mant) // |mant| ∈ [0.5, 1), value = mant·2^exp
+	mant.Abs(&mant)
+	p := int(a.MinPrec())
+	mant.SetMantExp(&mant, p) // integer in [2^(p-1), 2^p)
+	mi, _ := mant.Int(nil)    // exact: mant is an integer
+	w.Mant = mi.Bytes()
+	w.Exp = int64(exp - p)
+	return w
+}
+
+// validateExactScalar rejects wire scalars outside the representable
+// envelope before any allocation or arithmetic touches them.
+func validateExactScalar(w ExactScalarWire) error {
+	switch {
+	case w.Spec > exactNaN:
+		return fmt.Errorf("fl: unknown exact special code %d", w.Spec)
+	case len(w.Mant) > exactMantBytes:
+		return fmt.Errorf("fl: exact mantissa of %d bytes exceeds %d", len(w.Mant), exactMantBytes)
+	case w.Exp < -exactExpBound || w.Exp > exactExpBound:
+		return fmt.Errorf("fl: exact exponent %d outside ±%d", w.Exp, exactExpBound)
+	}
+	return nil
+}
+
+// SetScalarWire installs a wire scalar into element i, validating first.
+func (v *ExactVec) SetScalarWire(i int, w ExactScalarWire) error {
+	if err := validateExactScalar(w); err != nil {
+		return err
+	}
+	v.spec[i] = w.Spec
+	a := &v.acc[i]
+	if len(w.Mant) == 0 {
+		a.SetInt64(0)
+		return nil
+	}
+	var mi big.Int
+	mi.SetBytes(w.Mant)
+	a.SetInt(&mi)
+	a.SetMantExp(a, int(w.Exp))
+	if w.Neg {
+		a.Neg(a)
+	}
+	return nil
+}
+
+// ExactTensorWire is one shaped exact-sum tensor in wire form.
+type ExactTensorWire struct {
+	Shape []int
+	Elems []ExactScalarWire
+}
+
+// --- Partial folds ---------------------------------------------------------
+
+// Partial is the weight-carrying result of an edge fold: the exact sums
+// over some subset of the round's client updates, the count of distinct
+// clients folded, and (for the weighted rule) the exact weight total. The
+// root composes partials by exact merge, so any partition of the cohort
+// into partials — one per shard, one per client, or the whole cohort at
+// once — commits identical bits.
+type Partial struct {
+	Rule    string
+	Clients int
+	WSum    *ExactVec // single element; nil unless Rule is AggWeighted
+	Shapes  [][]int
+	Sums    []*ExactVec
+}
+
+// Merge absorbs another partial of the same rule and geometry.
+func (p *Partial) Merge(o *Partial) error {
+	if o.Rule != p.Rule {
+		return fmt.Errorf("fl: merging %q partial into %q", o.Rule, p.Rule)
+	}
+	if len(o.Sums) != len(p.Sums) {
+		return fmt.Errorf("fl: merging partial of %d tensors into %d", len(o.Sums), len(p.Sums))
+	}
+	for i := range p.Sums {
+		if err := p.Sums[i].Merge(o.Sums[i]); err != nil {
+			return err
+		}
+	}
+	if p.WSum != nil {
+		if o.WSum == nil {
+			return fmt.Errorf("fl: weighted partial merge without a weight sum")
+		}
+		if err := p.WSum.Merge(o.WSum); err != nil {
+			return err
+		}
+	}
+	p.Clients += o.Clients
+	return nil
+}
+
+// Wire converts the partial to its wire form.
+func (p *Partial) Wire() *PartialWire {
+	w := &PartialWire{Rule: p.Rule, Clients: p.Clients, Sums: make([]ExactTensorWire, len(p.Sums))}
+	for i, s := range p.Sums {
+		tw := ExactTensorWire{
+			Shape: append([]int(nil), p.Shapes[i]...),
+			Elems: make([]ExactScalarWire, s.Len()),
+		}
+		for j := range tw.Elems {
+			tw.Elems[j] = s.ScalarWire(j)
+		}
+		w.Sums[i] = tw
+	}
+	if p.WSum != nil {
+		w.HasWSum = true
+		w.WSum = p.WSum.ScalarWire(0)
+	}
+	return w
+}
+
+// PartialWire is the wire form of a Partial, carried by UpdateMsg.Partial
+// on edge→root sessions over either codec.
+type PartialWire struct {
+	Rule    string
+	Clients int
+	HasWSum bool
+	WSum    ExactScalarWire
+	Sums    []ExactTensorWire
+}
+
+// Validate reports whether the wire partial is structurally sound — rule
+// known, counts and shapes bounded, every scalar in the representable
+// envelope. Hostile input gets an error, never a panic or an allocation
+// balloon.
+func (w *PartialWire) Validate() error {
+	switch w.Rule {
+	case AggFedSGD, AggFedAvg, AggWeighted:
+	default:
+		return fmt.Errorf("fl: partial carries unknown rule %q", w.Rule)
+	}
+	if w.Clients < 0 || w.Clients > 1<<31 {
+		return fmt.Errorf("fl: partial client count %d outside [0, 2^31]", w.Clients)
+	}
+	if (w.Rule == AggWeighted) != w.HasWSum {
+		return fmt.Errorf("fl: partial rule %q with weight-sum presence %v", w.Rule, w.HasWSum)
+	}
+	if len(w.Sums) == 0 || len(w.Sums) > maxWireTensors {
+		return fmt.Errorf("fl: partial carries %d tensors (want 1..%d)", len(w.Sums), maxWireTensors)
+	}
+	for i, t := range w.Sums {
+		n, err := validShapeLen(t.Shape)
+		if err != nil {
+			return fmt.Errorf("fl: partial tensor %d: %w", i, err)
+		}
+		if len(t.Elems) != n {
+			return fmt.Errorf("fl: partial tensor %d has %d elements for shape %v", i, len(t.Elems), t.Shape)
+		}
+		for j, e := range t.Elems {
+			if err := validateExactScalar(e); err != nil {
+				return fmt.Errorf("fl: partial tensor %d element %d: %w", i, j, err)
+			}
+		}
+	}
+	if w.HasWSum {
+		if err := validateExactScalar(w.WSum); err != nil {
+			return fmt.Errorf("fl: partial weight sum: %w", err)
+		}
+	}
+	return nil
+}
+
+// PartialFromWire validates and decodes a wire partial.
+func PartialFromWire(w *PartialWire) (*Partial, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Partial{
+		Rule:    w.Rule,
+		Clients: w.Clients,
+		Shapes:  make([][]int, len(w.Sums)),
+		Sums:    make([]*ExactVec, len(w.Sums)),
+	}
+	for i, t := range w.Sums {
+		p.Shapes[i] = append([]int(nil), t.Shape...)
+		v := NewExactVec(len(t.Elems))
+		for j, e := range t.Elems {
+			if err := v.SetScalarWire(j, e); err != nil {
+				return nil, err
+			}
+		}
+		p.Sums[i] = v
+	}
+	if w.HasWSum {
+		p.WSum = NewExactVec(1)
+		if err := p.WSum.SetScalarWire(0, w.WSum); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// --- Topology --------------------------------------------------------------
+
+// Topology assigns the client population to aggregation shards: contiguous
+// balanced ranges when the population size K is known (the first K mod
+// Shards shards own one extra client), id mod Shards when it is not (a
+// standalone fedserve doesn't know K). Pure arithmetic — every participant
+// derives the same assignment with no coordination.
+type Topology struct {
+	K      int // population size; ≤0 = unknown (modulo assignment)
+	Shards int // shard count; values ≤1 collapse to one shard
+}
+
+// ShardOf returns the owning shard of a client id.
+func (t Topology) ShardOf(id int) int {
+	s := t.Shards
+	if s <= 1 {
+		return 0
+	}
+	if t.K <= 0 {
+		if id < 0 {
+			id = -id
+		}
+		return id % s
+	}
+	if id < 0 {
+		return 0
+	}
+	if id >= t.K {
+		return s - 1
+	}
+	q, r := t.K/s, t.K%s
+	if id < r*(q+1) {
+		return id / (q + 1)
+	}
+	return r + (id-r*(q+1))/q
+}
+
+// Range returns shard s's contiguous client range [lo, hi); it is only
+// meaningful when K is known.
+func (t Topology) Range(s int) (lo, hi int) {
+	if t.Shards <= 1 {
+		return 0, t.K
+	}
+	q, r := t.K/t.Shards, t.K%t.Shards
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Interfaces ------------------------------------------------------------
+
+// ClientFolder is implemented by aggregators that route folds by client
+// identity (the tree fold needs the id to pick a shard; Fold does not
+// carry it). The runtimes probe for it exactly as they probe for
+// WeightedFolder.
+type ClientFolder interface {
+	FoldClient(clientID int, update []*tensor.Tensor, weight float64)
+}
+
+// PartialFolder is implemented by aggregators that can absorb an edge's
+// partial fold — the root of a hierarchical deployment.
+type PartialFolder interface {
+	FoldPartial(p *Partial) error
+}
+
+// foldClientInto routes one update into agg with its client identity when
+// the aggregator is identity-aware — the dispatch rule shared by the
+// streaming, barrier and RPC runtimes (mirroring foldInto).
+func foldClientInto(agg Aggregator, clientID int, update []*tensor.Tensor, weight float64) {
+	if cf, ok := agg.(ClientFolder); ok {
+		cf.FoldClient(clientID, update, weight)
+		return
+	}
+	foldInto(agg, update, weight)
+}
+
+// --- Exact aggregator ------------------------------------------------------
+
+// ExactAggregator is the exact-arithmetic fold behind hierarchical
+// aggregation: one instance serves as a flat exact fold (the parity
+// oracle), as an edge fold (forwarding TakePartial upstream), or as a tree
+// root (absorbing partials via FoldPartial). Addends per client mirror the
+// legacy aggregators exactly — fedsgd folds ΔW, fedavg folds W+ΔW,
+// weighted folds fl(w·W)+fl(w·ΔW) with the same weight clamping — and the
+// commit applies the same expression shape (params += inv·sum, or zero
+// then add-scaled), so the only semantic difference from the legacy float
+// fold is that the sum itself never rounds.
+type ExactAggregator struct {
+	mu     sync.Mutex
+	rule   string
+	base   []*tensor.Tensor
+	shapes [][]int
+	sums   []*ExactVec
+	wsum   *ExactVec
+	n      int
+}
+
+// NewExact returns an exact fold for an aggregation rule ("" = fedsgd).
+func NewExact(rule string) (*ExactAggregator, error) {
+	switch rule {
+	case "":
+		rule = AggFedSGD
+	case AggFedSGD, AggFedAvg, AggWeighted:
+	default:
+		return nil, fmt.Errorf("fl: unknown aggregation %q", rule)
+	}
+	a := &ExactAggregator{rule: rule}
+	if rule == AggWeighted {
+		a.wsum = NewExactVec(1)
+	}
+	return a, nil
+}
+
+// Rule returns the aggregation rule this fold implements.
+func (a *ExactAggregator) Rule() string { return a.rule }
+
+// Begin implements Aggregator.
+func (a *ExactAggregator) Begin(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	reuse := len(a.sums) == len(params)
+	if reuse {
+		for i, p := range params {
+			if a.sums[i].Len() != p.Len() {
+				reuse = false
+				break
+			}
+		}
+	}
+	if reuse {
+		for _, s := range a.sums {
+			s.Zero()
+		}
+		for i, p := range params {
+			a.shapes[i] = append(a.shapes[i][:0], p.Shape()...)
+		}
+	} else {
+		a.sums = make([]*ExactVec, len(params))
+		a.shapes = make([][]int, len(params))
+		for i, p := range params {
+			a.sums[i] = NewExactVec(p.Len())
+			a.shapes[i] = append([]int(nil), p.Shape()...)
+		}
+	}
+	if a.rule != AggFedSGD {
+		if geometryMatches(a.base, params) {
+			for i, p := range params {
+				a.base[i].CopyFrom(p)
+			}
+		} else {
+			a.base = tensor.CloneAll(params)
+		}
+	}
+	if a.wsum != nil {
+		a.wsum.Zero()
+	}
+	a.n = 0
+}
+
+// Fold implements Aggregator: an unweighted fold counts as weight 1.
+func (a *ExactAggregator) Fold(update []*tensor.Tensor) { a.FoldWeighted(update, 1) }
+
+// FoldWeighted implements WeightedFolder. Non-weighted rules ignore the
+// weight, exactly as their legacy counterparts (which never see one).
+// The weighted rule clamps like WeightedFedAvgAggregator.FoldWeighted.
+func (a *ExactAggregator) FoldWeighted(update []*tensor.Tensor, weight float64) {
+	if !(weight > 0) || math.IsInf(weight, 1) {
+		weight = 1
+	} else if weight > maxFoldWeight {
+		weight = maxFoldWeight
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch a.rule {
+	case AggFedSGD:
+		for i, u := range update {
+			a.sums[i].AddAll(u.Data())
+		}
+	case AggFedAvg:
+		for i, u := range update {
+			a.sums[i].AddAll(a.base[i].Data())
+			a.sums[i].AddAll(u.Data())
+		}
+	case AggWeighted:
+		for i, u := range update {
+			a.sums[i].AddAllScaled(weight, a.base[i].Data())
+			a.sums[i].AddAllScaled(weight, u.Data())
+		}
+		a.wsum.Add(0, weight)
+	}
+	a.n++
+}
+
+// FoldClient implements ClientFolder: a flat exact fold has one shard, so
+// identity routing is a plain fold.
+func (a *ExactAggregator) FoldClient(clientID int, update []*tensor.Tensor, weight float64) {
+	a.FoldWeighted(update, weight)
+}
+
+// FoldPartial implements PartialFolder: the root absorbs one edge's
+// partial by exact merge. Geometry or rule mismatches are errors — the
+// runtime counts the session as failed instead of poisoning the round.
+func (a *ExactAggregator) FoldPartial(p *Partial) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p.Rule != a.rule {
+		return fmt.Errorf("fl: folding %q partial into %q aggregator", p.Rule, a.rule)
+	}
+	if len(p.Sums) != len(a.sums) {
+		return fmt.Errorf("fl: partial has %d tensors, round has %d", len(p.Sums), len(a.sums))
+	}
+	for i := range p.Sums {
+		if p.Sums[i].Len() != a.sums[i].Len() {
+			return fmt.Errorf("fl: partial tensor %d has %d elements, round has %d", i, p.Sums[i].Len(), a.sums[i].Len())
+		}
+	}
+	for i := range p.Sums {
+		if err := a.sums[i].Merge(p.Sums[i]); err != nil {
+			return err
+		}
+	}
+	if a.wsum != nil {
+		if p.WSum == nil {
+			return fmt.Errorf("fl: weighted partial without a weight sum")
+		}
+		if err := a.wsum.Merge(p.WSum); err != nil {
+			return err
+		}
+	}
+	a.n += p.Clients
+	return nil
+}
+
+// Count implements Aggregator; for a root it counts clients (summed from
+// partials), not sessions.
+func (a *ExactAggregator) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// Commit implements Aggregator: round each exact sum once, then apply the
+// legacy rule's commit expression.
+func (a *ExactAggregator) Commit(params []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n == 0 {
+		return
+	}
+	switch a.rule {
+	case AggFedSGD:
+		inv := 1 / float64(a.n)
+		for i, p := range params {
+			d := p.Data()
+			for j := range d {
+				d[j] += inv * a.sums[i].Round(j)
+			}
+		}
+	case AggFedAvg:
+		inv := 1 / float64(a.n)
+		for i, p := range params {
+			p.Zero()
+			d := p.Data()
+			for j := range d {
+				d[j] += inv * a.sums[i].Round(j)
+			}
+		}
+	case AggWeighted:
+		ws := a.wsum.Round(0)
+		if ws == 0 {
+			return
+		}
+		inv := 1 / ws
+		for i, p := range params {
+			p.Zero()
+			d := p.Data()
+			for j := range d {
+				d[j] += inv * a.sums[i].Round(j)
+			}
+		}
+	}
+}
+
+// TakePartial snapshots the fold as a partial for upstream forwarding. The
+// returned partial aliases the aggregator's accumulators and is valid
+// until the next Begin; serialize or merge it before reusing the edge.
+func (a *ExactAggregator) TakePartial() *Partial {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return &Partial{Rule: a.rule, Clients: a.n, WSum: a.wsum, Shapes: a.shapes, Sums: a.sums}
+}
+
+// EdgeFold wraps an edge's exact aggregator so a RoundServer can drive it
+// without ever committing: the edge's round ends with TakePartial, and
+// only the root applies an aggregate to parameters.
+func EdgeFold(a *ExactAggregator) Aggregator { return edgeFold{a} }
+
+type edgeFold struct{ *ExactAggregator }
+
+func (edgeFold) Commit([]*tensor.Tensor) {}
+
+// --- Tree aggregator -------------------------------------------------------
+
+// TreeAggregator is the in-process multi-level aggregation tree: client
+// folds route to their shard's edge, and Commit composes the edge partials
+// — fanout-ary, level by level — into a root exact fold before applying
+// it. Because composition is exact merge, the committed bits are invariant
+// to the shard assignment and fanout; the deployment harness
+// (core.RunSimnet) runs the same algebra with the edges behind real
+// RoundServers on the simnet fabric.
+type TreeAggregator struct {
+	topo   Topology
+	fanout int
+	edges  []*ExactAggregator
+	root   *ExactAggregator
+}
+
+// NewTree builds a tree fold for an aggregation rule over a shard
+// topology. fanout bounds how many partials one compose step merges
+// (≤1 = compose all at once).
+func NewTree(rule string, topo Topology, fanout int) (*TreeAggregator, error) {
+	if topo.Shards < 1 {
+		return nil, fmt.Errorf("fl: tree aggregation needs ≥1 shard, got %d", topo.Shards)
+	}
+	root, err := NewExact(rule)
+	if err != nil {
+		return nil, err
+	}
+	t := &TreeAggregator{topo: topo, fanout: fanout, root: root}
+	t.edges = make([]*ExactAggregator, topo.Shards)
+	for i := range t.edges {
+		t.edges[i], _ = NewExact(rule)
+	}
+	return t, nil
+}
+
+// Begin implements Aggregator.
+func (t *TreeAggregator) Begin(params []*tensor.Tensor) {
+	t.root.Begin(params)
+	for _, e := range t.edges {
+		e.Begin(params)
+	}
+}
+
+// Fold implements Aggregator. Without a client identity the update lands
+// on shard 0 — exact merge makes placement arithmetically irrelevant;
+// identity-aware callers use FoldClient.
+func (t *TreeAggregator) Fold(update []*tensor.Tensor) { t.edges[0].Fold(update) }
+
+// FoldWeighted implements WeightedFolder (shard 0, as Fold).
+func (t *TreeAggregator) FoldWeighted(update []*tensor.Tensor, weight float64) {
+	t.edges[0].FoldWeighted(update, weight)
+}
+
+// FoldClient implements ClientFolder: the update folds at its shard's edge.
+func (t *TreeAggregator) FoldClient(clientID int, update []*tensor.Tensor, weight float64) {
+	t.edges[t.topo.ShardOf(clientID)].FoldWeighted(update, weight)
+}
+
+// Count implements Aggregator.
+func (t *TreeAggregator) Count() int {
+	n := 0
+	for _, e := range t.edges {
+		n += e.Count()
+	}
+	return n
+}
+
+// Commit implements Aggregator: compose the edge partials fanout-ary into
+// the root, then commit the root.
+func (t *TreeAggregator) Commit(params []*tensor.Tensor) {
+	parts := make([]*Partial, len(t.edges))
+	for i, e := range t.edges {
+		parts[i] = e.TakePartial()
+	}
+	f := t.fanout
+	if f <= 1 {
+		f = len(parts)
+	}
+	for len(parts) > 1 {
+		next := parts[:0]
+		for lo := 0; lo < len(parts); lo += f {
+			hi := lo + f
+			if hi > len(parts) {
+				hi = len(parts)
+			}
+			dst := parts[lo]
+			for _, src := range parts[lo+1 : hi] {
+				// Same-geometry merges by construction; an error here would
+				// be a programming bug, not a data condition.
+				if err := dst.Merge(src); err != nil {
+					panic(err)
+				}
+			}
+			next = append(next, dst)
+		}
+		parts = next
+	}
+	if err := t.root.FoldPartial(parts[0]); err != nil {
+		panic(err)
+	}
+	t.root.Commit(params)
+}
+
+// --- Construction ----------------------------------------------------------
+
+// NewAggregatorFor constructs the server fold for an aggregation rule and
+// shard topology: shards ≤ 0 is the legacy float fold (NewAggregator,
+// byte-identical to every pre-sharding run), shards = 1 the flat exact
+// fold (the tree's parity oracle), shards > 1 the aggregation tree. k is
+// the population size when known (≤0 falls back to modulo sharding).
+func NewAggregatorFor(rule string, shards, fanout, k int) (Aggregator, error) {
+	switch {
+	case shards <= 0:
+		return NewAggregator(rule)
+	case shards == 1:
+		return NewExact(rule)
+	default:
+		return NewTree(rule, Topology{K: k, Shards: shards}, fanout)
+	}
+}

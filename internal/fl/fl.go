@@ -45,10 +45,15 @@ const (
 // Reserved Split/CounterRNG label spaces under the root seed. Labels 1–5
 // are claimed by model init, the server RNG, cohort sampling, client RNG
 // streams and dropout coins (see the Split call sites); the counter noise
-// engine claims 6 (client-side streams) and 7 (server-side streams).
+// engine claims 6 (client-side streams) and 7 (server-side streams);
+// internal/simnet claims 8–11 for transport fault coins; the Floyd cohort
+// sampler claims 12 (sampleLabelFloyd) — a separate label from the legacy
+// sampler's 3, because the two consume their streams differently and must
+// never be confused for one another.
 const (
 	noiseLabelClient = 6
 	noiseLabelServer = 7
+	sampleLabelFloyd = 12
 )
 
 // ClientNoise returns the counter noise generator for one client's round:
@@ -75,6 +80,12 @@ func ServerNoise(seed int64, round int) tensor.CounterRNG {
 const (
 	FoldCohort  = "cohort"
 	FoldArrival = "arrival"
+)
+
+// Cohort samplers selectable via Config.Sampler.
+const (
+	SamplerLegacy = "legacy"
+	SamplerFloyd  = "floyd"
 )
 
 // RoundConfig carries the local-training hyperparameters published by the
@@ -211,6 +222,25 @@ type Config struct {
 	// (the paper's accounting model); the default samples Kt distinct
 	// clients, the standard FL deployment behaviour.
 	SampleWithReplacement bool
+
+	// Sampler selects the distinct-cohort draw: SamplerLegacy ("" defaults
+	// to it) is the original O(K) permutation draw, kept as the default so
+	// every pre-existing seeded run stays byte-identical; SamplerFloyd is
+	// the O(Kt) Floyd draw for large populations (label 12). The two
+	// consume different Split streams and produce different (equally
+	// uniform) cohorts. Ignored when SampleWithReplacement is set.
+	Sampler string
+
+	// Shards selects the server aggregation fold: 0 (default) is the
+	// legacy float fold, 1 the flat exact fold (the hierarchical parity
+	// oracle), ≥2 an aggregation tree with that many edge shards. See
+	// exact.go for the exactness contract.
+	Shards int
+
+	// TreeFanout bounds how many partials one tree compose step merges
+	// (≤1 = all at once). Bit-irrelevant — exact merges are associative —
+	// but it shapes the deployment's edge→root traffic pattern.
+	TreeFanout int
 
 	// Aggregation selects the server rule: AggFedSGD (default) applies
 	// W ← W + mean(ΔW); AggFedAvg replaces W with the mean of the client
@@ -371,6 +401,14 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: quorum %d outside [0, Kt=%d]", c.MinQuorum, c.Kt)
 	case c.RoundDeadline < 0:
 		return fmt.Errorf("fl: negative round deadline %v", c.RoundDeadline)
+	case c.Sampler != "" && c.Sampler != SamplerLegacy && c.Sampler != SamplerFloyd:
+		return fmt.Errorf("fl: unknown cohort sampler %q", c.Sampler)
+	case c.Shards < 0:
+		return fmt.Errorf("fl: negative shard count %d", c.Shards)
+	case c.Shards > c.K:
+		return fmt.Errorf("fl: %d shards exceed population K=%d", c.Shards, c.K)
+	case c.TreeFanout < 0:
+		return fmt.Errorf("fl: negative tree fanout %d", c.TreeFanout)
 	}
 	if _, err := c.Round.Scenario.Partitioner(); err != nil {
 		return err
@@ -411,7 +449,9 @@ func Run(cfg Config) (*History, error) {
 
 	serverRNG := tensor.Split(cfg.Seed, 2)
 	workers := newWorkerPool(par, cfg.Model)
-	agg, _ := NewAggregator(cfg.Aggregation) // rule validated above
+	// Rule and shard count validated above; Shards=0 is the legacy fold.
+	agg, _ := NewAggregatorFor(cfg.Aggregation, cfg.Shards, cfg.TreeFanout, cfg.K)
+	dropCoin := tensor.NewRNG(0)
 	clock := cfg.Clock
 	if clock == nil {
 		clock = SystemClock
@@ -431,11 +471,11 @@ func Run(cfg Config) (*History, error) {
 			global = nn.Build(cfg.Model, tensor.Split(cfg.Seed, 1))
 			global.SetParams(restored)
 			workers = newWorkerPool(par, cfg.Model)
-			agg, _ = NewAggregator(cfg.Aggregation)
+			agg, _ = NewAggregatorFor(cfg.Aggregation, cfg.Shards, cfg.TreeFanout, cfg.K)
 			serverRNG = tensor.Split(cfg.Seed, 2, int64(round))
 		}
 		cohort := sampleCohort(cfg, round)
-		cohort = dropClients(cfg, round, cohort)
+		cohort = dropClients(cfg, round, cohort, dropCoin)
 		var rs RoundStats
 		if cfg.Runtime == RuntimeBarrier {
 			rs = runBarrierRound(cfg, global, cohort, round, workers, serverRNG, agg)
@@ -491,7 +531,7 @@ func runBarrierRound(cfg Config, global *nn.Model, cohort []int, round int, work
 	params := global.Params()
 	agg.Begin(params)
 	for _, i := range live {
-		foldInto(agg, updates[i], weights[i])
+		foldClientInto(agg, cohort[i], updates[i], weights[i])
 	}
 	rs := RoundStats{Clients: len(live), Dropped: len(cohort) - len(live)}
 	for _, i := range live {
@@ -521,6 +561,9 @@ func clientNoiseFor(rc RoundConfig, seed int64, round, clientID int) *tensor.Cou
 
 // sampleCohort picks the participating client IDs for a round.
 func sampleCohort(cfg Config, round int) []int {
+	if cfg.Sampler == SamplerFloyd && !cfg.SampleWithReplacement {
+		return SampleCohortFloyd(cfg.Seed, round, cfg.K, cfg.Kt)
+	}
 	return SampleCohort(cfg.Seed, round, cfg.K, cfg.Kt, cfg.SampleWithReplacement)
 }
 
@@ -536,15 +579,26 @@ func SampleCohort(seed int64, round, k, kt int, withReplacement bool) []int {
 	return rng.SampleWithoutReplacement(k, kt)
 }
 
+// SampleCohortFloyd returns the round's cohort under Config.Sampler ==
+// SamplerFloyd: kt distinct ids drawn by Floyd's algorithm in O(kt) work
+// and memory, sorted ascending. It consumes Split label 12 (the legacy
+// draw consumes label 3), so the two samplers are distinct named streams —
+// switching samplers changes cohorts, never silently reinterprets them.
+func SampleCohortFloyd(seed int64, round, k, kt int) []int {
+	return tensor.Split(seed, sampleLabelFloyd, int64(round)).SampleDistinctFloyd(k, kt)
+}
+
 // dropClients removes clients that fail this round (deterministic per
-// (seed, round, client), so runs remain reproducible).
-func dropClients(cfg Config, round int, cohort []int) []int {
+// (seed, round, client), so runs remain reproducible). One coin generator
+// is reseeded per member — the emitted stream is bit-identical to a fresh
+// Split child, without the per-client allocations the hot loop used to pay.
+func dropClients(cfg Config, round int, cohort []int, coin *tensor.RNG) []int {
 	if cfg.DropoutRate <= 0 {
 		return cohort
 	}
 	kept := cohort[:0]
 	for _, id := range cohort {
-		coin := tensor.Split(cfg.Seed, 5, int64(round), int64(id))
+		coin.Reseed(cfg.Seed, 5, int64(round), int64(id))
 		if coin.Float64() >= cfg.DropoutRate {
 			kept = append(kept, id)
 		}
@@ -552,13 +606,39 @@ func dropClients(cfg Config, round int, cohort []int) []int {
 	return kept
 }
 
-// worker is one reusable local-training slot: a private model copy and a
-// scratch arena, both reused across clients and rounds so steady-state
-// training stops allocating (the model's batched buffers and the arena's
-// free lists persist between rounds).
+// worker is one reusable local-training slot: a private model copy, a
+// scratch arena, a reseedable client RNG, a counter-noise slot and the
+// ClientEnv itself — all reused across clients and rounds so steady-state
+// training stops allocating (the model's batched buffers, the arena's free
+// lists and the RNG's source persist between rounds).
 type worker struct {
 	model *nn.Model
 	arena *tensor.Arena
+	rng   *tensor.RNG
+	noise tensor.CounterRNG
+	env   ClientEnv
+}
+
+// envFor populates the worker's reusable ClientEnv for one client round.
+// The RNG is reseeded in place to the stream Split(seed, 4, round, id)
+// would return; the counter noise generator is a value slot, so deriving
+// it allocates nothing.
+func (w *worker) envFor(cfg Config, round, id int, data *dataset.ClientData) *ClientEnv {
+	w.rng.Reseed(cfg.Seed, 4, int64(round), int64(id))
+	w.env = ClientEnv{
+		ClientID: id,
+		Round:    round,
+		Model:    w.model,
+		Data:     data,
+		RNG:      w.rng,
+		Cfg:      cfg.Round,
+		Arena:    w.arena,
+	}
+	if cfg.Round.NoiseEngine != NoiseReference {
+		w.noise = ClientNoise(cfg.Seed, round, id)
+		w.env.Noise = &w.noise
+	}
+	return &w.env
 }
 
 // workerPool is a fixed set of workers handed out over a channel; at most
@@ -579,7 +659,7 @@ func newWorkerPool(par int, spec nn.Spec) *workerPool {
 func (p *workerPool) acquire() *worker {
 	w := <-p.slots
 	if w == nil {
-		w = &worker{model: nn.Build(p.spec, tensor.NewRNG(0)), arena: tensor.NewArena()}
+		w = &worker{model: nn.Build(p.spec, tensor.NewRNG(0)), arena: tensor.NewArena(), rng: tensor.NewRNG(0)}
 		w.model.UseArena(w.arena)
 	}
 	return w
@@ -612,17 +692,7 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 			w.model.SetPrecision(cfg.Round.Precision)
 			data := cfg.Data.Client(id)
 			weights[i] = float64(data.Len())
-			env := &ClientEnv{
-				ClientID: id,
-				Round:    round,
-				Model:    w.model,
-				Data:     data,
-				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
-				Cfg:      cfg.Round,
-				Arena:    w.arena,
-				Noise:    clientNoiseFor(cfg.Round, cfg.Seed, round, id),
-			}
-			updates[i], stats[i] = cfg.Strategy.ClientUpdate(env)
+			updates[i], stats[i] = cfg.Strategy.ClientUpdate(w.envFor(cfg, round, id, data))
 		}(i, id, w)
 	}
 	wg.Wait()

@@ -19,6 +19,9 @@ type RoundStats struct {
 	// Committed reports whether the round met MinQuorum and its fold was
 	// applied; a round below quorum leaves the global model unchanged.
 	Committed bool
+	// WireBytes is the network traffic the round generated, when the run
+	// went over an instrumented fabric (core.RunSimnet); zero elsewhere.
+	WireBytes int64
 }
 
 // History is the full record of one simulation run.

@@ -1,0 +1,141 @@
+package fl
+
+import (
+	"testing"
+	"time"
+
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/nn"
+	"fedcdp/internal/tensor"
+)
+
+// The multiplexed scheduler must be a pure scheduling change: the same
+// cohort served through ClientMux, at any worker count, must leave the
+// server's model bit-identical to the goroutine-per-client path. The fold
+// uses the exact aggregator so arrival order — the one thing scheduling
+// legitimately changes — cannot leak into the comparison.
+func TestClientMuxMatchesPerClientGoroutines(t *testing.T) {
+	spec, err := dataset.Get("cancer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.New(spec, 42)
+	cfg := RoundConfig{BatchSize: 4, LocalIters: 2, LR: 0.1, TotalRounds: 1}
+	const kt = 4
+
+	run := func(t *testing.T, workers int) []*tensor.Tensor {
+		t.Helper()
+		model := nn.Build(spec.ModelSpec(), tensor.NewRNG(7))
+		srv, err := NewRoundServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		done := make(chan []MuxResult, 1)
+		if workers < 0 {
+			// Reference path: one goroutine per client, fresh model each.
+			go func() {
+				for id := 0; id < kt; id++ {
+					go func(id int) {
+						if err := RunRemoteClient(srv.Addr(), id, sgdStrategy{}, ds.Client(id), spec.ModelSpec(), 42); err != nil {
+							t.Error(err)
+						}
+					}(id)
+				}
+				done <- nil
+			}()
+		} else {
+			mux := &ClientMux{Spec: spec.ModelSpec(), Data: ds, Strat: sgdStrategy{}, Seed: 42, Workers: workers}
+			go func() {
+				tasks := make([]MuxTask, kt)
+				for i := range tasks {
+					tasks[i] = MuxTask{ClientID: i, Addr: srv.Addr()}
+				}
+				done <- mux.RunRound(tasks)
+			}()
+		}
+		agg, err := NewExact(AggFedSGD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.StreamRound(0, model.Params(), cfg, agg, RoundOptions{Clients: kt})
+		results := <-done
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("client %d: %v", r.ClientID, r.Err)
+			}
+			if r.Round != 0 {
+				t.Fatalf("client %d served round %d, want 0", r.ClientID, r.Round)
+			}
+		}
+		if res.Folded != kt || !res.Committed {
+			t.Fatalf("round result %+v, want %d folded and committed", res, kt)
+		}
+		return model.Params()
+	}
+
+	want := run(t, -1)
+	for _, workers := range []int{1, 2, kt, 0} {
+		got := run(t, workers)
+		for i := range want {
+			if !got[i].Equal(want[i], 0) {
+				t.Fatalf("workers=%d: param %d differs from per-client-goroutine round", workers, i)
+			}
+		}
+	}
+}
+
+// Cursors: completed rounds advance NextRound, abandoned sessions do not,
+// and only touched clients materialize state.
+func TestClientMuxCursorsAndAbandon(t *testing.T) {
+	spec, err := dataset.Get("cancer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.New(spec, 42)
+	cfg := RoundConfig{BatchSize: 4, LocalIters: 1, LR: 0.1, TotalRounds: 1}
+
+	model := nn.Build(spec.ModelSpec(), tensor.NewRNG(7))
+	srv, err := NewRoundServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	mux := &ClientMux{Spec: spec.ModelSpec(), Data: ds, Strat: sgdStrategy{}, Seed: 42, Workers: 2}
+	done := make(chan []MuxResult, 1)
+	go func() {
+		done <- mux.RunRound([]MuxTask{
+			{ClientID: 0, Addr: srv.Addr()},
+			{ClientID: 7, Addr: srv.Addr(), Abandon: true},
+		})
+	}()
+	res, err := srv.StreamRound(3, model.Params(), cfg, NewFedSGD(), RoundOptions{
+		Clients: 2, Deadline: time.Hour, MinQuorum: 1,
+	})
+	results := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folded != 1 || res.Failed != 1 || !res.Committed {
+		t.Fatalf("round result %+v, want 1 folded, 1 failed, committed", res)
+	}
+	if results[0].Err != nil || results[0].Round != 3 {
+		t.Fatalf("client 0 result %+v, want round 3 without error", results[0])
+	}
+	if results[1].Err != nil || results[1].Round != 3 {
+		t.Fatalf("abandoning client result %+v, want announced round 3", results[1])
+	}
+	if n := mux.Clients(); n != 2 {
+		t.Fatalf("materialized %d virtual clients, want 2", n)
+	}
+	if got := mux.client(0).NextRound; got != 4 {
+		t.Fatalf("client 0 NextRound = %d, want 4", got)
+	}
+	if got := mux.client(7).NextRound; got != 0 {
+		t.Fatalf("abandoning client NextRound = %d, want 0", got)
+	}
+}

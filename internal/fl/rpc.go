@@ -88,6 +88,11 @@ type UpdateMsg struct {
 	Delta    []TensorWire
 	Sparse   []SparseTensorWire
 	Quant    []QuantTensorWire
+	// Partial is the fourth payload encoding: an edge aggregator's exact
+	// partial fold, forwarded upstream in a hierarchical deployment (see
+	// exact.go). ClientID then carries the edge's shard index — the
+	// duplicate-session dedup applies to shards exactly as to clients.
+	Partial *PartialWire
 }
 
 // Tensors decodes the update payload, whichever encoding was used.
@@ -164,10 +169,11 @@ type roundState struct {
 }
 
 type sessionResult struct {
-	client int
-	update []*tensor.Tensor
-	weight float64
-	err    error
+	client  int
+	update  []*tensor.Tensor
+	weight  float64
+	partial *Partial // set instead of update on edge→root sessions
+	err     error
 }
 
 // deliverStatus reports how the round loop received a session's outcome.
@@ -382,16 +388,36 @@ func (s *RoundServer) handle(conn net.Conn) {
 	// Hostile-input gate: the update must be structurally valid AND foldable
 	// against this round's parameters before it reaches the aggregator — a
 	// malformed peer gets an error, never a server panic.
-	update, err := upd.DecodeTensors()
-	if err == nil {
-		err = updateMatchesParams(update, st.wire)
+	res := sessionResult{client: upd.ClientID, weight: upd.Weight}
+	if upd.Partial != nil {
+		// Edge→root partial fold: validated and geometry-checked exactly
+		// like a client update; ClientID is the shard index, so the dedup
+		// below absorbs an edge re-submitting after a lost ack.
+		err := upd.Validate()
+		if err == nil {
+			err = partialMatchesParams(upd.Partial, st.wire)
+		}
+		if err == nil {
+			res.partial, err = PartialFromWire(upd.Partial)
+		}
+		if err != nil {
+			st.deliver(sessionResult{err: err})
+			_ = sess.WriteAck(&AckMsg{Reason: err.Error()})
+			return
+		}
+	} else {
+		update, err := upd.DecodeTensors()
+		if err == nil {
+			err = updateMatchesParams(update, st.wire)
+		}
+		if err != nil {
+			st.deliver(sessionResult{err: err})
+			_ = sess.WriteAck(&AckMsg{Reason: err.Error()})
+			return
+		}
+		res.update = update
 	}
-	if err != nil {
-		st.deliver(sessionResult{err: err})
-		_ = sess.WriteAck(&AckMsg{Reason: err.Error()})
-		return
-	}
-	switch st.deliver(sessionResult{client: upd.ClientID, update: update, weight: upd.Weight}) {
+	switch st.deliver(res) {
 	case deliverTaken:
 		_ = sess.WriteAck(&AckMsg{Accepted: true})
 	case deliverDup:
@@ -418,6 +444,12 @@ type RoundOptions struct {
 	// MinQuorum is the minimum folded updates required to commit; below
 	// it the round closes without applying the aggregate.
 	MinQuorum int
+	// QuorumCount, when set, replaces the folded-session count in the
+	// MinQuorum comparison. A hierarchical root folds one session per EDGE
+	// but commits on the number of CLIENTS those edges carried; passing the
+	// root aggregator's Count (which sums Partial.Clients) keeps quorum
+	// semantics population-level in either topology.
+	QuorumCount func() int
 }
 
 // RoundResult reports what a streaming round collected.
@@ -488,7 +520,20 @@ func (s *RoundServer) StreamRound(round int, params []*tensor.Tensor, cfg RoundC
 			res.Failed++
 			return
 		}
-		foldInto(agg, r.update, r.weight)
+		if r.partial != nil {
+			pf, ok := agg.(PartialFolder)
+			if !ok {
+				res.Failed++
+				return
+			}
+			if err := pf.FoldPartial(r.partial); err != nil {
+				res.Failed++
+				return
+			}
+			res.Folded++
+			return
+		}
+		foldClientInto(agg, r.client, r.update, r.weight)
 		res.Folded++
 	}
 	// Duplicates are acknowledged out-of-band (roundState.deliver) and do
@@ -529,7 +574,11 @@ drain:
 	st.mu.Lock()
 	res.Duplicates = st.dups
 	st.mu.Unlock()
-	res.Committed = res.Folded >= opt.MinQuorum
+	quorum := res.Folded
+	if opt.QuorumCount != nil {
+		quorum = opt.QuorumCount()
+	}
+	res.Committed = quorum >= opt.MinQuorum
 	if res.Committed {
 		agg.Commit(params)
 	}
@@ -738,4 +787,51 @@ func AbandonSession(addr string, opt ClientOptions) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrRoundClosed, pm.Reason)
 	}
 	return pm.Round, nil
+}
+
+// SendPartial forwards an edge aggregator's partial fold to the root for a
+// round: the edge-side half of the hierarchical protocol. shard is the
+// edge's index in the tree topology (it rides in ClientID, so the root's
+// duplicate dedup covers edge re-submissions); the root's announced round
+// must match round, or the session resolves as an error. A nil return
+// means the root acknowledged folding the partial.
+func SendPartial(addr string, shard, round int, p *Partial, opt ClientOptions) error {
+	conn, err := opt.dial(addr)
+	if err != nil {
+		return fmt.Errorf("fl: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	var rw io.ReadWriter = conn
+	if opt.Secure {
+		sc, err := Handshake(conn)
+		if err != nil {
+			return err
+		}
+		rw = sc
+	}
+	sess, err := newClientSession(rw, opt.Codec)
+	if err != nil {
+		return err
+	}
+	var pm ParamMsg
+	if err := sess.ReadParam(&pm); err != nil {
+		return fmt.Errorf("fl: reading params: %w", err)
+	}
+	if pm.Denied {
+		return fmt.Errorf("%w: %s", ErrRoundClosed, pm.Reason)
+	}
+	if pm.Round != round {
+		return fmt.Errorf("fl: root is serving round %d, partial is for %d", pm.Round, round)
+	}
+	if err := sess.WriteUpdate(&UpdateMsg{ClientID: shard, Round: round, Partial: p.Wire()}); err != nil {
+		return fmt.Errorf("fl: sending partial: %w", err)
+	}
+	var ack AckMsg
+	if err := sess.ReadAck(&ack); err != nil {
+		return fmt.Errorf("fl: reading partial receipt: %w", err)
+	}
+	if !ack.Accepted {
+		return fmt.Errorf("fl: partial not folded: %s", ack.Reason)
+	}
+	return nil
 }

@@ -64,17 +64,7 @@ func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, gl
 			w.model.SetParams(globalParams)
 			w.model.SetPrecision(cfg.Round.Precision)
 			data := cfg.Data.Client(id)
-			env := &ClientEnv{
-				ClientID: id,
-				Round:    round,
-				Model:    w.model,
-				Data:     data,
-				RNG:      tensor.Split(cfg.Seed, 4, int64(round), int64(id)),
-				Cfg:      cfg.Round,
-				Arena:    w.arena,
-				Noise:    clientNoiseFor(cfg.Round, cfg.Seed, round, id),
-			}
-			upd, st := cfg.Strategy.ClientUpdate(env)
+			upd, st := cfg.Strategy.ClientUpdate(w.envFor(cfg, round, id, data))
 			if cfg.Faults != nil && cfg.Faults.DropUpdate(round, id) {
 				// The update was computed but lost in transit.
 				results <- clientResult{idx: i, lost: true}
@@ -103,7 +93,7 @@ func runStreamingRound(cfg Config, global *nn.Model, cohort []int, round int, wo
 	// identical noise per update.
 	commit := func(res clientResult) {
 		serverSanitize(cfg, round, res.idx, res.update, serverRNG)
-		foldInto(agg, res.update, res.weight)
+		foldClientInto(agg, cohort[res.idx], res.update, res.weight)
 		folded++
 		rs.MeanGradNorm += res.stats.MeanGradNorm
 		rs.MsPerIter += res.stats.MsPerIter()

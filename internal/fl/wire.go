@@ -110,11 +110,17 @@ func (m *UpdateMsg) Validate() error {
 			encodings++
 		}
 	}
+	if m.Partial != nil {
+		encodings++
+	}
 	if encodings != 1 {
 		if encodings == 0 {
 			return fmt.Errorf("fl: update carries no payload")
 		}
 		return fmt.Errorf("fl: update mixes payload encodings")
+	}
+	if m.Partial != nil {
+		return m.Partial.Validate()
 	}
 	for i, w := range m.Delta {
 		if err := w.Validate(); err != nil {
@@ -190,6 +196,21 @@ func updateMatchesParams(update []*tensor.Tensor, params []TensorWire) error {
 	for i, u := range update {
 		if u.Len() != len(params[i].Data) {
 			return fmt.Errorf("fl: update tensor %d has %d elements, parameter has %d", i, u.Len(), len(params[i].Data))
+		}
+	}
+	return nil
+}
+
+// partialMatchesParams is updateMatchesParams for an edge's partial fold:
+// the exact sums must be foldable against the round's parameters before
+// they reach the root aggregator.
+func partialMatchesParams(p *PartialWire, params []TensorWire) error {
+	if len(p.Sums) != len(params) {
+		return fmt.Errorf("fl: partial has %d tensors, round has %d", len(p.Sums), len(params))
+	}
+	for i, s := range p.Sums {
+		if len(s.Elems) != len(params[i].Data) {
+			return fmt.Errorf("fl: partial tensor %d has %d elements, parameter has %d", i, len(s.Elems), len(params[i].Data))
 		}
 	}
 	return nil

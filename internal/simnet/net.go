@@ -30,6 +30,7 @@ type Net struct {
 	clock *Clock
 
 	round atomic.Int64
+	bytes atomic.Int64
 
 	mu        sync.Mutex
 	listeners map[string]*listener
@@ -61,6 +62,12 @@ func (n *Net) SetRound(r int) { n.round.Store(int64(r)) }
 
 // Round returns the fabric's current round.
 func (n *Net) Round() int { return int(n.round.Load()) }
+
+// BytesWritten returns the cumulative payload bytes written to all fabric
+// connections since New — every Write counts, whether the fabric then
+// delivers, duplicates or cuts the message. Harnesses diff it between
+// rounds to report per-round wire traffic.
+func (n *Net) BytesWritten() int64 { return n.bytes.Load() }
 
 // errors surfaced by the fabric.
 var (
@@ -292,6 +299,7 @@ func (c *conn) Write(p []byte) (int, error) {
 	}
 	seq := c.seq
 	c.seq++
+	c.n.bytes.Add(int64(len(p)))
 	cut, dup, delay := c.n.plan.msgFate(c.n.seed, c.n.Round(), c.link, seq)
 	at := c.n.clock.Now().Add(delay)
 	if at.Before(c.lastAt) {

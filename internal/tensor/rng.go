@@ -3,6 +3,7 @@ package tensor
 import (
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // RNG is a deterministic random source with convenience samplers used across
@@ -22,8 +23,12 @@ func NewRNG(seed int64) *RNG {
 // stream label. The same (seed, labels...) always yields the same child,
 // so concurrent consumers can be given stable streams.
 func Split(seed int64, labels ...int64) *RNG {
-	// SplitMix64-style mixing keeps children statistically independent for
-	// adjacent labels.
+	return NewRNG(int64(mixLabels(seed, labels)))
+}
+
+// mixLabels folds a label path into a derived seed. SplitMix64-style
+// mixing keeps children statistically independent for adjacent labels.
+func mixLabels(seed int64, labels []int64) uint64 {
 	z := uint64(seed)
 	for _, l := range labels {
 		z += 0x9e3779b97f4a7c15 ^ uint64(l)*0xbf58476d1ce4e5b9
@@ -33,7 +38,17 @@ func Split(seed int64, labels ...int64) *RNG {
 		z *= 0x94d049bb133111eb
 		z ^= z >> 31
 	}
-	return NewRNG(int64(z))
+	return z
+}
+
+// Reseed re-derives this generator in place to the stream Split(seed,
+// labels...) would return, without allocating a new source. Hot loops that
+// need a fresh child stream per item (per-client dropout coins, per-client
+// training RNGs) reseed one long-lived generator instead of allocating
+// Split garbage per item; the emitted stream is bit-identical to a fresh
+// Split child.
+func (g *RNG) Reseed(seed int64, labels ...int64) {
+	g.r.Seed(int64(mixLabels(seed, labels)))
 }
 
 // Float64 returns a uniform sample in [0,1).
@@ -104,4 +119,31 @@ func (g *RNG) SampleWithoutReplacement(pop, n int) []int {
 	}
 	p := g.r.Perm(pop)
 	return p[:n]
+}
+
+// SampleDistinctFloyd returns n distinct indices drawn uniformly from
+// [0,pop) in O(n) work and memory via Floyd's algorithm — the sublinear
+// alternative to SampleWithoutReplacement's O(pop) permutation, for
+// populations far larger than the sample. The result is sorted ascending
+// (a canonical order: Floyd's insertion order is not a uniform shuffle, so
+// exposing it would invite misuse). It panics if n > pop.
+func (g *RNG) SampleDistinctFloyd(pop, n int) []int {
+	if n > pop {
+		panic("tensor: sample size exceeds population")
+	}
+	chosen := make(map[int]struct{}, n)
+	for j := pop - n; j < pop; j++ {
+		t := g.r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			chosen[j] = struct{}{}
+		} else {
+			chosen[t] = struct{}{}
+		}
+	}
+	out := make([]int, 0, n)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
 }

@@ -138,3 +138,55 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestReseedMatchesSplit(t *testing.T) {
+	g := NewRNG(0)
+	for _, labels := range [][]int64{{4, 0, 0}, {4, 7, 99}, {12, 3}, {5}} {
+		g.Reseed(42, labels...)
+		fresh := Split(42, labels...)
+		for i := 0; i < 16; i++ {
+			if a, b := g.Int63(), fresh.Int63(); a != b {
+				t.Fatalf("labels %v draw %d: Reseed stream %d != Split stream %d", labels, i, a, b)
+			}
+		}
+	}
+}
+
+func TestSampleDistinctFloyd(t *testing.T) {
+	g := Split(99, 12, 3)
+	got := g.SampleDistinctFloyd(100000, 1000)
+	if len(got) != 1000 {
+		t.Fatalf("got %d indices, want 1000", len(got))
+	}
+	seen := map[int]bool{}
+	for i, v := range got {
+		if v < 0 || v >= 100000 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+		if i > 0 && got[i-1] >= v {
+			t.Fatalf("result not sorted ascending at %d", i)
+		}
+	}
+	again := Split(99, 12, 3).SampleDistinctFloyd(100000, 1000)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("same seed drew different cohorts at %d", i)
+		}
+	}
+	if full := Split(1).SampleDistinctFloyd(8, 8); len(full) != 8 || full[0] != 0 || full[7] != 7 {
+		t.Fatalf("n == pop should select everyone, got %v", full)
+	}
+}
+
+func TestSampleDistinctFloydPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when n > pop")
+		}
+	}()
+	NewRNG(7).SampleDistinctFloyd(3, 4)
+}
