@@ -684,3 +684,42 @@ func BenchmarkSimnetRounds(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRobustAgg prices the robust aggregation folds against the
+// streaming FedSGD mean along the cohort-size axis: the robust rules
+// buffer raw updates (O(Kt·model) memory) and compute order statistics at
+// Commit — median and trimmed mean sort per coordinate (trimmed also sums
+// survivors exactly), Krum scores O(Kt²) pairwise distances. Baselines in
+// BENCH_robust.json.
+func BenchmarkRobustAgg(b *testing.B) {
+	const dim = 4096
+	for _, kt := range []int{8, 32} {
+		rng := tensor.Split(42, 9)
+		updates := make([][]*tensor.Tensor, kt)
+		for i := range updates {
+			u := tensor.New(dim)
+			rng.FillNormal(u, 0, 1)
+			updates[i] = []*tensor.Tensor{u}
+		}
+		base := tensor.New(dim)
+		rng.FillNormal(base, 0, 1)
+		for _, rule := range []string{fl.AggFedSGD, fl.AggMedian, "trimmed:0.34", "krum:2"} {
+			b.Run(fmt.Sprintf("%s/kt%d", rule, kt), func(b *testing.B) {
+				params := []*tensor.Tensor{base.Clone()}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					agg, err := fl.NewAggregator(rule)
+					if err != nil {
+						b.Fatal(err)
+					}
+					agg.Begin(params)
+					for _, u := range updates {
+						agg.Fold(u)
+					}
+					agg.Commit(params)
+				}
+				b.ReportMetric(float64(kt*b.N)/b.Elapsed().Seconds(), "folds/sec")
+			})
+		}
+	}
+}

@@ -18,9 +18,21 @@ import (
 	"strings"
 
 	"fedcdp/internal/attack"
+	"fedcdp/internal/core"
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/dp"
+	"fedcdp/internal/fl"
+	"fedcdp/internal/simnet"
 	"fedcdp/internal/tensor"
+)
+
+// Defense-evaluation context (-faults/-simnet): the small federation the
+// leakage attack is staged inside when a plan or a fabric evaluation is
+// requested.
+const (
+	evalClients = 10
+	evalCohort  = 4
+	evalRounds  = 3
 )
 
 func main() {
@@ -37,10 +49,23 @@ func main() {
 	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
 	seed := flag.Int64("seed", 42, "root seed")
 	out := flag.String("out", "", "directory for PGM dumps of truth/reconstruction (image datasets)")
+	aggRule := flag.String("agg", "", "aggregation rule the defense evaluation folds under: fedsgd (default), fedavg, weighted, or robust — median, trimmed[:beta], krum[:f]")
+	faults := flag.String("faults", "", "adversarial fault plan staging the attack, e.g. 'byzantine=2:signflip,poison=1:0.8' (see DESIGN.md); a poisoned victim leaks its flipped-label shard view")
+	simnetEval := flag.Bool("simnet", false, "first evaluate the defended federation over the simnet fabric under -agg/-faults, and stamp its outcome into the report")
 	flag.Parse()
 
 	spec, err := dataset.Get(*dsName)
 	if err != nil {
+		fatal(err)
+	}
+	if !fl.ValidAggregation(*aggRule) {
+		fatal(fmt.Errorf("unknown aggregation rule %q", *aggRule))
+	}
+	plan, err := simnet.ParsePlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	if plan, err = plan.Bind(*seed, evalRounds, evalClients); err != nil {
 		fatal(err)
 	}
 	part, err := dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards}.Partitioner()
@@ -49,6 +74,10 @@ func main() {
 	}
 	ds := dataset.NewPartitioned(spec, *seed, part)
 	cd := ds.Client(*clientID)
+	// A poisoned victim trains — and therefore leaks — its flipped-label
+	// shard view; the reconstruction target is what the attacker would
+	// actually observe under the plan.
+	cd = fl.AdversaryShard(plan, *clientID, cd)
 	m := attack.NewMLP([]int{spec.Features, 32, spec.Classes}, attack.ActSigmoid, tensor.NewRNG(*seed))
 	noise := tensor.Split(*seed, 7)
 
@@ -74,6 +103,36 @@ func main() {
 		MaskNonzero: *mask,
 	})
 	fmt.Printf("dataset=%s method=%s type=%d optimizer=%s\n", *dsName, *method, *atkType, *optimizer)
+	agg := *aggRule
+	if agg == "" {
+		agg = fl.AggFedSGD
+	}
+	fmt.Printf("agg=%s faults=%q simnet=%v victim-poisoned=%v victim-byzantine=%v\n",
+		agg, *faults, *simnetEval, plan.PoisonedClient(*clientID), plan.ByzantineClient(*clientID))
+	if *simnetEval {
+		eval, err := core.RunSimnet(core.Config{
+			Dataset: *dsName,
+			Method:  coreMethod(*method),
+			K:       evalClients, Kt: evalCohort, Rounds: evalRounds,
+			LocalIters:  2,
+			Sigma:       6,
+			Seed:        *seed,
+			ValExamples: 60,
+			EvalEvery:   1,
+			Scenario:    dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards},
+			Faults:      *faults,
+			Aggregation: *aggRule,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		folded := 0
+		for _, r := range eval.Rounds {
+			folded += r.Clients
+		}
+		fmt.Printf("defense-eval: acc=%.3f eps=%.4f folded=%d rounds=%d\n",
+			eval.FinalAccuracy(), eval.FinalEpsilon(), folded, len(eval.Rounds))
+	}
 	fmt.Printf("revealed=%v match-loss-converged=%v iterations=%d\n", res.Revealed, res.Success, res.Iterations)
 	fmt.Printf("reconstruction-distance=%.4f final-loss=%.3g\n", res.Distance, res.FinalLoss)
 
@@ -86,6 +145,25 @@ func main() {
 			writePGM(filepath.Join(*out, fmt.Sprintf("recon_%d.pgm", i)), res.Reconstruction[i], spec)
 		}
 		fmt.Printf("wrote %d truth/reconstruction pairs to %s\n", len(truth), *out)
+	}
+}
+
+// coreMethod maps fedattack's paper-style defense names onto core's method
+// ids for the -simnet defense evaluation.
+func coreMethod(method string) string {
+	switch method {
+	case "non-private":
+		return core.MethodNonPrivate
+	case "fed-sdp":
+		return core.MethodFedSDPSrv
+	case "fed-cdp":
+		return core.MethodFedCDP
+	case "fed-cdp(decay)":
+		return core.MethodFedCDPDecay
+	case "dssgd":
+		return core.MethodDSSGD
+	default:
+		return method
 	}
 }
 

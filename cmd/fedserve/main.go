@@ -39,7 +39,7 @@ func main() {
 	scenario := flag.String("scenario", "", "data-heterogeneity scenario published to clients: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
 	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
-	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (example-count-weighted FedAvg)")
+	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default), fedavg, weighted, or robust — median, trimmed[:beta], krum[:f] (robust rules require -agg-shards 0; see DESIGN.md)")
 	aggShards := flag.Int("agg-shards", 0, "aggregation topology: 0 = legacy flat float fold, 1 = flat exact fold, >=2 = in-process aggregation tree (bit-identical to 1; see DESIGN.md)")
 	treeFanout := flag.Int("tree", 0, "aggregation-tree partial compose fan-in (0 = all at once)")
 	seed := flag.Int64("seed", 42, "root seed")

@@ -56,13 +56,13 @@ func main() {
 	flag.StringVar(&cfg.Scenario.Name, "scenario", "", "data-heterogeneity scenario: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
 	flag.Float64Var(&cfg.Scenario.Alpha, "alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	flag.IntVar(&cfg.Scenario.Shards, "shards", 0, "pathological label shards per client (0 = default 2)")
-	flag.StringVar(&cfg.Aggregation, "agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (example-count-weighted FedAvg)")
+	flag.StringVar(&cfg.Aggregation, "agg", "", "aggregation rule: fedsgd (default), fedavg, weighted, or robust — median, trimmed[:beta], krum[:f] (robust rules require -agg-shards 0; see DESIGN.md)")
 	flag.IntVar(&cfg.Shards, "agg-shards", 0, "aggregation topology: 0 = legacy flat float fold, 1 = flat exact fold, >=2 = edge-aggregator tree (bit-identical to 1 at any count; see DESIGN.md)")
 	flag.IntVar(&cfg.TreeFanout, "tree", 0, "aggregation-tree partial compose fan-in (0 = all at once)")
 	flag.StringVar(&cfg.Sampler, "sampler", "", "cohort sampler: legacy (default, O(K) per round) or floyd (O(Kt), for large populations)")
 	flag.IntVar(&cfg.MuxWorkers, "mux-workers", 0, "simnet virtual-client worker pool size (0 = GOMAXPROCS; population size is unconstrained)")
 	flag.Float64Var(&cfg.DropoutRate, "dropout", 0, "per-round client dropout probability")
-	flag.StringVar(&cfg.Faults, "faults", "", "deterministic fault plan, e.g. 'drop=0.2,crash=2,restart=1' (see DESIGN.md)")
+	flag.StringVar(&cfg.Faults, "faults", "", "deterministic fault/adversary plan, e.g. 'drop=0.2,crash=2' or 'byzantine=2:signflip,poison=1:0.8' (see DESIGN.md)")
 	useSimnet := flag.Bool("simnet", false, "run the federation over the in-memory simnet fabric (RPC path, virtual time)")
 	flag.DurationVar(&cfg.RoundDeadline, "deadline", 0, "per-round straggler cutoff (0 = wait for full cohort)")
 	flag.IntVar(&cfg.MinQuorum, "quorum", 0, "minimum updates required to commit a round")

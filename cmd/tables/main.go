@@ -44,14 +44,14 @@ func writeCSV(rep *experiments.Report) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig1, fig3, fig4, fig5, faults) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig1, fig3, fig4, fig5, faults, byzantine) or 'all'")
 	scale := flag.Float64("scale", 1, "effort multiplier (1 = default scaled-down run)")
 	seed := flag.Int64("seed", 42, "root random seed")
 	format := flag.String("format", "text", "output format: text or csv")
 	scenario := flag.String("scenario", "", "data-heterogeneity scenario: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
 	alpha := flag.Float64("alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	shards := flag.Int("shards", 0, "pathological label shards per client (0 = default 2)")
-	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default), fedavg, or weighted (pair with -scenario quantity)")
+	aggRule := flag.String("agg", "", "aggregation rule: fedsgd (default), fedavg, weighted (pair with -scenario quantity), or robust — median, trimmed[:beta], krum[:f]")
 	precision := flag.String("precision", "", "client GEMM precision: fp64 (default, parity oracle) or fp32 (see DESIGN.md)")
 	codec := flag.String("codec", "", "wire codec: gob (default, parity oracle) or binary (see DESIGN.md)")
 	flag.Parse()

@@ -306,7 +306,7 @@ func (c Config) faultPlan(horizon int) (fl.FaultPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return plan.Bind(c.Seed, horizon, c.K), nil
+	return plan.Bind(c.Seed, horizon, c.K)
 }
 
 // annotateEpsilon fills RoundStats.Epsilon with cumulative privacy spending.

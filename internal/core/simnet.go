@@ -68,12 +68,24 @@ func RunSimnet(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan = plan.Bind(cfg.Seed, cfg.Rounds, cfg.K)
+	plan, err = plan.Bind(cfg.Seed, cfg.Rounds, cfg.K)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.MinQuorum < 0 || cfg.MinQuorum > cfg.Kt {
 		return nil, fmt.Errorf("core: quorum %d outside [0, Kt=%d]", cfg.MinQuorum, cfg.Kt)
 	}
 	if !fl.ValidCodec(cfg.Codec) {
 		return nil, fmt.Errorf("core: unknown wire codec %q", cfg.Codec)
+	}
+	if !fl.ValidAggregation(cfg.Aggregation) {
+		return nil, fmt.Errorf("core: unknown aggregation %q", cfg.Aggregation)
+	}
+	if cfg.Shards > 0 && fl.RobustAggregation(cfg.Aggregation) {
+		// Robust folds are order statistics over raw updates — they are not
+		// grouping-invariant, so a sharded edge tree would commit silently
+		// wrong parameters. Refuse up front.
+		return nil, fmt.Errorf("core: robust aggregation %q cannot run on the sharded tree topology (shards=%d); use shards=0", cfg.Aggregation, cfg.Shards)
 	}
 	switch cfg.Sampler {
 	case "", fl.SamplerLegacy, fl.SamplerFloyd:
@@ -177,8 +189,14 @@ func RunSimnet(cfg Config) (*Result, error) {
 						outcomes <- clientOutcome{id: id, planned: true, err: aerr}
 						return
 					}
-					cerr := fl.RunRemoteClientOpts(simnetServerAddr, id, strat, ds.Client(id), spec.ModelSpec(), cfg.Seed,
-						fl.ClientOptions{Dial: dial, Codec: cfg.Codec})
+					// Adversarial realization: a poisoned client trains on its
+					// flipped-label shard view, a Byzantine one corrupts its
+					// update before submission — both pure functions of the
+					// plan seed, so the deployment attacks exactly as the
+					// in-process runtimes do.
+					data := fl.AdversaryShard(plan, id, ds.Client(id))
+					cerr := fl.RunRemoteClientOpts(simnetServerAddr, id, strat, data, spec.ModelSpec(), cfg.Seed,
+						fl.ClientOptions{Dial: dial, Codec: cfg.Codec, Adversary: plan})
 					outcomes <- clientOutcome{id: id, err: cerr}
 				}(id)
 			}

@@ -140,12 +140,13 @@ func runSimnetTree(cfg Config, spec dataset.Spec, strat fl.Strategy, ds *dataset
 	// workspaces persist across rounds. Per-task dialers bind each session
 	// to its client's host name so the plan's link streams key correctly.
 	mux := &fl.ClientMux{
-		Spec:    spec.ModelSpec(),
-		Data:    ds,
-		Strat:   strat,
-		Seed:    cfg.Seed,
-		Opt:     fl.ClientOptions{Codec: cfg.Codec},
-		Workers: cfg.MuxWorkers,
+		Spec:      spec.ModelSpec(),
+		Data:      ds,
+		Strat:     strat,
+		Seed:      cfg.Seed,
+		Opt:       fl.ClientOptions{Codec: cfg.Codec},
+		Adversary: plan,
+		Workers:   cfg.MuxWorkers,
 	}
 
 	hist := &fl.History{Strategy: strat.Name()}

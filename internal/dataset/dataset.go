@@ -309,6 +309,23 @@ type ClientData struct {
 	ds    *Dataset
 	id    int
 	shard Shard
+	flip  LabelFlipper
+}
+
+// LabelFlipper rewrites one local example's label after the dataset's own
+// noise model has run: index is the example's position in the shard, label
+// the label Get would have returned, classes the benchmark's class count.
+// Deterministic flippers keep the shard a pure function of its inputs
+// (fault harnesses install seeded poisoning attacks through this hook).
+type LabelFlipper func(index, label, classes int) int
+
+// WithLabelFlipper returns a view of the same shard whose labels pass
+// through f; the receiver is not modified. Repartition preserves the
+// flipper, so a server-published scenario cannot silently un-poison a view.
+func (c *ClientData) WithLabelFlipper(f LabelFlipper) *ClientData {
+	nc := *c
+	nc.flip = f
+	return &nc
 }
 
 // Client returns the shard view for client id under the dataset's
@@ -323,7 +340,9 @@ func (d *Dataset) Client(id int) *ClientData {
 // partitioner (same dataset, same id) — how a remote client applies the
 // scenario its server publishes with the round config.
 func (c *ClientData) Repartition(p Partitioner) *ClientData {
-	return c.ds.WithPartitioner(p).Client(c.id)
+	nc := c.ds.WithPartitioner(p).Client(c.id)
+	nc.flip = c.flip
+	return nc
 }
 
 // Len returns the number of local examples.
@@ -344,6 +363,9 @@ func (c *ClientData) Get(i int) (*tensor.Tensor, int) {
 	y := c.ds.flipLabel(class, int64(c.id), int64(i))
 	if c.shard.FlipRate > 0 {
 		y = c.ds.extraFlip(y, c.shard.FlipRate, int64(c.id), int64(i))
+	}
+	if c.flip != nil {
+		y = c.flip(i, y, c.ds.Spec.Classes)
 	}
 	return c.ds.Sample(int64(c.id), int64(i), class), y
 }

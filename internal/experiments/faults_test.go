@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fedcdp/internal/core"
+	"fedcdp/internal/fl"
 	"fedcdp/internal/tensor"
 )
 
@@ -129,5 +130,119 @@ func TestFaultMatrixReport(t *testing.T) {
 	}
 	if len(rep.Header) != len(rep.Rows[0]) {
 		t.Fatalf("header width %d ≠ row width %d", len(rep.Header), len(rep.Rows[0]))
+	}
+}
+
+// TestAttackMatrixInvariants sweeps the attack×defense matrix and asserts
+// the robustness claims it exists to make executable. Bounds are pinned
+// from the seeded run (seed 42): the iid honest baseline is 0.950, the
+// scaled Byzantine attack drives the undefended mean to chance (≤ 0.6)
+// while every robust fold stays within 0.05 of honest, and sign-flipping /
+// poisoning degrade robust folds by at most 0.2. The extreme dirichlet(0.1)
+// cells sit at chance for every defense at this scale, so attack bounds are
+// asserted on the iid plane; the skewed plane still exercises determinism,
+// parity and accounting.
+func TestAttackMatrixInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64 federated runs per runtime")
+	}
+	const honestFloor, breakCeiling, robustSlack = 0.9, 0.6, 0.2
+
+	run := func(runtime string) []AttackCell {
+		cells, err := RunAttackMatrix(Options{Seed: 42, Runtime: runtime})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	cells := run("")
+
+	behaviors, defenses, methods, scenarios := attackMatrixAxes()
+	if want := len(behaviors) * len(defenses) * len(methods) * len(scenarios); len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+
+	honest := map[string]float64{} // scenario|method|defense → honest accuracy
+	eps := map[string]float64{}    // scenario|method → ε (must not vary by adversary)
+	for _, c := range cells {
+		k := c.Scenario.String() + "|" + c.Method
+		if c.Behavior == "" {
+			honest[k+"|"+c.Defense] = c.Result.FinalAccuracy()
+		}
+		// Invariant: ε accounting never sees the adversary — identical in
+		// every cell of a (scenario, method) plane.
+		if prev, ok := eps[k]; ok {
+			if c.Result.FinalEpsilon() != prev {
+				t.Fatalf("%s: ε %v differs from plane's %v under %q/%s", k, c.Result.FinalEpsilon(), prev, c.Behavior, c.Defense)
+			}
+		} else {
+			eps[k] = c.Result.FinalEpsilon()
+		}
+		if c.Method == core.MethodNonPrivate && c.Result.FinalEpsilon() != 0 {
+			t.Fatalf("non-private cell %q/%s reported ε %v", c.Behavior, c.Defense, c.Result.FinalEpsilon())
+		}
+	}
+
+	for _, c := range cells {
+		if c.Scenario.Name != "" {
+			continue // attack bounds are pinned on the iid plane
+		}
+		acc := c.Result.FinalAccuracy()
+		base := honest[c.Scenario.String()+"|"+c.Method+"|"+c.Defense]
+		label := fmt.Sprintf("iid/%s %q/%s", c.Method, c.Behavior, c.Defense)
+		switch {
+		case c.Behavior == "":
+			// Invariant: with zero attackers every defense trains normally.
+			if acc < honestFloor {
+				t.Fatalf("%s: honest accuracy %.3f below floor %.2f", label, acc, honestFloor)
+			}
+		case c.Defense == "fedsgd" && c.Behavior == "byzantine=2:scale:25":
+			// Invariant: the scaled attack demonstrably breaks the
+			// undefended mean — this is the row that justifies the axis.
+			if acc > breakCeiling {
+				t.Fatalf("%s: undefended mean survived at %.3f (≤ %.2f expected)", label, acc, breakCeiling)
+			}
+		case c.Defense != "fedsgd":
+			// Invariant: every robust fold degrades boundedly under every
+			// attack behavior.
+			if acc < base-robustSlack {
+				t.Fatalf("%s: robust accuracy %.3f fell more than %.2f below honest %.3f", label, acc, robustSlack, base)
+			}
+		}
+	}
+
+	// Invariant: streaming and barrier commit bit-identical models in
+	// every attack×defense cell.
+	barrier := run(fl.RuntimeBarrier)
+	for i, c := range cells {
+		b := barrier[i]
+		if c.Behavior != b.Behavior || c.Defense != b.Defense || c.Method != b.Method {
+			t.Fatalf("cell %d coordinates diverge across runtimes", i)
+		}
+		if digestParams(c.Result.Final.Params()) != digestParams(b.Result.Final.Params()) {
+			t.Fatalf("%q/%s/%s/%s: streaming and barrier params diverge", c.Behavior, c.Defense, c.Method, c.Scenario)
+		}
+	}
+}
+
+func TestAttackMatrixReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64 federated runs")
+	}
+	rep, err := Run("byzantine", Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "byzantine" || len(rep.Rows) != 64 {
+		t.Fatalf("report %s with %d rows, want byzantine/64", rep.Name, len(rep.Rows))
+	}
+	if len(rep.Header) != len(rep.Rows[0]) {
+		t.Fatalf("header width %d ≠ row width %d", len(rep.Header), len(rep.Rows[0]))
+	}
+	// Honest rows carry delta 0 against themselves.
+	for _, row := range rep.Rows {
+		if row[0] == "none" && row[6] != "0.000" {
+			t.Fatalf("honest row delta %q, want 0.000", row[6])
+		}
 	}
 }

@@ -13,18 +13,19 @@ type Driver func(Options) (*Report, error)
 // Registry maps experiment ids (table/figure numbers) to their drivers.
 func Registry() map[string]Driver {
 	return map[string]Driver{
-		"table1": Table1,
-		"table2": Table2,
-		"table3": Table3,
-		"table4": Table4,
-		"table5": Table5,
-		"table6": Table6,
-		"table7": Table7,
-		"fig1":   Fig1,
-		"fig3":   Fig3,
-		"fig4":   Fig4,
-		"fig5":   Fig5,
-		"faults": FaultMatrix,
+		"table1":    Table1,
+		"table2":    Table2,
+		"table3":    Table3,
+		"table4":    Table4,
+		"table5":    Table5,
+		"table6":    Table6,
+		"table7":    Table7,
+		"fig1":      Fig1,
+		"fig3":      Fig3,
+		"fig4":      Fig4,
+		"fig5":      Fig5,
+		"faults":    FaultMatrix,
+		"byzantine": AttackMatrix,
 	}
 }
 

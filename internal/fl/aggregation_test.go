@@ -41,7 +41,7 @@ func TestAggregationDefaultIsFedSGD(t *testing.T) {
 
 func TestAggregationUnknownRejected(t *testing.T) {
 	cfg := smallConfig(t, sgdStrategy{})
-	cfg.Aggregation = "krum"
+	cfg.Aggregation = "bulyan"
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("unknown aggregation must be rejected")
 	}

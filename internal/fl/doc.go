@@ -49,7 +49,8 @@
 // Reserved Split/CounterRNG label spaces under the root seed: 1 model init,
 // 2 server RNG, 3 cohort sampling, 4 client RNG streams, 5 dropout coins,
 // 6 client-side counter noise, 7 server-side counter noise; labels 8–11
-// belong to internal/simnet's fault coins.
+// belong to internal/simnet's benign fault coins and 13–16 to its
+// adversarial draws (attacker identities, gauss corruption, poison coins).
 //
 // # Fault injection
 //
@@ -61,6 +62,25 @@
 // in-memory server structure from checkpointable state), so a faulted
 // seeded run is exactly as reproducible as a clean one and streaming ↔
 // barrier parity holds under any plan.
+//
+// # Adversarial clients and robust aggregation
+//
+// A plan may also declare hostile clients (the structural AdversaryPlan
+// interface, implemented by simnet.Plan): Byzantine members corrupt their
+// update immediately after ClientUpdate — the identical point in the
+// barrier and streaming runtimes, the RPC client (ClientOptions.Adversary)
+// and the virtual-client mux (ClientMux.Adversary) — and poisoned members
+// train on a flipped-label shard view installed by AdversaryShard, which
+// survives scenario Repartition. The matching defenses are the robust
+// aggregation rules (robust.go): AggMedian, AggTrimmed ("trimmed:β") and
+// AggKrum ("krum:f") buffer raw updates (O(Kt·model) per round, the
+// documented price of robustness) and commit order statistics that are
+// pure functions of the update multiset — bit-identical in any arrival
+// order, at any GOMAXPROCS, with TrimmedMean(β=0) equal to the exact mean
+// fold bit-for-bit. Robust rules ignore aggregation weights, and they are
+// not grouping-invariant: NewAggregatorFor and validate refuse them on
+// any sharded topology. See DESIGN.md, "Adversarial clients & robust
+// aggregation".
 //
 // # Remote deployment
 //

@@ -812,7 +812,16 @@ func (t *TreeAggregator) Commit(params []*tensor.Tensor) {
 // byte-identical to every pre-sharding run), shards = 1 the flat exact
 // fold (the tree's parity oracle), shards > 1 the aggregation tree. k is
 // the population size when known (≤0 falls back to modulo sharding).
+//
+// Robust rules (median/trimmed/krum) are order statistics over the raw
+// update multiset — they are not grouping-invariant, so there is no exact
+// partial an edge could forward (a median of shard medians is not the
+// median). Any sharded topology combined with a robust rule is a
+// configuration error here, up front, rather than a silently wrong commit.
 func NewAggregatorFor(rule string, shards, fanout, k int) (Aggregator, error) {
+	if shards >= 1 && RobustAggregation(rule) {
+		return nil, fmt.Errorf("fl: robust aggregation %q is not grouping-invariant and cannot run on the exact/tree topology (shards=%d); use shards=0", rule, shards)
+	}
 	switch {
 	case shards <= 0:
 		return NewAggregator(rule)

@@ -18,7 +18,7 @@ func faultedConfig(t *testing.T, plan string) Config {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Faults = p.Bind(cfg.Seed, cfg.Rounds, cfg.K)
+	cfg.Faults = p.MustBind(cfg.Seed, cfg.Rounds, cfg.K)
 	return cfg
 }
 

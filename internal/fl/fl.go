@@ -3,6 +3,8 @@ package fl
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -314,27 +316,81 @@ type Config struct {
 	foldHook func(round, folded int)
 }
 
-// Aggregation rules.
+// Aggregation rules. The streaming rules (fedsgd/fedavg/weighted) fold in
+// O(model) server memory; the robust rules (median/trimmed/krum — see
+// robust.go) buffer raw updates, O(Kt·model), and take an optional colon
+// parameter: "trimmed:0.25" sets the per-tail trim fraction β (default
+// 0.25), "krum:2" the tolerated Byzantine count f (default 1).
 const (
 	AggFedSGD   = "fedsgd"
 	AggFedAvg   = "fedavg"
 	AggWeighted = "weighted"
+	AggMedian   = "median"
+	AggTrimmed  = "trimmed"
+	AggKrum     = "krum"
 )
+
+// splitAggRule splits "name[:param]" into its rule name and raw parameter.
+func splitAggRule(rule string) (name, param string, hasParam bool) {
+	name, param, hasParam = strings.Cut(rule, ":")
+	return
+}
 
 // NewAggregator constructs the server fold for an aggregation rule (""
 // defaults to FedSGD) — the single rule↔fold mapping shared by the
 // in-process runtimes, cmd/fedserve and the simnet harness.
 func NewAggregator(rule string) (Aggregator, error) {
-	switch rule {
+	name, param, hasParam := splitAggRule(rule)
+	if hasParam && name != AggTrimmed && name != AggKrum {
+		return nil, fmt.Errorf("fl: aggregation %q takes no parameter", name)
+	}
+	switch name {
 	case "", AggFedSGD:
 		return NewFedSGD(), nil
 	case AggFedAvg:
 		return NewFedAvg(), nil
 	case AggWeighted:
 		return NewWeightedFedAvg(), nil
+	case AggMedian:
+		return NewCoordMedian(), nil
+	case AggTrimmed:
+		beta := 0.25
+		if hasParam {
+			v, err := strconv.ParseFloat(param, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fl: invalid trimmed-mean β %q", param)
+			}
+			beta = v
+		}
+		return NewTrimmedMean(beta)
+	case AggKrum:
+		f := 1
+		if hasParam {
+			v, err := strconv.Atoi(param)
+			if err != nil {
+				return nil, fmt.Errorf("fl: invalid Krum f %q", param)
+			}
+			f = v
+		}
+		return NewKrum(f)
 	default:
 		return nil, fmt.Errorf("fl: unknown aggregation %q", rule)
 	}
+}
+
+// ValidAggregation reports whether rule (with any colon parameter) names a
+// constructible server fold — the single validation rule shared by
+// fl.Config, core and the cmd flag surfaces.
+func ValidAggregation(rule string) bool {
+	_, err := NewAggregator(rule)
+	return err == nil
+}
+
+// RobustAggregation reports whether rule names a robust (update-buffering)
+// fold — the rules NewAggregatorFor refuses to place on a sharded topology.
+func RobustAggregation(rule string) bool {
+	name, _, _ := splitAggRule(rule)
+	return name == AggMedian || name == AggTrimmed || name == AggKrum
 }
 
 // FaultPlan injects deterministic failures into a federated run. Every
@@ -365,6 +421,67 @@ func faultLost(cfg Config, round, client int) bool {
 	return f != nil && (f.CrashClient(round, client) || f.DropUpdate(round, client))
 }
 
+// AdversaryPlan extends a fault plan with adversarial CLIENT BEHAVIOR:
+// instead of removing contributions (crash/drop), an adversary submits
+// corrupted ones. Like FaultPlan, every method must be a pure function of
+// its arguments plus the plan's seed, so an attacked run replays
+// bit-identically at any GOMAXPROCS. simnet.Plan implements it
+// (byzantine=n:mode and poison=n:rate clauses); the runtimes probe
+// Config.Faults for it exactly as they probe aggregators for WeightedFolder.
+type AdversaryPlan interface {
+	// CorruptUpdate rewrites a Byzantine client's finished update in place
+	// (sign-flip, scaling, seeded noise), reporting whether it did; honest
+	// clients pass through untouched. Called at the same point by every
+	// runtime: after local training, before the update leaves the client.
+	CorruptUpdate(round, client int, update []*tensor.Tensor) bool
+	// PoisonedClient reports whether the client's local shard is poisoned.
+	PoisonedClient(client int) bool
+	// PoisonLabel maps one example's label under the poisoning attack
+	// (identity for honest clients and below-rate coins).
+	PoisonLabel(client, index, label, classes int) int
+}
+
+// adversary returns the config's fault plan as an AdversaryPlan when it is
+// one — the probe shared by the barrier and streaming runtimes.
+func adversary(cfg Config) (AdversaryPlan, bool) {
+	adv, ok := cfg.Faults.(AdversaryPlan)
+	return adv, ok
+}
+
+// AdversaryShard returns the client's data view under the plan's poisoning
+// attack: poisoned clients see their shard through the plan's label
+// flipper, honest clients (and nil plans) see it untouched. Exposed so
+// deployment harnesses (core.RunSimnet, ClientMux) hand each simulated
+// client exactly the shard the in-process runtimes train on.
+func AdversaryShard(adv AdversaryPlan, id int, data *dataset.ClientData) *dataset.ClientData {
+	if adv == nil || !adv.PoisonedClient(id) {
+		return data
+	}
+	return data.WithLabelFlipper(func(index, label, classes int) int {
+		return adv.PoisonLabel(id, index, label, classes)
+	})
+}
+
+// clientShard returns a cohort member's training data view — the poisoned
+// view when the fault plan targets it — the single data rule shared by the
+// barrier and streaming runtimes.
+func clientShard(cfg Config, id int) *dataset.ClientData {
+	data := cfg.Data.Client(id)
+	if adv, ok := adversary(cfg); ok {
+		data = AdversaryShard(adv, id, data)
+	}
+	return data
+}
+
+// corruptUpdate applies any Byzantine corruption the plan mandates for this
+// (round, client) — called by both runtimes at the same point, after
+// ClientUpdate and before the update reaches the server.
+func corruptUpdate(cfg Config, round, id int, update []*tensor.Tensor) {
+	if adv, ok := adversary(cfg); ok {
+		adv.CorruptUpdate(round, id, update)
+	}
+}
+
 func (c *Config) validate() error {
 	switch {
 	case c.Data == nil:
@@ -379,8 +496,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: invalid round config %+v", c.Round)
 	case c.Round.LR <= 0:
 		return fmt.Errorf("fl: learning rate must be positive, got %v", c.Round.LR)
-	case c.Aggregation != "" && c.Aggregation != AggFedSGD && c.Aggregation != AggFedAvg && c.Aggregation != AggWeighted:
+	case !ValidAggregation(c.Aggregation):
 		return fmt.Errorf("fl: unknown aggregation %q", c.Aggregation)
+	case c.Shards >= 1 && RobustAggregation(c.Aggregation):
+		return fmt.Errorf("fl: robust aggregation %q is not grouping-invariant and cannot run on the exact/tree topology (shards=%d); use shards=0", c.Aggregation, c.Shards)
 	case c.DropoutRate < 0 || c.DropoutRate > 1:
 		return fmt.Errorf("fl: dropout rate %v outside [0,1]", c.DropoutRate)
 	case c.StartRound < 0:
@@ -690,9 +809,13 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 			}
 			w.model.SetParams(globalParams)
 			w.model.SetPrecision(cfg.Round.Precision)
-			data := cfg.Data.Client(id)
+			data := clientShard(cfg, id)
 			weights[i] = float64(data.Len())
 			updates[i], stats[i] = cfg.Strategy.ClientUpdate(w.envFor(cfg, round, id, data))
+			// Byzantine corruption happens client-side, after training and
+			// before the update "leaves" — the same point the streaming
+			// runtime and the transport harness apply it.
+			corruptUpdate(cfg, round, id, updates[i])
 		}(i, id, w)
 	}
 	wg.Wait()

@@ -98,6 +98,11 @@ type ClientMux struct {
 	// Opt is the transport configuration shared by every session (dialer,
 	// codec, encryption, quantization width).
 	Opt ClientOptions
+	// Adversary, when set, makes the plan's seeded attackers hostile:
+	// poisoned virtual clients train on flipped-label shard views and
+	// Byzantine ones corrupt their updates before submission — identical
+	// behavior to the goroutine-per-client path (ClientOptions.Adversary).
+	Adversary AdversaryPlan
 	// Workers bounds concurrent sessions (0 = GOMAXPROCS).
 	Workers int
 
@@ -231,7 +236,7 @@ func (m *ClientMux) runSession(ws *ClientWorkspace, vc *VirtualClient, addr stri
 	if err := pm.Validate(); err != nil {
 		return 0, fmt.Errorf("fl: invalid round announcement: %w", err)
 	}
-	data := m.Data.Client(vc.ID)
+	data := AdversaryShard(m.Adversary, vc.ID, m.Data.Client(vc.ID))
 	if pm.Cfg.Scenario.Name != "" {
 		p, err := pm.Cfg.Scenario.Partitioner()
 		if err != nil {
@@ -256,6 +261,9 @@ func (m *ClientMux) runSession(ws *ClientWorkspace, vc *VirtualClient, addr stri
 		ws.env.Noise = &ws.noise
 	}
 	delta, _ := m.Strat.ClientUpdate(&ws.env)
+	if m.Adversary != nil {
+		m.Adversary.CorruptUpdate(pm.Round, vc.ID, delta)
+	}
 	var qs *QuantState
 	if opt.Quant != QuantNone && pm.Round >= vc.NextRound {
 		// Error-feedback residuals bank each round exactly once; a

@@ -625,6 +625,13 @@ type ClientOptions struct {
 	// rounds; share one per client process so rounding error is repaid
 	// instead of compounding. Nil quantizes without feedback.
 	QuantState *QuantState
+	// Adversary, when set, applies the plan's Byzantine corruption to the
+	// update after local training and before it is sent — how a deployment
+	// harness (core.RunSimnet) makes a simulated client hostile. Data
+	// poisoning is NOT applied here: the harness hands the client a
+	// poisoned shard view up front (fl.AdversaryShard), so the client
+	// trains on corrupted data exactly as the in-process runtimes do.
+	Adversary AdversaryPlan
 	// MinRound marks rounds below it as already completed by this client
 	// process. The server can re-serve a round the client finished (it
 	// cannot advance until every cohort slot resolves, and the protocol
@@ -732,6 +739,9 @@ func RunRemoteClientRound(addr string, clientID int, strat Strategy, data *datas
 		Noise:    clientNoiseFor(pm.Cfg, seed, pm.Round, clientID),
 	}
 	delta, _ := strat.ClientUpdate(env)
+	if opt.Adversary != nil {
+		opt.Adversary.CorruptUpdate(pm.Round, clientID, delta)
+	}
 	qs := opt.QuantState
 	if pm.Round < opt.MinRound {
 		// Re-serving a round this client already completed: submit the

@@ -63,8 +63,12 @@ func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, gl
 			}
 			w.model.SetParams(globalParams)
 			w.model.SetPrecision(cfg.Round.Precision)
-			data := cfg.Data.Client(id)
+			data := clientShard(cfg, id)
 			upd, st := cfg.Strategy.ClientUpdate(w.envFor(cfg, round, id, data))
+			// Client-side Byzantine corruption: applied after training,
+			// before the transit-loss coin — a corrupted update can still be
+			// dropped, exactly as in the barrier runtime.
+			corruptUpdate(cfg, round, id, upd)
 			if cfg.Faults != nil && cfg.Faults.DropUpdate(round, id) {
 				// The update was computed but lost in transit.
 				results <- clientResult{idx: i, lost: true}

@@ -24,6 +24,20 @@
 // failures at any GOMAXPROCS — fault scenarios are reproducible test
 // cases, not flakes.
 //
+// # Adversarial clients
+//
+// The same grammar declares clients that lie rather than fail:
+// "byzantine=n:mode[:param]" corrupts n seeded clients' updates before
+// submission (signflip negates, scale:λ multiplies, gauss:σ adds seeded
+// Gaussian noise) and "poison=n:rate" gives n seeded clients a
+// flipped-label view of their training shard (targeted y→y+1 mod
+// classes). Identities are drawn at Bind, draws are keyed by dedicated
+// Split labels, and overfull budgets — more attackers than clients, more
+// seeded crashes than free (round, client) slots — are a loud Bind error
+// rather than a silent truncation, so an attacked run replays
+// bit-identically and never under-reports its attack load. See DESIGN.md,
+// "Adversarial clients & robust aggregation".
+//
 // # Layering
 //
 // simnet depends only on internal/tensor (for the splittable RNG). The fl

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -10,16 +11,36 @@ import (
 	"fedcdp/internal/tensor"
 )
 
-// Reserved tensor.Split label spaces under the root seed. Labels 1–7 are
-// claimed by the fl package (model init, server RNG, cohort sampling,
-// client RNG, dropout coins, counter noise streams — see fl/doc.go); the
-// simnet fault plan claims 8–11 so fault coins never collide with any
+// Reserved tensor.Split label spaces under the root seed. Labels 1–7 and 12
+// are claimed by the fl package (model init, server RNG, cohort sampling,
+// client RNG, dropout coins, counter noise streams, Floyd sampling — see
+// fl/doc.go); the simnet fault plan claims 8–11 for benign fault coins and
+// 13–16 for adversarial draws, so no attack stream ever collides with a
 // training stream.
 const (
-	labelDrop    = 8  // per-(round, client) update-loss coins
-	labelCrash   = 9  // seeded crash event placement
-	labelRestart = 10 // seeded restart round placement
-	labelMessage = 11 // per-message transport coins (cut/dup/jitter)
+	labelDrop       = 8  // per-(round, client) update-loss coins
+	labelCrash      = 9  // seeded crash event placement
+	labelRestart    = 10 // seeded restart round placement
+	labelMessage    = 11 // per-message transport coins (cut/dup/jitter)
+	labelByzantine  = 13 // seeded Byzantine attacker identities
+	labelPoison     = 14 // seeded poisoned-client identities
+	labelAttack     = 15 // per-(round, client) Byzantine noise draws (gauss mode)
+	labelPoisonFlip = 16 // per-(client, example) targeted label-flip coins
+)
+
+// Byzantine update-corruption modes (the byzantine=n:mode clause).
+const (
+	// ByzSignFlip negates the attacker's update: ΔW → −ΔW, the classic
+	// directed attack a coordinate-median defense is built for.
+	ByzSignFlip = "signflip"
+	// ByzScale multiplies the attacker's update by λ (the clause's third
+	// field, default 10): ΔW → λ·ΔW. Large |λ| lets a small attacker
+	// minority dominate — and break — an unguarded mean fold.
+	ByzScale = "scale"
+	// ByzGauss replaces nothing but adds N(0, σ²) noise per coordinate
+	// (σ from the clause's third field, default 1), drawn from the plan
+	// seed so the "random" attack replays bit-identically.
+	ByzGauss = "gauss"
 )
 
 // partition is one asymmetric reachability hole: from cannot open new
@@ -58,8 +79,25 @@ type Plan struct {
 	// pairs, RestartCount server restarts between rounds.
 	CrashCount, RestartCount int
 
+	// ByzantineCount Byzantine attackers are materialized by Bind as
+	// distinct seeded client identities; each corrupts every update it
+	// submits per ByzantineMode (ByzSignFlip, ByzScale, ByzGauss).
+	// ByzantineParam is the mode's parameter: λ for scale, σ for gauss.
+	ByzantineCount int
+	ByzantineMode  string
+	ByzantineParam float64
+
+	// PoisonCount poisoned clients are materialized by Bind as distinct
+	// seeded identities; each flips its local labels y → (y+1) mod classes
+	// at rate PoisonRate, per-(client, example) coins on the plan seed
+	// (targeted label-flipping — the same corrupted shard every round).
+	PoisonCount int
+	PoisonRate  float64
+
 	crashes  map[[2]int]bool // explicit + bound (round, client) crash events
 	restarts map[int]bool    // explicit + bound restart-before rounds
+	byz      map[int]bool    // bound Byzantine attacker identities
+	poisoned map[int]bool    // bound poisoned-client identities
 	parts    []partition
 
 	seed  int64
@@ -79,9 +117,14 @@ type Plan struct {
 //	dup=0.05            per-message duplication probability
 //	msgdrop=0.01        per-message link-cut probability
 //	partition=a>b@1-2   host a cannot dial host b during rounds 1..2
+//	byzantine=2:signflip    2 seeded Byzantine clients negate their updates
+//	byzantine=2:scale:10    ... scale their updates by λ=10 (needs Bind)
+//	byzantine=2:gauss:0.5   ... add seeded N(0, 0.5²) noise per coordinate
+//	poison=2:0.8        2 seeded clients label-flip 80% of their shard
 //
 // The empty string is the null plan. Probabilities must lie in [0,1];
-// counts, rounds and durations must be non-negative.
+// counts, rounds and durations must be non-negative. Adversarial clauses
+// (byzantine, poison) carry seeded identity budgets and need Bind.
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{crashes: map[[2]int]bool{}, restarts: map[int]bool{}}
 	spec = strings.TrimSpace(spec)
@@ -178,6 +221,10 @@ func (p *Plan) parseClause(clause string) error {
 		return count(&p.CrashCount)
 	case "restart":
 		return count(&p.RestartCount)
+	case "byzantine":
+		return p.parseByzantine(val)
+	case "poison":
+		return p.parsePoison(val)
 	case "latency":
 		return dur(&p.Latency)
 	case "jitter":
@@ -207,14 +254,83 @@ func (p *Plan) parseClause(clause string) error {
 	}
 }
 
+// parseByzantine parses "n:mode[:param]" — count, corruption mode, and the
+// mode's parameter (λ for scale, σ for gauss; signflip takes none).
+func (p *Plan) parseByzantine(val string) error {
+	fields := strings.Split(val, ":")
+	if len(fields) < 2 {
+		return fmt.Errorf("want byzantine=n:mode[:param]")
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return fmt.Errorf("invalid count %q", fields[0])
+	}
+	mode := fields[1]
+	param := 0.0
+	switch mode {
+	case ByzSignFlip:
+		if len(fields) > 2 {
+			return fmt.Errorf("signflip takes no parameter")
+		}
+	case ByzScale:
+		param = 10
+	case ByzGauss:
+		param = 1
+	default:
+		return fmt.Errorf("unknown byzantine mode %q (want signflip, scale or gauss)", mode)
+	}
+	if len(fields) > 3 {
+		return fmt.Errorf("want byzantine=n:mode[:param]")
+	}
+	if len(fields) == 3 {
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("invalid %s parameter %q", mode, fields[2])
+		}
+		if mode == ByzGauss && v < 0 {
+			return fmt.Errorf("negative gauss σ %q", fields[2])
+		}
+		param = v
+	}
+	p.ByzantineCount, p.ByzantineMode, p.ByzantineParam = n, mode, param
+	return nil
+}
+
+// parsePoison parses "n:rate" — count of poisoned clients and the fraction
+// of each poisoned shard whose labels are flipped.
+func (p *Plan) parsePoison(val string) error {
+	ns, rs, ok := strings.Cut(val, ":")
+	if !ok {
+		return fmt.Errorf("want poison=n:rate")
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil || n < 0 {
+		return fmt.Errorf("invalid count %q", ns)
+	}
+	rate, err := strconv.ParseFloat(rs, 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return fmt.Errorf("poison rate %q outside [0,1]", rs)
+	}
+	p.PoisonCount, p.PoisonRate = n, rate
+	return nil
+}
+
 // Bind materializes the plan's seeded event budgets against a concrete
 // population: CrashCount crashes land on distinct seeded (round, client)
 // pairs in [0,rounds)×[0,clients), RestartCount restarts on distinct seeded
 // rounds in [1,rounds) ("between rounds" — a restart before round 0 is a
-// cold start, not a fault). Event placement is a pure function of the seed,
-// so the same (plan, seed, population) always fails the same way. Bind
-// returns a bound copy; the receiver is not modified.
-func (p *Plan) Bind(seed int64, rounds, clients int) *Plan {
+// cold start, not a fault), and ByzantineCount/PoisonCount adversaries on
+// distinct seeded client identities in [0,clients). Event placement is a
+// pure function of the seed, so the same (plan, seed, population) always
+// fails — and attacks — the same way. Bind returns a bound copy; the
+// receiver is not modified.
+//
+// A budget that exceeds its domain is a configuration error, not a request
+// to saturate: a plan demanding more crashes than there are (round, client)
+// slots, more restarts than between-round gaps, or more attackers than
+// clients fails loudly here rather than silently injecting fewer faults
+// than the experiment was told it ran under.
+func (p *Plan) Bind(seed int64, rounds, clients int) (*Plan, error) {
 	b := *p
 	b.crashes = map[[2]int]bool{}
 	for e := range p.crashes {
@@ -224,24 +340,25 @@ func (p *Plan) Bind(seed int64, rounds, clients int) *Plan {
 	for r := range p.restarts {
 		b.restarts[r] = true
 	}
+	b.byz = map[int]bool{}
+	b.poisoned = map[int]bool{}
 	b.seed = seed
 	b.bound = true
-	if p.CrashCount > 0 && rounds > 0 && clients > 0 {
-		rng := tensor.Split(seed, labelCrash)
-		// The budget is capped by the slots explicit crash@ events have not
-		// already taken — otherwise rejection sampling on a full domain
-		// would spin forever.
+	if p.CrashCount > 0 {
+		// The budget must fit the slots explicit crash@ events have not
+		// already taken — rejection sampling on a full domain would spin
+		// forever, and a silently truncated budget would lie about the run.
 		taken := 0
 		for e := range b.crashes {
 			if e[0] < rounds && e[1] < clients {
 				taken++
 			}
 		}
-		want := p.CrashCount
-		if free := rounds*clients - taken; want > free {
-			want = free
+		if free := rounds*clients - taken; p.CrashCount > free {
+			return nil, fmt.Errorf("simnet: crash=%d exceeds the %d free (round, client) slots of a %d-round, %d-client run", p.CrashCount, free, rounds, clients)
 		}
-		for n := 0; n < want; {
+		rng := tensor.Split(seed, labelCrash)
+		for n := 0; n < p.CrashCount; {
 			e := [2]int{rng.Intn(rounds), rng.Intn(clients)}
 			if !b.crashes[e] {
 				b.crashes[e] = true
@@ -249,19 +366,22 @@ func (p *Plan) Bind(seed int64, rounds, clients int) *Plan {
 			}
 		}
 	}
-	if p.RestartCount > 0 && rounds > 1 {
-		rng := tensor.Split(seed, labelRestart)
+	if p.RestartCount > 0 {
 		taken := 0
 		for r := range b.restarts {
 			if r >= 1 && r < rounds {
 				taken++
 			}
 		}
-		want := p.RestartCount
-		if free := rounds - 1 - taken; want > free {
-			want = free
+		free := rounds - 1 - taken
+		if free < 0 {
+			free = 0
 		}
-		for n := 0; n < want; {
+		if p.RestartCount > free {
+			return nil, fmt.Errorf("simnet: restart=%d exceeds the %d free between-round gaps of a %d-round run", p.RestartCount, free, rounds)
+		}
+		rng := tensor.Split(seed, labelRestart)
+		for n := 0; n < p.RestartCount; {
 			r := 1 + rng.Intn(rounds-1)
 			if !b.restarts[r] {
 				b.restarts[r] = true
@@ -269,14 +389,48 @@ func (p *Plan) Bind(seed int64, rounds, clients int) *Plan {
 			}
 		}
 	}
-	return &b
+	if p.ByzantineCount > 0 {
+		if p.ByzantineCount > clients {
+			return nil, fmt.Errorf("simnet: byzantine=%d exceeds the %d-client population", p.ByzantineCount, clients)
+		}
+		drawIdentities(b.byz, tensor.Split(seed, labelByzantine), p.ByzantineCount, clients)
+	}
+	if p.PoisonCount > 0 {
+		if p.PoisonCount > clients {
+			return nil, fmt.Errorf("simnet: poison=%d exceeds the %d-client population", p.PoisonCount, clients)
+		}
+		drawIdentities(b.poisoned, tensor.Split(seed, labelPoison), p.PoisonCount, clients)
+	}
+	return &b, nil
+}
+
+// MustBind is Bind panicking on error (tests, fixed literals known valid).
+func (p *Plan) MustBind(seed int64, rounds, clients int) *Plan {
+	b, err := p.Bind(seed, rounds, clients)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// drawIdentities rejection-samples n distinct client ids in [0, clients)
+// into set; the caller has verified n ≤ clients.
+func drawIdentities(set map[int]bool, rng *tensor.RNG, n, clients int) {
+	for got := 0; got < n; {
+		id := rng.Intn(clients)
+		if !set[id] {
+			set[id] = true
+			got++
+		}
+	}
 }
 
 // mustBeBound guards the seeded-event accessors: consulting a plan whose
 // seeded budgets were never materialized would silently inject nothing,
 // which is the one failure mode a fault-injection harness must not have.
 func (p *Plan) mustBeBound() {
-	if !p.bound && (p.CrashCount > 0 || p.RestartCount > 0 || p.DropRate > 0) {
+	if !p.bound && (p.CrashCount > 0 || p.RestartCount > 0 || p.DropRate > 0 ||
+		p.ByzantineCount > 0 || p.PoisonCount > 0) {
 		panic("simnet: plan with seeded faults used before Bind (call Plan.Bind(seed, rounds, clients))")
 	}
 }
@@ -324,8 +478,77 @@ func (p *Plan) Partitioned(round int, from, to string) bool {
 	return false
 }
 
+// ByzantineClient reports whether client is one of the plan's seeded
+// Byzantine attackers — a whole-horizon identity, not a per-round coin.
+func (p *Plan) ByzantineClient(client int) bool {
+	if p == nil || p.ByzantineCount == 0 {
+		return false
+	}
+	p.mustBeBound()
+	return p.byz[client]
+}
+
+// PoisonedClient reports whether client's local shard is targeted by the
+// plan's label-flipping poisoners. Part of fl.AdversaryPlan (structurally).
+func (p *Plan) PoisonedClient(client int) bool {
+	if p == nil || p.PoisonCount == 0 {
+		return false
+	}
+	p.mustBeBound()
+	return p.poisoned[client]
+}
+
+// CorruptUpdate rewrites a Byzantine client's round update in place per the
+// plan's mode, reporting whether it did; honest clients pass through
+// untouched. The gauss draw is keyed by (seed, round, client), so the
+// corruption — like every other plan decision — is a pure function of the
+// plan, never of scheduling. Part of fl.AdversaryPlan (structurally).
+func (p *Plan) CorruptUpdate(round, client int, update []*tensor.Tensor) bool {
+	if !p.ByzantineClient(client) {
+		return false
+	}
+	switch p.ByzantineMode {
+	case ByzSignFlip:
+		for _, t := range update {
+			d := t.Data()
+			for i := range d {
+				d[i] = -d[i]
+			}
+		}
+	case ByzScale:
+		for _, t := range update {
+			d := t.Data()
+			for i := range d {
+				d[i] *= p.ByzantineParam
+			}
+		}
+	case ByzGauss:
+		rng := tensor.Split(p.seed, labelAttack, int64(round), int64(client))
+		for _, t := range update {
+			rng.AddNormal(t, p.ByzantineParam)
+		}
+	}
+	return true
+}
+
+// PoisonLabel applies targeted label-flipping for a poisoned client's
+// example: a per-(client, example) seeded coin at PoisonRate maps
+// y → (y+1) mod classes — the attacker consistently mislabels, it does not
+// randomize. Honest clients (and below-rate coins) return label unchanged.
+// Part of fl.AdversaryPlan (structurally).
+func (p *Plan) PoisonLabel(client, index, label, classes int) int {
+	if classes < 2 || !p.PoisonedClient(client) {
+		return label
+	}
+	if tensor.Split(p.seed, labelPoisonFlip, int64(client), int64(index)).Float64() < p.PoisonRate {
+		return (label + 1) % classes
+	}
+	return label
+}
+
 // Events returns a human-readable summary of the plan's materialized
-// events (bound crashes and restarts), for logs and reports.
+// events (bound crashes, restarts and adversary identities), for logs and
+// reports.
 func (p *Plan) Events() string {
 	if p == nil {
 		return "none"
@@ -336,6 +559,12 @@ func (p *Plan) Events() string {
 	}
 	for r := range p.restarts {
 		parts = append(parts, fmt.Sprintf("restart@%d", r))
+	}
+	for id := range p.byz {
+		parts = append(parts, fmt.Sprintf("byzantine(%s)@%d", p.ByzantineMode, id))
+	}
+	for id := range p.poisoned {
+		parts = append(parts, fmt.Sprintf("poison@%d", id))
 	}
 	if len(parts) == 0 {
 		return "none"

@@ -7,6 +7,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"fedcdp/internal/tensor"
 )
 
 func TestParsePlanGrammar(t *testing.T) {
@@ -29,7 +31,7 @@ func TestParsePlanGrammar(t *testing.T) {
 	if p.Partitioned(0, "c1", "server") || p.Partitioned(3, "c1", "server") || p.Partitioned(1, "server", "c1") {
 		t.Fatal("partition leaked outside its window or direction")
 	}
-	b := p.Bind(1, 5, 10)
+	b := p.MustBind(1, 5, 10)
 	if !b.CrashClient(3, 7) {
 		t.Fatal("explicit crash event lost")
 	}
@@ -43,6 +45,11 @@ func TestParsePlanGrammar(t *testing.T) {
 	for _, bad := range []string{
 		"drop=1.5", "drop=x", "bogus=1", "crash@5", "crash@a:b", "restart@-1",
 		"partition=a@1-2", "partition=a>b@2-1", "latency=-5ms", "crash=-1", "drop",
+		// Hostile adversarial specs: malformed counts, modes, parameters.
+		"byzantine=2", "byzantine=x:signflip", "byzantine=-1:signflip",
+		"byzantine=2:bogus", "byzantine=2:signflip:3", "byzantine=2:scale:x",
+		"byzantine=2:gauss:-1", "byzantine=2:scale:10:extra", "byzantine=2:scale:NaN",
+		"poison=2", "poison=x:0.5", "poison=-1:0.5", "poison=2:1.5", "poison=2:x",
 	} {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("plan %q must not parse", bad)
@@ -50,14 +57,31 @@ func TestParsePlanGrammar(t *testing.T) {
 	}
 }
 
+func TestParsePlanAdversarialGrammar(t *testing.T) {
+	p := MustParsePlan("byzantine=2:scale:25, poison=3:0.8")
+	if p.ByzantineCount != 2 || p.ByzantineMode != ByzScale || p.ByzantineParam != 25 {
+		t.Fatalf("byzantine clause parsed wrong: %+v", p)
+	}
+	if p.PoisonCount != 3 || p.PoisonRate != 0.8 {
+		t.Fatalf("poison clause parsed wrong: %+v", p)
+	}
+	// Mode parameter defaults.
+	if p := MustParsePlan("byzantine=1:scale"); p.ByzantineParam != 10 {
+		t.Fatalf("scale default λ = %v, want 10", p.ByzantineParam)
+	}
+	if p := MustParsePlan("byzantine=1:gauss"); p.ByzantineParam != 1 {
+		t.Fatalf("gauss default σ = %v, want 1", p.ByzantineParam)
+	}
+}
+
 func TestPlanBindDeterministic(t *testing.T) {
 	p := MustParsePlan("crash=3,restart=2,drop=0.3")
-	a := p.Bind(42, 10, 20)
-	b := p.Bind(42, 10, 20)
+	a := p.MustBind(42, 10, 20)
+	b := p.MustBind(42, 10, 20)
 	if a.Events() != b.Events() {
 		t.Fatalf("same seed bound different events: %s vs %s", a.Events(), b.Events())
 	}
-	if a.Events() == p.Bind(43, 10, 20).Events() {
+	if a.Events() == p.MustBind(43, 10, 20).Events() {
 		t.Fatal("different seeds bound identical events (vanishingly unlikely)")
 	}
 	// Exactly the budgeted number of distinct events.
@@ -87,7 +111,7 @@ func TestPlanBindDeterministic(t *testing.T) {
 		}
 	}
 	// Rough rate check over a large population.
-	wide := p.Bind(7, 100, 100)
+	wide := p.MustBind(7, 100, 100)
 	drops := 0
 	for r := 0; r < 100; r++ {
 		for c := 0; c < 100; c++ {
@@ -103,28 +127,131 @@ func TestPlanBindDeterministic(t *testing.T) {
 
 func TestPlanBindOverfullBudgets(t *testing.T) {
 	// Seeded budgets that exceed the slots explicit events left free must
-	// saturate the domain and terminate — the regression here was an
-	// infinite rejection-sampling loop.
-	p := MustParsePlan("restart@1,restart=2")
-	b := p.Bind(1, 3, 4) // only rounds 1 and 2 can host restarts
-	restarts := 0
-	for r := 0; r < 3; r++ {
-		if b.RestartServer(r) {
-			restarts++
+	// fail loudly at Bind — a silently truncated attack or fault load would
+	// make an experiment report claim a plan it never ran.
+	for _, tc := range []struct {
+		plan            string
+		rounds, clients int
+	}{
+		{"restart@1,restart=2", 3, 4},          // only rounds 1 and 2 can host restarts
+		{"crash@0:0,crash@0:1,crash=10", 1, 2}, // 2 slots, 10 seeded crashes
+		{"byzantine=5:signflip", 3, 4},         // 5 attackers in a 4-client population
+		{"poison=7:0.5", 3, 4},                 // 7 poisoned of 4
+	} {
+		p := MustParsePlan(tc.plan)
+		if _, err := p.Bind(1, tc.rounds, tc.clients); err == nil {
+			t.Errorf("plan %q bound over (%d rounds, %d clients) must error",
+				tc.plan, tc.rounds, tc.clients)
 		}
 	}
-	if restarts != 2 {
-		t.Fatalf("bound %d restarts, want the full domain of 2", restarts)
+	// Exactly-full budgets still bind.
+	if _, err := MustParsePlan("byzantine=4:signflip,poison=4:0.5").Bind(1, 3, 4); err != nil {
+		t.Fatalf("exactly-full adversary budgets must bind: %v", err)
 	}
-	c := MustParsePlan("crash@0:0,crash@0:1,crash=10").Bind(1, 1, 2)
-	crashes := 0
-	for id := 0; id < 2; id++ {
-		if c.CrashClient(0, id) {
-			crashes++
+}
+
+func TestPlanAdversaryDeterministic(t *testing.T) {
+	p := MustParsePlan("byzantine=2:gauss:0.5,poison=3:0.8")
+	a := p.MustBind(42, 5, 10)
+	b := p.MustBind(42, 5, 10)
+	byz, poisoned := 0, 0
+	for c := 0; c < 10; c++ {
+		if a.ByzantineClient(c) != b.ByzantineClient(c) || a.PoisonedClient(c) != b.PoisonedClient(c) {
+			t.Fatalf("client %d identity differs across identical binds", c)
+		}
+		if a.ByzantineClient(c) {
+			byz++
+		}
+		if a.PoisonedClient(c) {
+			poisoned++
 		}
 	}
-	if crashes != 2 {
-		t.Fatalf("bound %d crashes, want the full domain of 2", crashes)
+	if byz != 2 || poisoned != 3 {
+		t.Fatalf("bound %d byzantine / %d poisoned, want 2/3", byz, poisoned)
+	}
+	if a.Events() != b.Events() || a.Events() == p.MustBind(43, 5, 10).Events() {
+		t.Fatalf("adversary events not seed-determined: %s", a.Events())
+	}
+
+	// Gauss corruption draws are pure functions of (seed, round, client):
+	// the same update corrupted under two identical binds stays identical.
+	mk := func() []*tensor.Tensor { return []*tensor.Tensor{tensor.FromSlice([]float64{1, 2, 3, 4}, 4)} }
+	for c := 0; c < 10; c++ {
+		ua, ub := mk(), mk()
+		if a.CorruptUpdate(2, c, ua) != b.CorruptUpdate(2, c, ub) {
+			t.Fatalf("client %d corruption verdict differs", c)
+		}
+		for i := range ua[0].Data() {
+			if ua[0].Data()[i] != ub[0].Data()[i] {
+				t.Fatalf("client %d gauss corruption not deterministic", c)
+			}
+		}
+	}
+
+	// Poison coins are pure functions of (seed, client, example index) and
+	// flip to the fixed targeted class y→(y+1) mod classes.
+	for c := 0; c < 10; c++ {
+		for i := 0; i < 20; i++ {
+			la, lb := a.PoisonLabel(c, i, 1, 3), b.PoisonLabel(c, i, 1, 3)
+			if la != lb {
+				t.Fatalf("poison coin (%d,%d) differs across identical binds", c, i)
+			}
+			if la != 1 && la != 2 {
+				t.Fatalf("poison flip of label 1 gave %d, want 1 or 2", la)
+			}
+		}
+	}
+}
+
+func TestPlanCorruptUpdateModes(t *testing.T) {
+	mk := func() []*tensor.Tensor { return []*tensor.Tensor{tensor.FromSlice([]float64{1, -2, 3}, 3)} }
+	attacker := func(p *Plan) int {
+		t.Helper()
+		for c := 0; c < 4; c++ {
+			if p.ByzantineClient(c) {
+				return c
+			}
+		}
+		t.Fatal("no attacker bound")
+		return -1
+	}
+
+	sf := MustParsePlan("byzantine=1:signflip").MustBind(7, 2, 4)
+	u := mk()
+	if !sf.CorruptUpdate(0, attacker(sf), u) {
+		t.Fatal("signflip attacker did not corrupt")
+	}
+	for i, want := range []float64{-1, 2, -3} {
+		if u[0].Data()[i] != want {
+			t.Fatalf("signflip element %d = %v, want %v", i, u[0].Data()[i], want)
+		}
+	}
+
+	sc := MustParsePlan("byzantine=1:scale:10").MustBind(7, 2, 4)
+	u = mk()
+	if !sc.CorruptUpdate(0, attacker(sc), u) {
+		t.Fatal("scale attacker did not corrupt")
+	}
+	for i, want := range []float64{10, -20, 30} {
+		if u[0].Data()[i] != want {
+			t.Fatalf("scale element %d = %v, want %v", i, u[0].Data()[i], want)
+		}
+	}
+
+	// Honest clients are never corrupted under any mode.
+	for c := 0; c < 4; c++ {
+		if c == attacker(sf) {
+			continue
+		}
+		u = mk()
+		if sf.CorruptUpdate(0, c, u) {
+			t.Fatalf("honest client %d corrupted", c)
+		}
+		for i, want := range []float64{1, -2, 3} {
+			if u[0].Data()[i] != want {
+				t.Fatalf("honest update element %d mutated to %v", i, u[0].Data()[i])
+			}
+		}
 	}
 }
 
@@ -141,6 +268,12 @@ func TestNilPlanIsNull(t *testing.T) {
 	var p *Plan
 	if p.CrashClient(0, 0) || p.DropUpdate(0, 0) || p.RestartServer(1) || p.Partitioned(0, "a", "b") {
 		t.Fatal("nil plan injected a fault")
+	}
+	if p.ByzantineClient(0) || p.PoisonedClient(0) || p.CorruptUpdate(0, 0, nil) {
+		t.Fatal("nil plan injected an adversary")
+	}
+	if p.PoisonLabel(0, 0, 1, 3) != 1 {
+		t.Fatal("nil plan flipped a label")
 	}
 }
 
