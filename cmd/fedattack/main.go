@@ -8,6 +8,13 @@
 //	fedattack -dataset mnist -method non-private -type 2
 //	fedattack -dataset lfw -method fed-cdp -type 0 -out /tmp/recon
 //	fedattack -dataset mnist -method dssgd -type 1 -mask
+//	fedattack -config configs/attack-matrix.yaml -type 2
+//
+// -config loads a declarative experiment file (see internal/config): the
+// victim's dataset, defense, scenario, aggregation rule and fault plan
+// come from the file, with flags given alongside as overrides. The config
+// stores core method ids (fedcdp, ...); they are translated to and from
+// this command's paper-style defense names (fed-cdp, ...).
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"strings"
 
 	"fedcdp/internal/attack"
+	"fedcdp/internal/config"
 	"fedcdp/internal/core"
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/dp"
@@ -52,7 +60,34 @@ func main() {
 	aggRule := flag.String("agg", "", "aggregation rule the defense evaluation folds under: fedsgd (default), fedavg, weighted, or robust — median, trimmed[:beta], krum[:f]")
 	faults := flag.String("faults", "", "adversarial fault plan staging the attack, e.g. 'byzantine=2:signflip,poison=1:0.8' (see DESIGN.md); a poisoned victim leaks its flipped-label shard view")
 	simnetEval := flag.Bool("simnet", false, "first evaluate the defended federation over the simnet fabric under -agg/-faults, and stamp its outcome into the report")
+	cfgPath := flag.String("config", "", "declarative experiment config file; flags given alongside override it (see DESIGN.md, \"Experiment configs\")")
 	flag.Parse()
+
+	digest := ""
+	if *cfgPath != "" {
+		exp, cerr := config.Load(*cfgPath)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		// The config schema stores core method ids; the flag speaks this
+		// command's paper-style defense names, so translate on the way in
+		// (override source) and on the way out (effective value).
+		flagSrc := config.FromCore(core.Config{
+			Dataset: *dsName, Method: coreMethod(*method),
+			Scenario:    dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards},
+			Aggregation: *aggRule, Faults: *faults, Seed: *seed,
+		}, *simnetEval)
+		config.ApplyFlagOverrides(flag.CommandLine, exp, flagSrc)
+		if err := exp.Validate(); err != nil {
+			fatal(err)
+		}
+		*dsName, *method = exp.Data.Dataset, attackMethod(exp.Method.Name)
+		*scenario, *alpha, *shards = exp.Data.Scenario, exp.Data.Alpha, exp.Data.Shards
+		*aggRule, *faults, *seed = exp.Aggregation.Rule, exp.Faults.Plan, exp.Seed
+		*simnetEval = *simnetEval || exp.Runtime.Simnet
+		digest = exp.Digest()
+		fmt.Printf("config=%s digest=%s\n", *cfgPath, digest)
+	}
 
 	spec, err := dataset.Get(*dsName)
 	if err != nil {
@@ -114,14 +149,15 @@ func main() {
 			Dataset: *dsName,
 			Method:  coreMethod(*method),
 			K:       evalClients, Kt: evalCohort, Rounds: evalRounds,
-			LocalIters:  2,
-			Sigma:       6,
-			Seed:        *seed,
-			ValExamples: 60,
-			EvalEvery:   1,
-			Scenario:    dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards},
-			Faults:      *faults,
-			Aggregation: *aggRule,
+			LocalIters:   2,
+			Sigma:        6,
+			Seed:         *seed,
+			ValExamples:  60,
+			EvalEvery:    1,
+			Scenario:     dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards},
+			Faults:       *faults,
+			Aggregation:  *aggRule,
+			ConfigDigest: digest,
 		})
 		if err != nil {
 			fatal(err)
@@ -145,6 +181,25 @@ func main() {
 			writePGM(filepath.Join(*out, fmt.Sprintf("recon_%d.pgm", i)), res.Reconstruction[i], spec)
 		}
 		fmt.Printf("wrote %d truth/reconstruction pairs to %s\n", len(truth), *out)
+	}
+}
+
+// attackMethod maps core method ids back onto this command's paper-style
+// defense names — the inverse of coreMethod, for config-driven runs.
+func attackMethod(method string) string {
+	switch method {
+	case core.MethodNonPrivate:
+		return "non-private"
+	case core.MethodFedSDPSrv:
+		return "fed-sdp"
+	case core.MethodFedCDP:
+		return "fed-cdp"
+	case core.MethodFedCDPDecay:
+		return "fed-cdp(decay)"
+	case core.MethodDSSGD:
+		return "dssgd"
+	default:
+		return method
 	}
 }
 

@@ -7,6 +7,13 @@
 // further rounds remain.
 //
 //	fedclient -addr 127.0.0.1:7070 -dataset cancer -id 0 -method fedcdp -rounds 5
+//	fedclient -config configs/fault-acceptance.yaml -addr 127.0.0.1:7070 -id 3
+//
+// -config loads a declarative experiment file (see internal/config): the
+// client takes its dataset, method and seed from the file (flags given
+// alongside override it) and verifies the server's published config digest
+// against its own — a config-driven fleet cannot silently train against a
+// server running a different experiment.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"fedcdp/internal/config"
 	"fedcdp/internal/core"
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/fl"
@@ -37,7 +45,29 @@ func main() {
 	minBackoff := flag.Duration("backoff", 100*time.Millisecond, "initial reconnect backoff")
 	maxBackoff := flag.Duration("max-backoff", 10*time.Second, "reconnect backoff cap")
 	giveUp := flag.Duration("give-up", 2*time.Minute, "exit after this long without a successful round (0 = retry forever)")
+	cfgPath := flag.String("config", "", "declarative experiment config file; flags given alongside override it (see DESIGN.md, \"Experiment configs\")")
 	flag.Parse()
+
+	digest := ""
+	if *cfgPath != "" {
+		exp, err := config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		flagSrc := config.FromCore(core.Config{
+			Dataset: *dsName, Method: *method, Clip: *clip, Sigma: *sigma,
+			Codec: *codec, Seed: *seed,
+		}, false)
+		flagSrc.Codec.Quant = *quant
+		config.ApplyFlagOverrides(flag.CommandLine, exp, flagSrc)
+		if err := exp.Validate(); err != nil {
+			fatal(err)
+		}
+		*dsName, *method = exp.Data.Dataset, exp.Method.Name
+		*clip, *sigma = exp.Method.Clip, exp.Method.Sigma
+		*codec, *quant, *seed = exp.Codec.Wire, exp.Codec.Quant, exp.Seed
+		digest = exp.Digest()
+	}
 
 	spec, err := dataset.Get(*dsName)
 	if err != nil {
@@ -56,8 +86,9 @@ func main() {
 	}
 	// One options value for the whole run: the quantization error-feedback
 	// state must survive reconnects and server restarts so rounding error
-	// banked in round r is repaid in round r+1.
-	opt := fl.ClientOptions{Secure: *secure, Codec: *codec, Quant: *quant, QuantState: &fl.QuantState{}}
+	// banked in round r is repaid in round r+1. ExpectDigest makes the
+	// client refuse a server publishing a different experiment digest.
+	opt := fl.ClientOptions{Secure: *secure, Codec: *codec, Quant: *quant, QuantState: &fl.QuantState{}, ExpectDigest: digest}
 
 	fmt.Printf("fedclient %d: joining %s as %s\n", *id, *addr, strat.Name())
 	backoff := *minBackoff

@@ -7,6 +7,12 @@
 // other machines).
 //
 //	fedserve -addr :7070 -dataset cancer -kt 3 -rounds 5 -deadline 30s -quorum 2 -secure
+//	fedserve -config configs/fault-acceptance.yaml -addr :7070
+//
+// -config loads a declarative experiment file (see internal/config): the
+// file determines the task, flags given alongside override it, and the
+// config's canonical digest is published with every round announcement so
+// config-driven clients can verify they joined the right experiment.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"strings"
 	"time"
 
+	"fedcdp/internal/config"
+	"fedcdp/internal/core"
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/fl"
 	"fedcdp/internal/nn"
@@ -43,7 +51,35 @@ func main() {
 	aggShards := flag.Int("agg-shards", 0, "aggregation topology: 0 = legacy flat float fold, 1 = flat exact fold, >=2 = in-process aggregation tree (bit-identical to 1; see DESIGN.md)")
 	treeFanout := flag.Int("tree", 0, "aggregation-tree partial compose fan-in (0 = all at once)")
 	seed := flag.Int64("seed", 42, "root seed")
+	cfgPath := flag.String("config", "", "declarative experiment config file; flags given alongside override it (see DESIGN.md, \"Experiment configs\")")
 	flag.Parse()
+
+	digest := ""
+	if *cfgPath != "" {
+		exp, err := config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		flagSrc := config.FromCore(core.Config{
+			Dataset: *dsName, Kt: *kt, Rounds: *rounds, BatchSize: *batch,
+			LocalIters: *iters, LR: *lr, RoundDeadline: *deadline, MinQuorum: *quorum,
+			Codec: *codec, Precision: *precision, NoiseEngine: *noiseEngine,
+			Scenario:    dataset.Scenario{Name: *scenario, Alpha: *alpha, Shards: *shards},
+			Aggregation: *aggRule, Shards: *aggShards, TreeFanout: *treeFanout, Seed: *seed,
+		}, false)
+		config.ApplyFlagOverrides(flag.CommandLine, exp, flagSrc)
+		if err := exp.Validate(); err != nil {
+			fatal(err)
+		}
+		*dsName, *kt, *rounds = exp.Data.Dataset, exp.Training.Kt, exp.Training.Rounds
+		*batch, *iters, *lr = exp.Training.BatchSize, exp.Training.LocalIters, exp.Training.LR
+		*deadline, *quorum = exp.Runtime.Deadline, exp.Runtime.Quorum
+		*codec, *precision, *noiseEngine = exp.Codec.Wire, exp.Model.Precision, exp.Method.NoiseEngine
+		*scenario, *alpha, *shards = exp.Data.Scenario, exp.Data.Alpha, exp.Data.Shards
+		*aggRule, *aggShards, *treeFanout = exp.Aggregation.Rule, exp.Aggregation.Shards, exp.Aggregation.TreeFanout
+		*seed = exp.Seed
+		digest = exp.Digest()
+	}
 
 	spec, err := dataset.Get(*dsName)
 	if err != nil {
@@ -82,7 +118,7 @@ func main() {
 	fmt.Printf("fedserve: %s on %s (secure=%v, codec=%s), %d rounds, %d clients/round, deadline=%v, quorum=%d, scenario=%s\n",
 		*dsName, srv.Addr(), *secure, codecName(*codec), *rounds, *kt, *deadline, *quorum, sc)
 
-	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine, Scenario: sc, Precision: *precision}
+	cfg := fl.RoundConfig{BatchSize: *batch, LocalIters: *iters, LR: *lr, TotalRounds: *rounds, NoiseEngine: *noiseEngine, Scenario: sc, Precision: *precision, ConfigDigest: digest}
 	// K=0: a standalone server has no declared population, so tree shards
 	// partition client ids by modulo instead of contiguous ranges.
 	agg, err := fl.NewAggregatorFor(*aggRule, *aggShards, *treeFanout, 0)

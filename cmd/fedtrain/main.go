@@ -12,6 +12,8 @@
 //	fedtrain -dataset cancer -faults 'drop=0.2,crash=2,restart=1'
 //	fedtrain -dataset cancer -simnet -faults 'latency=20ms,crash=2,partition=c0>server@1-2'
 //	fedtrain -dataset cancer -simnet -k 100000 -kt 1000 -agg-shards 32 -sampler floyd -codec binary -iters 1
+//	fedtrain -config configs/fault-acceptance.yaml
+//	fedtrain -config configs/fault-acceptance.yaml -sigma 0.1   # flag overrides file
 //
 // -faults injects a deterministic fault plan (see DESIGN.md, "Simnet") into
 // the in-process runtime; -simnet additionally runs the whole federation —
@@ -20,6 +22,13 @@
 // hierarchical topology (under -simnet, real edge-aggregator hosts), which
 // with -sampler floyd and the multiplexed client scheduler scales seeded
 // deployments to K=100,000 (see DESIGN.md, "Hierarchical aggregation").
+//
+// -config loads a declarative experiment file (see internal/config and
+// DESIGN.md, "Experiment configs"): the file fully determines the run, any
+// flag passed alongside overrides it and is re-stamped into the effective
+// config, and the run is tagged with the config's canonical digest. A
+// sweep block in the file fans the run out over multiple seeds in parallel
+// across cores.
 package main
 
 import (
@@ -27,7 +36,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
+	"fedcdp/internal/config"
 	"fedcdp/internal/core"
 	"fedcdp/internal/dataset"
 )
@@ -71,8 +82,36 @@ func main() {
 	evalEvery := flag.Int("eval-every", 1, "evaluate every n rounds")
 	ckptOut := flag.String("checkpoint-out", "", "write a resumable checkpoint here after the run")
 	ckptIn := flag.String("checkpoint-in", "", "resume from this checkpoint instead of starting fresh")
+	cfgPath := flag.String("config", "", "declarative experiment config file; flags given alongside override it (see DESIGN.md, \"Experiment configs\")")
+	sweepWorkers := flag.Int("sweep-workers", 0, "parallel runs for a config sweep block (0 = GOMAXPROCS)")
 	flag.Parse()
 	cfg.EvalEvery = *evalEvery
+
+	if *cfgPath != "" {
+		if *ckptIn != "" {
+			fmt.Fprintln(os.Stderr, "fedtrain: -config cannot be combined with -checkpoint-in (the checkpoint carries its own config)")
+			os.Exit(1)
+		}
+		exp, err := config.Load(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedtrain:", err)
+			os.Exit(1)
+		}
+		// Flags the user actually passed win over the file and are
+		// re-stamped into the effective config before it is digested.
+		config.ApplyFlagOverrides(flag.CommandLine, exp, config.FromCore(cfg, *useSimnet))
+		if err := exp.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "fedtrain:", err)
+			os.Exit(1)
+		}
+		if runs := exp.Expand(); len(runs) > 1 {
+			runSweep(runs, *sweepWorkers, *ckptOut)
+			return
+		}
+		cfg = exp.CoreConfig()
+		*useSimnet = exp.Runtime.Simnet
+		fmt.Printf("config=%s digest=%s\n", *cfgPath, cfg.ConfigDigest)
+	}
 
 	var res *core.Result
 	var err error
@@ -122,4 +161,46 @@ func main() {
 	}
 	fmt.Printf("final: accuracy=%.4f best=%.4f epsilon=%.4f mean-ms/iter=%.2f\n",
 		res.FinalAccuracy(), res.BestAccuracy(), res.FinalEpsilon(), res.MeanMsPerIter())
+}
+
+// runSweep executes a config's expanded multi-seed runs in parallel across
+// cores. Each run is an independent seeded experiment (parallelism cannot
+// change any result), so output is collected per run and printed in sweep
+// order once everything finishes.
+func runSweep(runs []*config.Experiment, workers int, ckptOut string) {
+	if ckptOut != "" {
+		fmt.Fprintln(os.Stderr, "fedtrain: -checkpoint-out is ambiguous over a sweep; checkpoint a single-seed config instead")
+		os.Exit(1)
+	}
+	lines := make([]string, len(runs))
+	var mu sync.Mutex
+	err := config.RunSweep(runs, workers, func(i int, e *config.Experiment) error {
+		res, rerr := runOne(e)
+		if rerr != nil {
+			return fmt.Errorf("seed %d: %w", e.Seed, rerr)
+		}
+		mu.Lock()
+		lines[i] = fmt.Sprintf("seed=%-6d digest=%s accuracy=%.4f best=%.4f epsilon=%.4f",
+			e.Seed, e.Digest(), res.FinalAccuracy(), res.BestAccuracy(), res.FinalEpsilon())
+		mu.Unlock()
+		return nil
+	})
+	fmt.Printf("sweep: %d seeds\n", len(runs))
+	for _, l := range lines {
+		if l != "" {
+			fmt.Println(l)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func runOne(e *config.Experiment) (*core.Result, error) {
+	cfg := e.CoreConfig()
+	if e.Runtime.Simnet {
+		return core.RunSimnet(cfg)
+	}
+	return core.Run(cfg)
 }

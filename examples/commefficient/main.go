@@ -11,6 +11,7 @@ import (
 	"log"
 
 	"fedcdp/internal/attack"
+	"fedcdp/internal/config"
 	"fedcdp/internal/core"
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/dp"
@@ -40,14 +41,32 @@ func main() {
 	fmt.Println("Fed-CDP sanitization defeats the attack at every compression level.")
 }
 
-// trainWith runs a small federated job with gradient pruning at the ratio.
+// trainWith runs a small federated job with gradient pruning at the ratio,
+// declared through the config layer: one document per (method, ratio) cell,
+// so each cell has its own experiment digest.
 func trainWith(method string, ratio float64) float64 {
-	res, err := core.Run(core.Config{
-		Dataset: "mnist", Method: method,
-		K: 12, Kt: 6, Rounds: 10, LocalIters: 20,
-		Sigma: 0.06, CompressRatio: ratio,
-		Seed: 11, ValExamples: 150, EvalEvery: 100,
-	})
+	doc := fmt.Sprintf(`
+seed: 11
+method:
+  name: %s
+  sigma: 0.06
+  compress: %g
+training:
+  k: 12
+  kt: 6
+  rounds: 10
+  iters: 20
+  val-examples: 150
+  eval-every: 100
+`, method, ratio)
+	exp, err := config.Parse([]byte(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(exp.CoreConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"fedcdp/internal/config"
 	"fedcdp/internal/core"
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/fl"
@@ -18,18 +19,46 @@ import (
 	"fedcdp/internal/tensor"
 )
 
+// The cross-silo scenario as one config document; the method sweep below
+// overrides method.name per run the way `fedtrain -config ... -method m`
+// does, each override re-stamping the experiment's identity.
+const scenario = `
+version: 1
+seed: 5
+
+data:
+  dataset: cancer
+
+method:
+  sigma: 0.06
+  accountant-sigma: 6   # see DESIGN.md on noise scaling
+
+training:
+  k: 8
+  kt: 8
+  rounds: 3
+  iters: 50
+  val-examples: 143
+  eval-every: 100
+`
+
 func main() {
 	fmt.Println("cross-silo FL: 8 hospitals, breast-cancer data, 3 rounds (paper Table I)")
 	fmt.Println("method          accuracy  epsilon")
 	for _, method := range []string{
 		core.MethodNonPrivate, core.MethodFedSDP, core.MethodFedCDP, core.MethodFedCDPDecay,
 	} {
-		res, err := core.Run(core.Config{
-			Dataset: "cancer", Method: method,
-			K: 8, Kt: 8, Rounds: 3, LocalIters: 50,
-			Sigma: 0.06, AccountantSigma: 6, // see DESIGN.md on noise scaling
-			Seed: 5, ValExamples: 143, EvalEvery: 100,
-		})
+		exp, err := config.Parse([]byte(scenario))
+		if err != nil {
+			log.Fatal(err)
+		}
+		override := config.Default()
+		override.Method.Name = method
+		config.Override(exp, "method", override)
+		if err := exp.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(exp.CoreConfig())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -2,6 +2,11 @@
 // Fed-CDP on the synthetic MNIST benchmark and watch accuracy and privacy
 // spending evolve per round.
 //
+// The run is declared as a config document — the same format the binaries
+// load with -config (see DESIGN.md, "Experiment configs"): omitted keys
+// mean the flag defaults, and the document's canonical digest identifies
+// the experiment in every artifact it produces.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -9,34 +14,49 @@ import (
 	"fmt"
 	"log"
 
+	"fedcdp/internal/config"
 	"fedcdp/internal/core"
 )
 
+// Fed-CDP with the paper's defaults: per-example clipping at C=4 and
+// Gaussian noise, privacy tracked by the moments accountant. σ is scaled
+// for the reduced simulation budget; accounting reports the guarantee of
+// the paper-scale deployment (σ=6) this run simulates — see DESIGN.md.
+const experiment = `
+version: 1
+seed: 1
+
+data:
+  dataset: mnist
+
+method:
+  name: fedcdp
+  clip: 4
+  sigma: 0.06
+  accountant-sigma: 6
+
+training:
+  k: 16           # client population
+  kt: 8           # participants per round
+  rounds: 12
+  iters: 20
+  val-examples: 200
+`
+
 func main() {
-	// Fed-CDP with the paper's defaults: per-example clipping at C=4 and
-	// Gaussian noise, privacy tracked by the moments accountant.
-	// σ is scaled for the reduced simulation budget (DESIGN.md).
-	res, err := core.Run(core.Config{
-		Dataset:    "mnist",
-		Method:     core.MethodFedCDP,
-		K:          16, // client population
-		Kt:         8,  // participants per round
-		Rounds:     12,
-		LocalIters: 20,
-		Clip:       4,
-		// The CPU-scale run uses a compensated noise scale; accounting
-		// reports the guarantee of the paper-scale deployment (σ=6) this
-		// run simulates — see DESIGN.md.
-		Sigma:           0.06,
-		AccountantSigma: 6,
-		Seed:            1,
-		ValExamples:     200,
-	})
+	exp, err := config.Parse([]byte(experiment))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(exp.CoreConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("Fed-CDP on synthetic MNIST (16 clients, 8 per round)")
+	fmt.Printf("Fed-CDP on synthetic MNIST (16 clients, 8 per round) — experiment %s\n", exp.Digest())
 	fmt.Println("round  accuracy  epsilon")
 	for _, r := range res.Rounds {
 		fmt.Printf("%5d  %8.4f  %7.4f\n", r.Round, r.Accuracy, r.Epsilon)

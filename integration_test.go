@@ -7,9 +7,11 @@ package fedcdp
 // downstream user would.
 
 import (
+	"flag"
 	"testing"
 
 	"fedcdp/internal/attack"
+	"fedcdp/internal/config"
 	"fedcdp/internal/core"
 	"fedcdp/internal/dataset"
 	"fedcdp/internal/dp"
@@ -54,6 +56,87 @@ func TestEndToEndPrivacyStory(t *testing.T) {
 	}
 	if np.FinalEpsilon() != 0 {
 		t.Fatal("non-private training must not report a guarantee")
+	}
+}
+
+// TestEndToEndConfigDrivenRun is the declarative path end to end: a config
+// document determines a run, flags override it the way the binaries do, and
+// the digest stamped through core.Config identifies exactly the experiment
+// that produced the result.
+func TestEndToEndConfigDrivenRun(t *testing.T) {
+	doc := []byte(`version: 1
+seed: 77
+
+data:
+  dataset: cancer
+
+method:
+  name: fedcdp
+  sigma: 0.06
+  accountant-sigma: 6
+
+training:
+  k: 8
+  kt: 4
+  rounds: 4
+  iters: 20
+  val-examples: 100
+  eval-every: 100
+`)
+	exp, err := config.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := exp.CoreConfig()
+	if cfg.ConfigDigest != exp.Digest() {
+		t.Fatalf("resolved config digest %q, want %q", cfg.ConfigDigest, exp.Digest())
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cfg.ConfigDigest != exp.Digest() {
+		t.Fatalf("result carries digest %q, want %q", res.Cfg.ConfigDigest, exp.Digest())
+	}
+	if res.FinalAccuracy() < 0.75 {
+		t.Fatalf("config-driven Fed-CDP run accuracy %v", res.FinalAccuracy())
+	}
+
+	// The override path the binaries use: -method on the command line wins
+	// over the file, and the re-stamped experiment digests differently.
+	fs := flag.NewFlagSet("fedtrain", flag.ContinueOnError)
+	method := fs.String("method", core.MethodFedCDP, "")
+	if err := fs.Parse([]string{"-method", core.MethodNonPrivate}); err != nil {
+		t.Fatal(err)
+	}
+	overridden, err := config.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := config.Default()
+	src.Method.Name = *method
+	config.ApplyFlagOverrides(fs, overridden, src)
+	if err := overridden.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if overridden.Method.Name != core.MethodNonPrivate {
+		t.Fatalf("override landed %q", overridden.Method.Name)
+	}
+	if overridden.Digest() == exp.Digest() {
+		t.Fatal("an overridden experiment must change identity")
+	}
+	np, err := core.Run(overridden.CoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.FinalEpsilon() != 0 {
+		t.Fatal("non-private override must not report a guarantee")
+	}
+	if np.FinalAccuracy() < 0.9 {
+		t.Fatalf("non-private override accuracy %v", np.FinalAccuracy())
 	}
 }
 

@@ -1,0 +1,455 @@
+package config
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"fedcdp/internal/core"
+	"fedcdp/internal/dataset"
+	"fedcdp/internal/fl"
+	"fedcdp/internal/simnet"
+	"fedcdp/internal/tensor"
+)
+
+// Version is the config schema version this package reads and writes.
+// Parsing rejects any other declared version, so an old binary fails loudly
+// on a future config instead of silently dropping fields.
+const Version = 1
+
+// Experiment is one fully-determined experiment: every axis the five
+// binaries expose as flags, as a declarative document. The zero value of a
+// field (or an omitted section) means today's flag default, so an empty
+// config file IS the default `fedtrain` invocation; Default() spells those
+// defaults out explicitly.
+//
+// The canonical serialized form (Canonical) resolves defaults, fixes key
+// order and normalizes values, so Digest is a stable identity for the
+// experiment: two documents that determine the same run digest identically
+// regardless of formatting, comments or key order.
+type Experiment struct {
+	// Version is the schema version; only Version (=1) is accepted.
+	Version int
+	// Seed is the root seed every stochastic component derives from.
+	Seed int64
+
+	Model       ModelBlock
+	Data        DataBlock
+	Method      MethodBlock
+	Runtime     RuntimeBlock
+	Faults      FaultsBlock
+	Aggregation AggregationBlock
+	Codec       CodecBlock
+	Training    TrainingBlock
+	Experiment  ExperimentBlock
+	Sweep       SweepBlock
+}
+
+// ModelBlock selects the execution engine and arithmetic width.
+type ModelBlock struct {
+	Engine    string // "" (batched) or "reference"
+	Precision string // "" (fp64) or "fp32"
+}
+
+// DataBlock names the benchmark and its heterogeneity scenario.
+type DataBlock struct {
+	Dataset  string  // benchmark name (Table I)
+	Scenario string  // partitioner scenario ("" = iid)
+	Alpha    float64 // dirichlet concentration (0 = scenario default)
+	Shards   int     // pathological label shards per client (0 = default)
+}
+
+// MethodBlock is the privacy method and its parameters.
+type MethodBlock struct {
+	Name            string
+	Clip            float64
+	Sigma           float64
+	AccountantSigma float64 // 0 = account with the training σ
+	Delta           float64 // 0 = core default (1e-5)
+	DecayFrom       float64
+	DecayTo         float64
+	ShareFraction   float64
+	Compress        float64 // gradient prune ratio (0 = off)
+	NoiseEngine     string  // "" (counter) or "reference"
+}
+
+// RuntimeBlock selects round orchestration and its failure posture.
+type RuntimeBlock struct {
+	Name     string        // "" (streaming) or "barrier"
+	Simnet   bool          // deploy over the in-memory simnet fabric
+	Deadline time.Duration // per-round straggler cutoff (0 = wait)
+	Quorum   int           // minimum folded updates to commit
+	Dropout  float64       // per-round client dropout probability
+}
+
+// FaultsBlock is the deterministic fault/adversary plan.
+type FaultsBlock struct {
+	Plan string // simnet grammar, e.g. "drop=0.2,crash=2,restart=1"
+}
+
+// AggregationBlock is the server fold rule and topology.
+type AggregationBlock struct {
+	Rule       string // "" (fedsgd), fedavg, weighted, median, trimmed[:β], krum[:f]
+	Shards     int    // 0 = flat float, 1 = flat exact, ≥2 = edge tree
+	TreeFanout int
+	Sampler    string // "" (legacy) or "floyd"
+	MuxWorkers int
+}
+
+// CodecBlock is the wire encoding.
+type CodecBlock struct {
+	Wire  string // "" (gob) or "binary"
+	Quant int    // 0, 8 or 16 (binary codec only)
+}
+
+// TrainingBlock is the federation shape and horizon.
+type TrainingBlock struct {
+	K             int
+	Kt            int
+	Rounds        int
+	PlannedRounds int
+	BatchSize     int
+	LocalIters    int
+	LR            float64
+	ValExamples   int
+	EvalEvery     int
+	Parallelism   int
+}
+
+// ExperimentBlock, when Name is set, runs a cmd/tables experiment driver
+// (table1..table7, fig1..fig5, faults, byzantine) instead of a single
+// training run.
+type ExperimentBlock struct {
+	Name  string
+	Scale float64
+}
+
+// SweepBlock expands one config into a multi-run sweep, executed in
+// parallel across cores (see Expand and RunSweep).
+type SweepBlock struct {
+	Seeds []int64
+}
+
+// Default returns the experiment an empty document means: the fedtrain
+// flag defaults.
+func Default() *Experiment {
+	return &Experiment{
+		Version: Version,
+		Seed:    42,
+		Data:    DataBlock{Dataset: "mnist"},
+		Method: MethodBlock{
+			Name:          core.MethodFedCDP,
+			Clip:          4,
+			Sigma:         0.06,
+			DecayFrom:     6,
+			DecayTo:       2,
+			ShareFraction: 0.1,
+		},
+		Training: TrainingBlock{
+			K:           16,
+			Kt:          8,
+			Rounds:      20,
+			LocalIters:  20,
+			ValExamples: 300,
+			EvalEvery:   1,
+		},
+		Experiment: ExperimentBlock{Scale: 1},
+	}
+}
+
+// Load reads and parses a config file.
+func Load(path string) (*Experiment, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	e, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return e, nil
+}
+
+// Validate checks every enum and range against the packages that consume
+// the value, so a config error surfaces before any training starts.
+func (e *Experiment) Validate() error {
+	if e.Version != Version {
+		return fmt.Errorf("config: unsupported version %d (this build reads version %d)", e.Version, Version)
+	}
+	if e.Data.Dataset == "" {
+		return fmt.Errorf("config: data.dataset must be set")
+	}
+	if _, err := dataset.Get(e.Data.Dataset); err != nil {
+		return fmt.Errorf("config: data.dataset: %w", err)
+	}
+	if e.Method.Name != "" && !knownMethod(e.Method.Name) {
+		return fmt.Errorf("config: unknown method.name %q (have %v)", e.Method.Name, core.Methods())
+	}
+	if err := oneOf("model.engine", e.Model.Engine, fl.EngineBatched, fl.EngineReference); err != nil {
+		return err
+	}
+	if err := oneOf("model.precision", e.Model.Precision, tensor.PrecisionFP64, tensor.PrecisionFP32); err != nil {
+		return err
+	}
+	if err := oneOf("method.noise-engine", e.Method.NoiseEngine, fl.NoiseCounter, fl.NoiseReference); err != nil {
+		return err
+	}
+	if err := oneOf("runtime.name", e.Runtime.Name, fl.RuntimeStreaming, fl.RuntimeBarrier); err != nil {
+		return err
+	}
+	if err := oneOf("aggregation.sampler", e.Aggregation.Sampler, fl.SamplerLegacy, fl.SamplerFloyd); err != nil {
+		return err
+	}
+	if !fl.ValidCodec(e.Codec.Wire) {
+		return fmt.Errorf("config: unknown codec.wire %q", e.Codec.Wire)
+	}
+	if !fl.ValidQuant(e.Codec.Quant) {
+		return fmt.Errorf("config: codec.quant %d not in {0, 8, 16}", e.Codec.Quant)
+	}
+	if !fl.ValidAggregation(e.Aggregation.Rule) {
+		return fmt.Errorf("config: unknown aggregation.rule %q", e.Aggregation.Rule)
+	}
+	sc := dataset.Scenario{Name: e.Data.Scenario, Alpha: e.Data.Alpha, Shards: e.Data.Shards}
+	if _, err := sc.Partitioner(); err != nil {
+		return fmt.Errorf("config: data.scenario: %w", err)
+	}
+	if _, err := simnet.ParsePlan(e.Faults.Plan); err != nil {
+		return fmt.Errorf("config: faults.plan: %w", err)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"training.k", e.Training.K},
+		{"training.kt", e.Training.Kt},
+		{"training.rounds", e.Training.Rounds},
+		{"training.planned-rounds", e.Training.PlannedRounds},
+		{"training.batch", e.Training.BatchSize},
+		{"training.iters", e.Training.LocalIters},
+		{"training.val-examples", e.Training.ValExamples},
+		{"training.eval-every", e.Training.EvalEvery},
+		{"training.parallelism", e.Training.Parallelism},
+		{"runtime.quorum", e.Runtime.Quorum},
+		{"aggregation.shards", e.Aggregation.Shards},
+		{"aggregation.tree-fanout", e.Aggregation.TreeFanout},
+		{"aggregation.mux-workers", e.Aggregation.MuxWorkers},
+		{"data.shards", e.Data.Shards},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("config: %s must be non-negative, got %d", c.name, c.v)
+		}
+	}
+	if e.Training.K > 0 && e.Training.Kt > e.Training.K {
+		return fmt.Errorf("config: training.kt %d exceeds training.k %d", e.Training.Kt, e.Training.K)
+	}
+	if e.Training.Kt > 0 && e.Runtime.Quorum > e.Training.Kt {
+		return fmt.Errorf("config: runtime.quorum %d exceeds training.kt %d", e.Runtime.Quorum, e.Training.Kt)
+	}
+	if e.Runtime.Dropout < 0 || e.Runtime.Dropout > 1 {
+		return fmt.Errorf("config: runtime.dropout %v outside [0, 1]", e.Runtime.Dropout)
+	}
+	if e.Method.Compress < 0 || e.Method.Compress >= 1 {
+		return fmt.Errorf("config: method.compress %v outside [0, 1)", e.Method.Compress)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"method.clip", e.Method.Clip},
+		{"method.sigma", e.Method.Sigma},
+		{"method.accountant-sigma", e.Method.AccountantSigma},
+		{"method.delta", e.Method.Delta},
+		{"data.alpha", e.Data.Alpha},
+		{"training.lr", e.Training.LR},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("config: %s must be non-negative, got %v", c.name, c.v)
+		}
+	}
+	if e.Experiment.Scale < 0 {
+		return fmt.Errorf("config: experiment.scale must be non-negative, got %v", e.Experiment.Scale)
+	}
+	if e.Runtime.Simnet && e.Experiment.Name != "" {
+		return fmt.Errorf("config: experiment.name %q cannot run under runtime.simnet (experiment drivers orchestrate their own runs)", e.Experiment.Name)
+	}
+	return nil
+}
+
+func knownMethod(name string) bool {
+	for _, m := range core.Methods() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+func oneOf(name, v string, allowed ...string) error {
+	if v == "" {
+		return nil
+	}
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("config: unknown %s %q (have %v)", name, v, allowed)
+}
+
+// CoreConfig resolves the experiment into a core.Config, stamped with the
+// config's digest so every report, checkpoint and wire round announcement
+// derived from the run carries the experiment identity.
+func (e *Experiment) CoreConfig() core.Config {
+	return core.Config{
+		Dataset:         e.Data.Dataset,
+		Method:          e.Method.Name,
+		K:               e.Training.K,
+		Kt:              e.Training.Kt,
+		Rounds:          e.Training.Rounds,
+		PlannedRounds:   e.Training.PlannedRounds,
+		BatchSize:       e.Training.BatchSize,
+		LocalIters:      e.Training.LocalIters,
+		LR:              e.Training.LR,
+		Clip:            e.Method.Clip,
+		Sigma:           e.Method.Sigma,
+		AccountantSigma: e.Method.AccountantSigma,
+		Delta:           e.Method.Delta,
+		DecayFrom:       e.Method.DecayFrom,
+		DecayTo:         e.Method.DecayTo,
+		ShareFraction:   e.Method.ShareFraction,
+		CompressRatio:   e.Method.Compress,
+		Seed:            e.Seed,
+		ValExamples:     e.Training.ValExamples,
+		EvalEvery:       e.Training.EvalEvery,
+		Parallelism:     e.Training.Parallelism,
+		Engine:          e.Model.Engine,
+		NoiseEngine:     e.Method.NoiseEngine,
+		Runtime:         e.Runtime.Name,
+		Codec:           e.Codec.Wire,
+		Precision:       e.Model.Precision,
+		DropoutRate:     e.Runtime.Dropout,
+		RoundDeadline:   e.Runtime.Deadline,
+		MinQuorum:       e.Runtime.Quorum,
+		Scenario:        dataset.Scenario{Name: e.Data.Scenario, Alpha: e.Data.Alpha, Shards: e.Data.Shards},
+		Aggregation:     e.Aggregation.Rule,
+		Shards:          e.Aggregation.Shards,
+		TreeFanout:      e.Aggregation.TreeFanout,
+		Sampler:         e.Aggregation.Sampler,
+		MuxWorkers:      e.Aggregation.MuxWorkers,
+		Faults:          e.Faults.Plan,
+		ConfigDigest:    e.Digest(),
+	}
+}
+
+// FromCore rebuilds the declarative form of an effective core.Config —
+// the inverse of CoreConfig, used to re-stamp flag overrides into the
+// effective experiment. The derived ConfigDigest field is ignored: the
+// digest is always recomputed from the canonical form.
+func FromCore(cfg core.Config, simnetRun bool) *Experiment {
+	return &Experiment{
+		Version: Version,
+		Seed:    cfg.Seed,
+		Model:   ModelBlock{Engine: cfg.Engine, Precision: cfg.Precision},
+		Data: DataBlock{
+			Dataset:  cfg.Dataset,
+			Scenario: cfg.Scenario.Name,
+			Alpha:    cfg.Scenario.Alpha,
+			Shards:   cfg.Scenario.Shards,
+		},
+		Method: MethodBlock{
+			Name:            cfg.Method,
+			Clip:            cfg.Clip,
+			Sigma:           cfg.Sigma,
+			AccountantSigma: cfg.AccountantSigma,
+			Delta:           cfg.Delta,
+			DecayFrom:       cfg.DecayFrom,
+			DecayTo:         cfg.DecayTo,
+			ShareFraction:   cfg.ShareFraction,
+			Compress:        cfg.CompressRatio,
+			NoiseEngine:     cfg.NoiseEngine,
+		},
+		Runtime: RuntimeBlock{
+			Name:     cfg.Runtime,
+			Simnet:   simnetRun,
+			Deadline: cfg.RoundDeadline,
+			Quorum:   cfg.MinQuorum,
+			Dropout:  cfg.DropoutRate,
+		},
+		Faults: FaultsBlock{Plan: cfg.Faults},
+		Aggregation: AggregationBlock{
+			Rule:       cfg.Aggregation,
+			Shards:     cfg.Shards,
+			TreeFanout: cfg.TreeFanout,
+			Sampler:    cfg.Sampler,
+			MuxWorkers: cfg.MuxWorkers,
+		},
+		Codec: CodecBlock{Wire: cfg.Codec},
+		Training: TrainingBlock{
+			K:             cfg.K,
+			Kt:            cfg.Kt,
+			Rounds:        cfg.Rounds,
+			PlannedRounds: cfg.PlannedRounds,
+			BatchSize:     cfg.BatchSize,
+			LocalIters:    cfg.LocalIters,
+			LR:            cfg.LR,
+			ValExamples:   cfg.ValExamples,
+			EvalEvery:     cfg.EvalEvery,
+			Parallelism:   cfg.Parallelism,
+		},
+		Experiment: ExperimentBlock{Scale: 1},
+	}
+}
+
+// Expand resolves the sweep block into the list of single runs it
+// describes: one experiment per sweep seed, each with the sweep cleared
+// and its own digest. A config without a sweep expands to itself.
+func (e *Experiment) Expand() []*Experiment {
+	if len(e.Sweep.Seeds) == 0 {
+		return []*Experiment{e}
+	}
+	out := make([]*Experiment, len(e.Sweep.Seeds))
+	for i, s := range e.Sweep.Seeds {
+		c := *e
+		c.Seed = s
+		c.Sweep = SweepBlock{}
+		out[i] = &c
+	}
+	return out
+}
+
+// RunSweep executes run(i, exps[i]) for every expanded experiment, at most
+// workers at a time (0 = GOMAXPROCS). Runs are independent seeded
+// experiments, so parallel execution cannot change any result — it only
+// changes wall-clock. All errors are collected and joined.
+func RunSweep(exps []*Experiment, workers int, run func(i int, e *Experiment) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		i, e := i, e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = run(i, e)
+		}()
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err != nil {
+			if first == nil {
+				first = err
+			} else {
+				first = fmt.Errorf("%w; %w", first, err)
+			}
+		}
+	}
+	return first
+}

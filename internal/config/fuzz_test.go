@@ -1,0 +1,43 @@
+package config
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzConfigParse drives arbitrary documents through the parser and holds
+// the canonicalization contract on everything that parses: the canonical
+// form must itself parse, re-canonicalize to the same bytes, and keep the
+// same digest. Parse must never panic, whatever the bytes.
+func FuzzConfigParse(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("version: 1\nseed: 42\n"))
+	f.Add([]byte("method:\n  name: fedcdp\n  sigma: 0.06\n"))
+	f.Add([]byte("data:\n  dataset: cancer\n  scenario: dirichlet\n  alpha: 0.1\n"))
+	f.Add([]byte("runtime:\n  simnet: true\n  deadline: 150ms\n"))
+	f.Add([]byte("sweep:\n  seeds: [1, 2, 3]\n"))
+	f.Add([]byte("data:\n  dataset: \"cancer\"\n"))
+	f.Add([]byte("faults:\n  plan: drop=0.2,crash=2,restart=1\n"))
+	f.Add([]byte("bogus:\n  key: value\n"))
+	f.Add([]byte("method:\n\tsigma: 1\n"))
+	f.Add([]byte(": x\n seed : 1\nseed:2\n"))
+	f.Add(Default().Canonical())
+
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		e, err := Parse(doc)
+		if err != nil {
+			return // rejection is a valid outcome; panics are not
+		}
+		canon := e.Canonical()
+		e2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form of an accepted document does not re-parse: %v\ninput: %q\ncanonical:\n%s", err, doc, canon)
+		}
+		if !bytes.Equal(e2.Canonical(), canon) {
+			t.Fatalf("canonicalization not idempotent for input %q", doc)
+		}
+		if e2.Digest() != e.Digest() {
+			t.Fatalf("digest unstable across canonical round trip for input %q", doc)
+		}
+	})
+}

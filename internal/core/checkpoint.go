@@ -106,11 +106,12 @@ func (c *Checkpoint) Resume(rounds int) (*Result, error) {
 		Model: spec.ModelSpec(),
 		K:     cfg.K, Kt: cfg.Kt, Rounds: rounds,
 		Round: fl.RoundConfig{
-			BatchSize:   cfg.BatchSize,
-			LocalIters:  cfg.LocalIters,
-			LR:          cfg.LR,
-			Engine:      cfg.Engine,
-			NoiseEngine: cfg.NoiseEngine,
+			BatchSize:    cfg.BatchSize,
+			LocalIters:   cfg.LocalIters,
+			LR:           cfg.LR,
+			Engine:       cfg.Engine,
+			NoiseEngine:  cfg.NoiseEngine,
+			ConfigDigest: cfg.ConfigDigest,
 		},
 		Strategy:        strat,
 		Aggregation:     cfg.Aggregation,

@@ -153,6 +153,14 @@ type Config struct {
 	// the plan in-process; RunSimnet additionally realizes it at the
 	// transport level over the in-memory fabric.
 	Faults string
+
+	// ConfigDigest is the canonical digest of the declarative experiment
+	// config this run was derived from (see internal/config). It is pure
+	// metadata — it never influences training — but it is stamped into the
+	// wire RoundConfig and rides in checkpoints so resumed and remote runs
+	// can verify they are executing the same experiment. Empty for runs
+	// assembled directly from flags or struct literals.
+	ConfigDigest string
 }
 
 // withDefaults resolves zero fields against the benchmark spec.
@@ -263,12 +271,13 @@ func Run(cfg Config) (*Result, error) {
 		Model: spec.ModelSpec(),
 		K:     cfg.K, Kt: cfg.Kt, Rounds: cfg.Rounds,
 		Round: fl.RoundConfig{
-			BatchSize:   cfg.BatchSize,
-			LocalIters:  cfg.LocalIters,
-			LR:          cfg.LR,
-			Engine:      cfg.Engine,
-			NoiseEngine: cfg.NoiseEngine,
-			Precision:   cfg.Precision,
+			BatchSize:    cfg.BatchSize,
+			LocalIters:   cfg.LocalIters,
+			LR:           cfg.LR,
+			Engine:       cfg.Engine,
+			NoiseEngine:  cfg.NoiseEngine,
+			Precision:    cfg.Precision,
+			ConfigDigest: cfg.ConfigDigest,
 		},
 		Codec:           cfg.Codec,
 		Strategy:        strat,

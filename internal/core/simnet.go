@@ -132,14 +132,15 @@ func RunSimnet(cfg Config) (*Result, error) {
 	}
 
 	rcfg := fl.RoundConfig{
-		BatchSize:   cfg.BatchSize,
-		LocalIters:  cfg.LocalIters,
-		LR:          cfg.LR,
-		TotalRounds: cfg.Rounds,
-		Scenario:    cfg.Scenario,
-		Engine:      cfg.Engine,
-		NoiseEngine: cfg.NoiseEngine,
-		Precision:   cfg.Precision,
+		BatchSize:    cfg.BatchSize,
+		LocalIters:   cfg.LocalIters,
+		LR:           cfg.LR,
+		TotalRounds:  cfg.Rounds,
+		Scenario:     cfg.Scenario,
+		Engine:       cfg.Engine,
+		NoiseEngine:  cfg.NoiseEngine,
+		Precision:    cfg.Precision,
+		ConfigDigest: cfg.ConfigDigest,
 	}
 	// Under link-level chaos (message cuts, duplicate delivery) ANY
 	// session may legitimately die mid-protocol — those deaths are the

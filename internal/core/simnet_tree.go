@@ -125,14 +125,15 @@ func runSimnetTree(cfg Config, spec dataset.Spec, strat fl.Strategy, ds *dataset
 	defer func() { closeDeployment(dep) }()
 
 	rcfg := fl.RoundConfig{
-		BatchSize:   cfg.BatchSize,
-		LocalIters:  cfg.LocalIters,
-		LR:          cfg.LR,
-		TotalRounds: cfg.Rounds,
-		Scenario:    cfg.Scenario,
-		Engine:      cfg.Engine,
-		NoiseEngine: cfg.NoiseEngine,
-		Precision:   cfg.Precision,
+		BatchSize:    cfg.BatchSize,
+		LocalIters:   cfg.LocalIters,
+		LR:           cfg.LR,
+		TotalRounds:  cfg.Rounds,
+		Scenario:     cfg.Scenario,
+		Engine:       cfg.Engine,
+		NoiseEngine:  cfg.NoiseEngine,
+		Precision:    cfg.Precision,
+		ConfigDigest: cfg.ConfigDigest,
 	}
 	linkChaos := plan.MsgDropRate > 0 || plan.DupRate > 0
 

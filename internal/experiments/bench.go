@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the perf regression gate: it replays the recorded
+// BENCH_*.json baselines by shelling out to `go test -bench`, compares the
+// median ns/op of each benchmark against the recorded number, and fails
+// with a per-benchmark diff when a median regresses past the threshold.
+// `tables -exp bench` is the CLI surface; CI runs it on every push (see
+// DESIGN.md, "Experiment configs", for the thresholds and their
+// rationale).
+
+// BenchSpec maps one recorded baseline file onto the go-test invocation
+// that regenerates its numbers.
+type BenchSpec struct {
+	File    string // baseline JSON, relative to the repo root
+	Pattern string // -bench regexp selecting the recorded benchmarks
+	Pkg     string // package dir relative to the repo root
+}
+
+// BenchSpecs lists every recorded perf baseline in the repository.
+func BenchSpecs() []BenchSpec {
+	return []BenchSpec{
+		{"BENCH_partition.json", "^BenchmarkPartition$", "./internal/dataset"},
+		{"BENCH_sanitize.json", "^(BenchmarkSanitize|BenchmarkNoiseEngine)$", "."},
+		{"BENCH_simnet.json", "^BenchmarkSimnetRounds$", "."},
+		{"BENCH_wire.json", "^BenchmarkWire$", "./internal/fl"},
+		{"BENCH_scale.json", "^BenchmarkSimnetScale$", "."},
+		{"BENCH_robust.json", "^BenchmarkRobustAgg$", "."},
+	}
+}
+
+// benchBaseline is the on-disk BENCH_*.json schema. Field order mirrors
+// the checked-in files so -update rewrites stay reviewable.
+type benchBaseline struct {
+	Comment    string       `json:"comment"`
+	Go         string       `json:"go,omitempty"`
+	Cores      int          `json:"cores,omitempty"`
+	Dataset    string       `json:"dataset,omitempty"`
+	Model      string       `json:"model,omitempty"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Derived/auxiliary columns recorded by some baselines; they are
+	// informational and are NOT rewritten by -update (regenerate manually
+	// per the file's comment when they matter).
+	WireBytes    *float64 `json:"wire_bytes,omitempty"`
+	AllocsPerOp  *float64 `json:"allocs_per_op,omitempty"`
+	RoundsPerSec *float64 `json:"rounds_per_sec,omitempty"`
+	FoldsPerSec  *float64 `json:"folds_per_sec,omitempty"`
+	Note         string   `json:"note,omitempty"`
+}
+
+// BenchOptions configures one regression-gate run.
+type BenchOptions struct {
+	// Root is the repository root holding the BENCH_*.json files and the
+	// benchmark packages ("" = current directory).
+	Root string
+	// Threshold is the allowed fractional slowdown of the median before
+	// the gate fails; 0 means DefaultBenchThreshold.
+	Threshold float64
+	// Count is how many times each benchmark runs (median taken); 0 = 3.
+	Count int
+	// Benchtime is the -benchtime value; "" = "1x" (CI smoke cadence).
+	Benchtime string
+	// Update rewrites each baseline's ns_per_op with the new medians
+	// instead of failing on regression.
+	Update bool
+	// Only restricts the run to baselines whose file name contains the
+	// substring (e.g. "wire"); "" runs all six.
+	Only string
+	// Out receives the per-benchmark report; nil discards it.
+	Out io.Writer
+}
+
+// DefaultBenchThreshold is the fractional median slowdown the gate
+// tolerates. Single-shot (-benchtime=1x) medians on shared CI runners are
+// noisy; 50% headroom keeps the gate quiet on scheduler jitter while still
+// catching the step-function regressions the baselines exist to pin
+// (see DESIGN.md).
+const DefaultBenchThreshold = 0.50
+
+// RunBench replays every recorded baseline and compares medians. It
+// returns ok=false (with a full per-benchmark report on o.Out) when any
+// benchmark regresses past the threshold or disappears from the bench
+// output; infrastructure failures (go test erroring, unparseable output)
+// return an error instead.
+func RunBench(o BenchOptions) (bool, error) {
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.Threshold == 0 {
+		o.Threshold = DefaultBenchThreshold
+	}
+	if o.Count <= 0 {
+		o.Count = 3
+	}
+	if o.Benchtime == "" {
+		o.Benchtime = "1x"
+	}
+	root := o.Root
+	if root == "" {
+		root = "."
+	}
+	ok := true
+	for _, spec := range BenchSpecs() {
+		if o.Only != "" && !strings.Contains(spec.File, o.Only) {
+			continue
+		}
+		sok, err := runBenchSpec(spec, o, root)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", spec.File, err)
+		}
+		ok = ok && sok
+	}
+	return ok, nil
+}
+
+func runBenchSpec(spec BenchSpec, o BenchOptions, root string) (bool, error) {
+	path := filepath.Join(root, spec.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("parsing baseline: %w", err)
+	}
+
+	out, err := goBench(root, spec.Pkg, spec.Pattern, o.Benchtime, o.Count)
+	if err != nil {
+		return false, err
+	}
+	medians, err := medianNsPerOp(out)
+	if err != nil {
+		return false, err
+	}
+
+	fmt.Fprintf(o.Out, "%s (%s %s, median of %d at -benchtime=%s, threshold +%.0f%%)\n",
+		spec.File, spec.Pkg, spec.Pattern, o.Count, o.Benchtime, o.Threshold*100)
+	ok := true
+	for i := range base.Benchmarks {
+		b := &base.Benchmarks[i]
+		got, found := lookupBench(medians, b.Name)
+		if !found {
+			ok = false
+			fmt.Fprintf(o.Out, "  FAIL  %-55s recorded %12.0f ns/op, but the benchmark produced no result\n", b.Name, b.NsPerOp)
+			continue
+		}
+		delta := (got - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if delta > o.Threshold {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(o.Out, "  %-4s  %-55s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", status, b.Name, b.NsPerOp, got, delta*100)
+		if o.Update {
+			b.NsPerOp = got
+		}
+	}
+	// Benchmarks the pattern now produces but the baseline never recorded:
+	// surface them so additions don't silently escape the gate.
+	recorded := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		recorded[b.Name] = true
+	}
+	var extra []string
+	for name := range medians {
+		if !recorded[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(o.Out, "  note  %-55s %12.0f ns/op (unrecorded — add to %s)\n", name, medians[name], spec.File)
+	}
+
+	if o.Update {
+		buf, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			return false, err
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(o.Out, "  updated %s\n", spec.File)
+		return true, nil
+	}
+	return ok, nil
+}
+
+// goBench shells out to the toolchain. -cpu=1 matches the single-core
+// recording convention of every baseline (cores: 1) and keeps benchmark
+// names suffix-free.
+func goBench(root, pkg, pattern, benchtime string, count int) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), "-cpu", "1", pkg)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench %s %s: %v\n%s", pattern, pkg, err, out)
+	}
+	return out, nil
+}
+
+// benchLine matches one testing.B result line: name, iteration count,
+// ns/op. Auxiliary metrics after ns/op are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchOutput collects every ns/op sample per benchmark name from go
+// test -bench output (count runs produce count lines per name).
+func parseBenchOutput(out []byte) map[string][]float64 {
+	samples := map[string][]float64{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples
+}
+
+// medianNsPerOp reduces the samples to a per-benchmark median.
+func medianNsPerOp(out []byte) (map[string]float64, error) {
+	samples := parseBenchOutput(out)
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no benchmark results in output:\n%s", out)
+	}
+	medians := make(map[string]float64, len(samples))
+	for name, vs := range samples {
+		medians[name] = median(vs)
+	}
+	return medians, nil
+}
+
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// lookupBench finds a recorded name in the measured medians, tolerating
+// the -N GOMAXPROCS suffix testing appends when not forced to one core.
+func lookupBench(medians map[string]float64, name string) (float64, bool) {
+	if v, ok := medians[name]; ok {
+		return v, true
+	}
+	suffix := regexp.MustCompile(`-\d+$`)
+	for got, v := range medians {
+		if suffix.ReplaceAllString(got, "") == name {
+			return v, true
+		}
+	}
+	return 0, false
+}

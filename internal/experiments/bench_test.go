@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+pkg: fedcdp/internal/fl
+cpu: some shared runner
+BenchmarkWire/encode/gob         	     469	   2626048 ns/op	  897739 wire_bytes	      69 allocs/op
+BenchmarkWire/encode/gob         	     470	   2600000 ns/op	  897739 wire_bytes	      69 allocs/op
+BenchmarkWire/encode/gob         	     468	   2700000 ns/op	  897739 wire_bytes	      69 allocs/op
+BenchmarkWire/encode/binary-8    	    4096	    249730 ns/op
+BenchmarkSimnetRounds            	       1	 123456789 ns/op	       3.5 rounds/sec
+PASS
+ok  	fedcdp/internal/fl	4.2s
+`)
+	samples := parseBenchOutput(out)
+	if got := len(samples["BenchmarkWire/encode/gob"]); got != 3 {
+		t.Fatalf("collected %d gob samples, want 3 (-count runs stack per name)", got)
+	}
+	if got := samples["BenchmarkWire/encode/binary-8"]; len(got) != 1 || got[0] != 249730 {
+		t.Fatalf("binary sample %v, want [249730]", got)
+	}
+	if got := samples["BenchmarkSimnetRounds"]; len(got) != 1 || got[0] != 123456789 {
+		t.Fatalf("simnet sample %v; auxiliary metrics after ns/op must not confuse the parser", got)
+	}
+
+	medians, err := medianNsPerOp(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if medians["BenchmarkWire/encode/gob"] != 2626048 {
+		t.Fatalf("median %v, want the middle sample 2626048", medians["BenchmarkWire/encode/gob"])
+	}
+
+	if _, err := medianNsPerOp([]byte("PASS\nok x 0.1s\n")); err == nil {
+		t.Fatal("output with no benchmark lines must be an infrastructure error, not a silent pass")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median %v, want 2.5", got)
+	}
+	if got := median([]float64{7}); got != 7 {
+		t.Fatalf("singleton median %v, want 7", got)
+	}
+	in := []float64{9, 1, 5}
+	median(in)
+	if in[0] != 9 {
+		t.Fatal("median must not reorder the caller's samples")
+	}
+}
+
+func TestLookupBench(t *testing.T) {
+	medians := map[string]float64{
+		"BenchmarkPartition/dirichlet-8": 100,
+		"BenchmarkSanitize":              200,
+	}
+	if v, ok := lookupBench(medians, "BenchmarkSanitize"); !ok || v != 200 {
+		t.Fatalf("exact lookup = %v,%v", v, ok)
+	}
+	if v, ok := lookupBench(medians, "BenchmarkPartition/dirichlet"); !ok || v != 100 {
+		t.Fatalf("suffix-tolerant lookup = %v,%v (must strip the -N GOMAXPROCS suffix)", v, ok)
+	}
+	if _, ok := lookupBench(medians, "BenchmarkGone"); ok {
+		t.Fatal("missing benchmark must not resolve")
+	}
+}
+
+// Every recorded baseline must exist at the repo root, parse under the
+// -update schema, and have its recorded names actually selected by the
+// spec's -bench pattern — otherwise the gate would re-run nothing and
+// "pass".
+func TestBenchSpecsMatchBaselines(t *testing.T) {
+	root := "../.."
+	for _, spec := range BenchSpecs() {
+		raw, err := os.ReadFile(filepath.Join(root, spec.File))
+		if err != nil {
+			t.Errorf("%s: %v", spec.File, err)
+			continue
+		}
+		var base benchBaseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			t.Errorf("%s: %v", spec.File, err)
+			continue
+		}
+		if len(base.Benchmarks) == 0 {
+			t.Errorf("%s: records no benchmarks", spec.File)
+		}
+		// -bench matches the pattern against the top-level function name;
+		// sub-benchmark path segments ride along.
+		re, err := regexp.Compile(spec.Pattern)
+		if err != nil {
+			t.Errorf("%s: bad pattern %q: %v", spec.File, spec.Pattern, err)
+			continue
+		}
+		for _, b := range base.Benchmarks {
+			top, _, _ := strings.Cut(b.Name, "/")
+			if !re.MatchString(top) {
+				t.Errorf("%s: recorded %q not selected by -bench %q", spec.File, b.Name, spec.Pattern)
+			}
+			if b.NsPerOp <= 0 {
+				t.Errorf("%s: %s records non-positive ns/op %v", spec.File, b.Name, b.NsPerOp)
+			}
+		}
+		if _, err := os.Stat(filepath.Join(root, spec.Pkg)); err != nil {
+			t.Errorf("%s: package dir %s: %v", spec.File, spec.Pkg, err)
+		}
+	}
+}
+
+// The -update path re-marshals the baseline struct; the struct must carry
+// every field the checked-in files use, or an update would silently drop
+// the derived columns and notes.
+func TestBenchBaselineRoundTripsJSON(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_wire.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.MarshalIndent(&base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b any
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out, &b); err != nil {
+		t.Fatal(err)
+	}
+	av, _ := json.Marshal(a)
+	bv, _ := json.Marshal(b)
+	if !bytes.Equal(av, bv) {
+		t.Fatalf("re-marshaling drops or mangles fields:\nwas:  %s\nnow:  %s", av, bv)
+	}
+}
+
+// One real gate run over the cheapest baseline: shells the toolchain,
+// parses its output, and reports every recorded benchmark. The huge
+// threshold keeps the test about plumbing, not machine speed.
+func TestBenchGateWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess bench run skipped in -short")
+	}
+	var buf bytes.Buffer
+	ok, err := RunBench(BenchOptions{
+		Root:      "../..",
+		Only:      "wire",
+		Count:     1,
+		Threshold: 1000,
+		Out:       &buf,
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !ok {
+		t.Fatalf("gate failed under a 100000%% threshold — a recorded benchmark vanished:\n%s", buf.String())
+	}
+	for _, want := range []string{"BENCH_wire.json", "BenchmarkWire/encode/gob", "ns/op"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -58,6 +58,10 @@ type Options struct {
 	// Sampler selects cohort sampling for training drivers: "" /
 	// fl.SamplerLegacy (default, golden-pinned) or fl.SamplerFloyd.
 	Sampler string
+	// ConfigDigest is the canonical digest of the declarative experiment
+	// config these options were derived from (see internal/config); Run
+	// stamps it into the report. Empty for flag-assembled options.
+	ConfigDigest string
 }
 
 // newDataset builds the benchmark partitioned by the options' scenario.

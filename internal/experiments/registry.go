@@ -53,6 +53,7 @@ func Run(name string, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.ConfigDigest = o.ConfigDigest
 	if o.Scenario.Name != "" {
 		o = o.withDefaults()
 		r.Scenario = o.Scenario.String()

@@ -13,9 +13,12 @@ type Report struct {
 	Name     string // experiment id, e.g. "table2"
 	Title    string
 	Scenario string
-	Header   []string
-	Rows     [][]string
-	Notes    []string
+	// ConfigDigest names the declarative experiment config the report was
+	// produced from (see internal/config); "" for flag-assembled runs.
+	ConfigDigest string
+	Header       []string
+	Rows         [][]string
+	Notes        []string
 }
 
 // Fprint renders the report as an aligned text table.
@@ -23,6 +26,9 @@ func (r *Report) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "=== %s: %s ===\n", r.Name, r.Title)
 	if r.Scenario != "" {
 		fmt.Fprintf(w, "scenario: %s\n", r.Scenario)
+	}
+	if r.ConfigDigest != "" {
+		fmt.Fprintf(w, "config: %s\n", r.ConfigDigest)
 	}
 	widths := make([]int, len(r.Header))
 	for i, h := range r.Header {

@@ -503,6 +503,7 @@ func appendParamPayload(b []byte, m *ParamMsg) []byte {
 	b = appendStr(b, m.Cfg.Engine)
 	b = appendStr(b, m.Cfg.NoiseEngine)
 	b = appendStr(b, m.Cfg.Precision)
+	b = appendStr(b, m.Cfg.ConfigDigest)
 	return appendDenseSection(b, m.Params)
 }
 
@@ -522,9 +523,10 @@ func parseParamPayload(b []byte, m *ParamMsg) error {
 				Alpha:  r.f64(),
 				Shards: int(r.i64()),
 			},
-			Engine:      r.str(),
-			NoiseEngine: r.str(),
-			Precision:   r.str(),
+			Engine:       r.str(),
+			NoiseEngine:  r.str(),
+			Precision:    r.str(),
+			ConfigDigest: r.str(),
 		},
 	}
 	dense, sparse, quant, err := readTensors(&r)

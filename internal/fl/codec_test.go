@@ -499,6 +499,7 @@ func TestBinaryHostileTensorSections(t *testing.T) {
 	qp = appendStr(qp, "")  // Engine
 	qp = appendStr(qp, "")  // NoiseEngine
 	qp = appendStr(qp, "")  // Precision
+	qp = appendStr(qp, "")  // ConfigDigest
 	qp = appendUpdateSection(qp, &UpdateMsg{Quant: QuantizeUpdate([]*tensor.Tensor{tensor.FromSlice([]float64{1}, 1)}, QuantInt8, nil)})
 	var pm ParamMsg
 	if err := parseParamPayload(qp, &pm); err == nil || !strings.Contains(err.Error(), "dense") {

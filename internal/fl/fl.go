@@ -116,6 +116,13 @@ type RoundConfig struct {
 	// with the round so every participant trains at the same width;
 	// evaluation and DP noise always run at float64.
 	Precision string
+	// ConfigDigest is the canonical digest of the declarative experiment
+	// config the server is running (see internal/config). Pure metadata —
+	// it never influences training — but clients that were launched from a
+	// config can verify it against their own digest
+	// (ClientOptions.ExpectDigest) and refuse a server running a different
+	// experiment. Empty when the server was assembled from flags.
+	ConfigDigest string
 }
 
 // ClientEnv is everything a strategy needs to run one client's local

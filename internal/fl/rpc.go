@@ -644,6 +644,13 @@ type ClientOptions struct {
 	// Callers looping over rounds should use RunRemoteClientRound to
 	// learn the served round and keep MinRound at lastDone+1.
 	MinRound int
+	// ExpectDigest, when set, is the canonical config digest this client
+	// was launched from (see internal/config): the client refuses a round
+	// announcement whose RoundConfig carries a different non-empty digest,
+	// so a config-driven fleet cannot silently train against a server
+	// running another experiment. A server with no digest (flag-assembled)
+	// is accepted — the stamp is an integrity check, not a capability.
+	ExpectDigest string
 }
 
 func (o ClientOptions) dial(addr string) (net.Conn, error) {
@@ -712,6 +719,9 @@ func RunRemoteClientRound(addr string, clientID int, strat Strategy, data *datas
 	}
 	if err := pm.Validate(); err != nil {
 		return 0, fmt.Errorf("fl: invalid round announcement: %w", err)
+	}
+	if opt.ExpectDigest != "" && pm.Cfg.ConfigDigest != "" && pm.Cfg.ConfigDigest != opt.ExpectDigest {
+		return 0, fmt.Errorf("fl: server is running experiment %s, this client was configured for %s", pm.Cfg.ConfigDigest, opt.ExpectDigest)
 	}
 	if pm.Cfg.Scenario.Name != "" {
 		// The server published a heterogeneity scenario with the round
