@@ -138,7 +138,8 @@ func BenchmarkAblationFlatVsLayerClip(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.ReportMetric(hist.FinalAccuracy(), "final-acc")
+			acc, _ := hist.FinalAccuracy()
+			b.ReportMetric(acc, "final-acc")
 		}
 	}
 	b.Run("layer-clip", func(b *testing.B) { run(b, false) })
@@ -172,7 +173,8 @@ func BenchmarkAblationDecaySchedules(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(hist.FinalAccuracy(), "final-acc")
+				acc, _ := hist.FinalAccuracy()
+				b.ReportMetric(acc, "final-acc")
 			}
 		})
 	}
@@ -677,6 +679,39 @@ func BenchmarkSimnetRounds(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RunSimnet(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds*b.N)/b.Elapsed().Seconds(), "rounds/sec")
+		})
+	}
+}
+
+// BenchmarkChurn prices the open-world population engine against the
+// closed world it generalizes: the same six-round Fed-CDP federation with
+// no population clauses (static fast path — global accountant, legacy
+// cohort draws), with one-shot arrivals/departures, and under memoryless
+// churn (both on the dynamic path: per-round active sets, active-set
+// cohort draws, per-user ε ledgers). Baselines in BENCH_churn.json; the
+// tables -exp bench gate keeps the open-world machinery from taxing
+// closed-world runs.
+func BenchmarkChurn(b *testing.B) {
+	for _, tc := range []struct{ name, plan string }{
+		{"closed", ""},
+		{"events", "join=2@2,leave=2@4"},
+		{"churn", "churn=0.25"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			const rounds = 6
+			cfg := core.Config{
+				Dataset: "cancer", Method: core.MethodFedCDP,
+				K: 10, Kt: 4, Rounds: rounds, LocalIters: 2,
+				Sigma: 0.06, Seed: 42, ValExamples: 40, EvalEvery: 100,
+				Population: tc.plan,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -166,8 +166,9 @@ func main() {
 		for _, r := range eval.Rounds {
 			folded += r.Clients
 		}
+		acc, _ := eval.FinalAccuracy()
 		fmt.Printf("defense-eval: acc=%.3f eps=%.4f folded=%d rounds=%d\n",
-			eval.FinalAccuracy(), eval.FinalEpsilon(), folded, len(eval.Rounds))
+			acc, eval.FinalEpsilon(), folded, len(eval.Rounds))
 	}
 	fmt.Printf("revealed=%v match-loss-converged=%v iterations=%d\n", res.Revealed, res.Success, res.Iterations)
 	fmt.Printf("reconstruction-distance=%.4f final-loss=%.3g\n", res.Distance, res.FinalLoss)

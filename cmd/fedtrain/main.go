@@ -67,6 +67,7 @@ func main() {
 	flag.StringVar(&cfg.Scenario.Name, "scenario", "", "data-heterogeneity scenario: "+strings.Join(dataset.ScenarioNames(), ", ")+" (default iid)")
 	flag.Float64Var(&cfg.Scenario.Alpha, "alpha", 0, "dirichlet concentration (0 = default 0.5)")
 	flag.IntVar(&cfg.Scenario.Shards, "shards", 0, "pathological label shards per client (0 = default 2)")
+	flag.IntVar(&cfg.Scenario.Period, "period", 0, "rounds per stage for time-varying scenarios (incremental, decaynoise; 0 = default 5)")
 	flag.StringVar(&cfg.Aggregation, "agg", "", "aggregation rule: fedsgd (default), fedavg, weighted, or robust — median, trimmed[:beta], krum[:f] (robust rules require -agg-shards 0; see DESIGN.md)")
 	flag.IntVar(&cfg.Shards, "agg-shards", 0, "aggregation topology: 0 = legacy flat float fold, 1 = flat exact fold, >=2 = edge-aggregator tree (bit-identical to 1 at any count; see DESIGN.md)")
 	flag.IntVar(&cfg.TreeFanout, "tree", 0, "aggregation-tree partial compose fan-in (0 = all at once)")
@@ -74,6 +75,7 @@ func main() {
 	flag.IntVar(&cfg.MuxWorkers, "mux-workers", 0, "simnet virtual-client worker pool size (0 = GOMAXPROCS; population size is unconstrained)")
 	flag.Float64Var(&cfg.DropoutRate, "dropout", 0, "per-round client dropout probability")
 	flag.StringVar(&cfg.Faults, "faults", "", "deterministic fault/adversary plan, e.g. 'drop=0.2,crash=2' or 'byzantine=2:signflip,poison=1:0.8' (see DESIGN.md)")
+	flag.StringVar(&cfg.Population, "population", "", "open-world population plan, e.g. 'join=4@3,leave=2@6,churn=0.1' (see DESIGN.md)")
 	useSimnet := flag.Bool("simnet", false, "run the federation over the in-memory simnet fabric (RPC path, virtual time)")
 	flag.DurationVar(&cfg.RoundDeadline, "deadline", 0, "per-round straggler cutoff (0 = wait for full cohort)")
 	flag.IntVar(&cfg.MinQuorum, "quorum", 0, "minimum updates required to commit a round")
@@ -159,8 +161,17 @@ func main() {
 		}
 		fmt.Printf("%5d  %s  %9.4f  %7.2f  %7.4f\n", r.Round, acc, r.MeanGradNorm, r.MsPerIter, r.Epsilon)
 	}
+	finalAcc, _ := res.FinalAccuracy()
+	bestAcc, _ := res.BestAccuracy()
+	meanMs, _ := res.MeanMsPerIter()
 	fmt.Printf("final: accuracy=%.4f best=%.4f epsilon=%.4f mean-ms/iter=%.2f\n",
-		res.FinalAccuracy(), res.BestAccuracy(), res.FinalEpsilon(), res.MeanMsPerIter())
+		finalAcc, bestAcc, res.FinalEpsilon(), meanMs)
+	if res.Ledger != nil {
+		maxEps, _, worst := res.Ledger.MaxEpsilon()
+		minEps, least := res.Ledger.MinEpsilon()
+		fmt.Printf("ledger: users=%d eps-max=%.4f (user %d) eps-min=%.4f (user %d)\n",
+			len(res.Ledger.Users()), maxEps, worst, minEps, least)
+	}
 }
 
 // runSweep executes a config's expanded multi-seed runs in parallel across
@@ -180,8 +191,10 @@ func runSweep(runs []*config.Experiment, workers int, ckptOut string) {
 			return fmt.Errorf("seed %d: %w", e.Seed, rerr)
 		}
 		mu.Lock()
+		acc, _ := res.FinalAccuracy()
+		best, _ := res.BestAccuracy()
 		lines[i] = fmt.Sprintf("seed=%-6d digest=%s accuracy=%.4f best=%.4f epsilon=%.4f",
-			e.Seed, e.Digest(), res.FinalAccuracy(), res.BestAccuracy(), res.FinalEpsilon())
+			e.Seed, e.Digest(), acc, best, res.FinalEpsilon())
 		mu.Unlock()
 		return nil
 	})

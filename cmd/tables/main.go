@@ -61,7 +61,7 @@ func writeCSV(out io.Writer, rep *experiments.Report) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig1, fig3, fig4, fig5, faults, byzantine), 'all', or 'bench' (perf regression gate)")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig1, fig3, fig4, fig5, faults, byzantine, churn), 'all', or 'bench' (perf regression gate)")
 	scale := flag.Float64("scale", 1, "effort multiplier (1 = default scaled-down run)")
 	seed := flag.Int64("seed", 42, "root random seed")
 	format := flag.String("format", "text", "output format: text or csv")

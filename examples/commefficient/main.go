@@ -70,7 +70,8 @@ training:
 	if err != nil {
 		log.Fatal(err)
 	}
-	return res.FinalAccuracy()
+	acc, _ := res.FinalAccuracy()
+	return acc
 }
 
 // attackCompressed runs the mask-aware type-2 attack on a compressed

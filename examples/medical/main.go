@@ -66,7 +66,8 @@ func main() {
 		if res.FinalEpsilon() > 0 {
 			eps = fmt.Sprintf("%7.4f", res.FinalEpsilon())
 		}
-		fmt.Printf("%-14s  %8.4f  %s\n", res.Strategy, res.FinalAccuracy(), eps)
+		acc, _ := res.FinalAccuracy()
+		fmt.Printf("%-14s  %8.4f  %s\n", res.Strategy, acc, eps)
 	}
 
 	// What does the server actually see from one hospital?

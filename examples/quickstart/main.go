@@ -61,8 +61,9 @@ func main() {
 	for _, r := range res.Rounds {
 		fmt.Printf("%5d  %8.4f  %7.4f\n", r.Round, r.Accuracy, r.Epsilon)
 	}
+	acc, _ := res.FinalAccuracy()
 	fmt.Printf("\nfinal accuracy %.4f with (ε=%.4f, δ=1e-5) differential privacy\n",
-		res.FinalAccuracy(), res.FinalEpsilon())
+		acc, res.FinalEpsilon())
 	fmt.Println("every per-example gradient was clipped and noised before leaving an iteration —")
 	fmt.Println("type-0, type-1 and type-2 gradient leakage attacks all see sanitized values.")
 }

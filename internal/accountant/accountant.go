@@ -46,7 +46,13 @@ func (a *Accountant) Accumulate(q, sigma float64, steps int) {
 func (a *Accountant) Steps() int { return a.steps }
 
 // Epsilon returns the current privacy spending ε and the optimal RDP order.
+// Before any composition it reports exactly 0: with no mechanism run the
+// guarantee is perfect, and the RDP→(ε, δ) conversion's log(1/δ)/(α−1)
+// floor is an artifact of the order grid, not spend.
 func (a *Accountant) Epsilon() (eps, optOrder float64) {
+	if a.steps == 0 {
+		return 0, a.orders[0]
+	}
 	best := -1.0
 	bestOrder := a.orders[0]
 	for i, o := range a.orders {

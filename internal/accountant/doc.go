@@ -21,4 +21,13 @@
 // Because the per-step RDP grid depends only on (q, σ), it is memoized
 // across rounds and accountants (rdp.go): repeated accumulation at one
 // noise scale is a table lookup, bit-identical to direct computation.
+//
+// Ledger extends the same accounting to open-world populations: one RDP
+// accumulator per user (Participate), charged only for committed rounds
+// the user was present for, with MaxEpsilon — the worst-exposed user —
+// as the run's published ε and MinEpsilon surfacing the exposure spread
+// a single global accountant cannot represent. Under uniform
+// participation the ledger max is bit-identical to a global Accountant,
+// which is what lets open-world runtimes publish it without perturbing
+// any closed-world golden. See DESIGN.md, "Open-world population".
 package accountant

@@ -1,0 +1,108 @@
+package accountant
+
+import "sort"
+
+// Ledger is the per-user privacy accountant of an open-world federation:
+// one Accountant per client id, each accumulating only the compositions of
+// the rounds that client was actually exposed to. The global, user-level ε
+// of the run is the maximum over the ledgers (differential privacy is a
+// per-user guarantee; the worst-exposed user bounds everyone).
+//
+// On a closed-world run every user participates in the sampling pool of
+// every committed round, so every per-user accountant performs the exact
+// Accumulate sequence a single global Accountant would — the max then
+// collapses to today's global ε bit-for-bit (the per-step RDP grid is
+// memoized across accountants, so the floats are literally shared).
+// Per-user ε diverges exactly when the population does: a client that
+// arrives late, departs early, or churns away misses those rounds' charges
+// and retains a strictly smaller spend.
+type Ledger struct {
+	Delta float64
+	users map[int]*Accountant
+}
+
+// NewLedger returns an empty ledger for a fixed δ.
+func NewLedger(delta float64) *Ledger {
+	return &Ledger{Delta: delta, users: map[int]*Accountant{}}
+}
+
+// Participate charges client id with `steps` compositions of the sampled
+// Gaussian mechanism at sampling rate q and noise scale sigma — one call
+// per round the client was in the round's sampling pool. The charge is
+// identical to Accountant.Accumulate, so a user who participates in every
+// round carries exactly the global accountant's state.
+func (l *Ledger) Participate(clientID int, q, sigma float64, steps int) {
+	a, ok := l.users[clientID]
+	if !ok {
+		a = New(l.Delta)
+		l.users[clientID] = a
+	}
+	a.Accumulate(q, sigma, steps)
+}
+
+// Users returns the ids that have ever participated, ascending.
+func (l *Ledger) Users() []int {
+	ids := make([]int, 0, len(l.users))
+	for id := range l.users {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// UserEpsilon returns one user's current (ε, optimal order); ok is false
+// for users that never participated (their true spend is zero — no
+// mechanism ever saw their data).
+func (l *Ledger) UserEpsilon(clientID int) (eps, optOrder float64, ok bool) {
+	a, found := l.users[clientID]
+	if !found {
+		return 0, 0, false
+	}
+	eps, optOrder = a.Epsilon()
+	return eps, optOrder, true
+}
+
+// Steps returns the compositions accumulated against one user (0 if none).
+func (l *Ledger) Steps(clientID int) int {
+	if a, ok := l.users[clientID]; ok {
+		return a.Steps()
+	}
+	return 0
+}
+
+// MaxEpsilon returns the run's user-level privacy spending: the maximum ε
+// over all per-user ledgers with its optimal order, and the id of the
+// worst-exposed user (ties resolve to the lowest id, so the answer is
+// deterministic). An empty ledger spends nothing and returns zeros.
+func (l *Ledger) MaxEpsilon() (eps, optOrder float64, worst int) {
+	found := false
+	for _, id := range l.Users() {
+		e, o, _ := l.UserEpsilon(id)
+		if !found || e > eps {
+			eps, optOrder, worst = e, o, id
+			found = true
+		}
+	}
+	if !found {
+		return 0, 0, -1
+	}
+	return eps, optOrder, worst
+}
+
+// MinEpsilon returns the smallest per-user ε among participants with its
+// user id — together with MaxEpsilon it bounds the spread an open-world
+// run induces. An empty ledger returns zeros.
+func (l *Ledger) MinEpsilon() (eps float64, least int) {
+	found := false
+	for _, id := range l.Users() {
+		e, _, _ := l.UserEpsilon(id)
+		if !found || e < eps {
+			eps, least = e, id
+			found = true
+		}
+	}
+	if !found {
+		return 0, -1
+	}
+	return eps, least
+}

@@ -1,0 +1,108 @@
+package accountant
+
+import "testing"
+
+// The per-user ledger must collapse to the global accountant bit-for-bit
+// when every user participates in every round — that identity is what lets
+// the open-world runtimes publish the ledger's max as the run's ε without
+// perturbing a single closed-world golden.
+func TestLedgerStaticParity(t *testing.T) {
+	const delta, q, sigma, steps, rounds, users = 1e-5, 0.02, 6.0, 20, 15, 8
+	global := New(delta)
+	led := NewLedger(delta)
+	for r := 0; r < rounds; r++ {
+		global.Accumulate(q, sigma, steps)
+		for id := 0; id < users; id++ {
+			led.Participate(id, q, sigma, steps)
+		}
+		wantEps, wantOrder := global.Epsilon()
+		gotEps, gotOrder, worst := led.MaxEpsilon()
+		if gotEps != wantEps || gotOrder != wantOrder {
+			t.Fatalf("round %d: ledger max ε (%v @ %v) != global accountant (%v @ %v)",
+				r, gotEps, gotOrder, wantEps, wantOrder)
+		}
+		if worst != 0 {
+			t.Fatalf("round %d: uniform participation must tie-break to user 0, got %d", r, worst)
+		}
+		if minEps, _ := led.MinEpsilon(); minEps != wantEps {
+			t.Fatalf("round %d: uniform participation spread min %v != max %v", r, minEps, wantEps)
+		}
+	}
+	if len(led.Users()) != users {
+		t.Fatalf("ledger tracks %d users, want %d", len(led.Users()), users)
+	}
+	for id := 0; id < users; id++ {
+		if led.Steps(id) != rounds*steps {
+			t.Fatalf("user %d accumulated %d steps, want %d", id, led.Steps(id), rounds*steps)
+		}
+	}
+}
+
+// Uneven exposure must surface as a per-user ε spread with the worst- and
+// least-exposed users correctly identified — the quantity a single global
+// accountant structurally cannot report.
+func TestLedgerSpread(t *testing.T) {
+	const delta, q, sigma = 1e-5, 0.02, 6.0
+	led := NewLedger(delta)
+	led.Participate(3, q, sigma, 100) // heavy participant
+	led.Participate(5, q, sigma, 10)  // light participant
+	maxEps, _, worst := led.MaxEpsilon()
+	minEps, least := led.MinEpsilon()
+	if worst != 3 || least != 5 {
+		t.Fatalf("worst/least = %d/%d, want 3/5", worst, least)
+	}
+	if maxEps <= minEps {
+		t.Fatalf("spread inverted: max %v ≤ min %v", maxEps, minEps)
+	}
+	e3, _, ok3 := led.UserEpsilon(3)
+	if !ok3 || e3 != maxEps {
+		t.Fatalf("UserEpsilon(3) = %v (ok=%v), want max %v", e3, ok3, maxEps)
+	}
+	if _, _, ok := led.UserEpsilon(99); ok {
+		t.Fatal("never-participating user must report ok=false")
+	}
+	if led.Steps(99) != 0 {
+		t.Fatal("never-participating user must report 0 steps")
+	}
+	// The composition count, not the call count, determines the state: one
+	// 100-step charge equals a hundred 1-step charges (up to float summation
+	// order — steps×grid vs. repeated adds).
+	split := NewLedger(delta)
+	for i := 0; i < 100; i++ {
+		split.Participate(3, q, sigma, 1)
+	}
+	se, _, _ := split.UserEpsilon(3)
+	if diff := se - e3; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("split charges ε %v != bulk charge ε %v", se, e3)
+	}
+	if split.Steps(3) != 100 {
+		t.Fatalf("split charges accumulated %d steps, want 100", split.Steps(3))
+	}
+}
+
+func TestLedgerEmpty(t *testing.T) {
+	led := NewLedger(1e-5)
+	if eps, order, worst := led.MaxEpsilon(); eps != 0 || order != 0 || worst != -1 {
+		t.Fatalf("empty MaxEpsilon = (%v, %v, %d), want (0, 0, -1)", eps, order, worst)
+	}
+	if eps, least := led.MinEpsilon(); eps != 0 || least != -1 {
+		t.Fatalf("empty MinEpsilon = (%v, %d), want (0, -1)", eps, least)
+	}
+	if len(led.Users()) != 0 {
+		t.Fatal("empty ledger has users")
+	}
+}
+
+// A participant with zero accumulated steps spends nothing — the Epsilon
+// zero-composition rule holds per user as it does globally.
+func TestLedgerZeroStepsSpendNothing(t *testing.T) {
+	led := NewLedger(1e-5)
+	led.Participate(1, 0.02, 6.0, 0)
+	eps, _, ok := led.UserEpsilon(1)
+	if !ok {
+		t.Fatal("registered user must report ok=true")
+	}
+	if eps != 0 {
+		t.Fatalf("zero compositions spent ε %v, want exactly 0", eps)
+	}
+}

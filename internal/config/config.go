@@ -59,6 +59,7 @@ type DataBlock struct {
 	Scenario string  // partitioner scenario ("" = iid)
 	Alpha    float64 // dirichlet concentration (0 = scenario default)
 	Shards   int     // pathological label shards per client (0 = default)
+	Period   int     // rounds per stage for time-varying scenarios (0 = default)
 }
 
 // MethodBlock is the privacy method and its parameters.
@@ -84,9 +85,12 @@ type RuntimeBlock struct {
 	Dropout  float64       // per-round client dropout probability
 }
 
-// FaultsBlock is the deterministic fault/adversary plan.
+// FaultsBlock is the deterministic fault/adversary plan and the open-world
+// population plan. Both use the simnet grammar; core concatenates them into
+// one bound plan.
 type FaultsBlock struct {
-	Plan string // simnet grammar, e.g. "drop=0.2,crash=2,restart=1"
+	Plan       string // simnet grammar, e.g. "drop=0.2,crash=2,restart=1"
+	Population string // population clauses, e.g. "join=4@3,leave=2@6,churn=0.1"
 }
 
 // AggregationBlock is the server fold rule and topology.
@@ -211,12 +215,15 @@ func (e *Experiment) Validate() error {
 	if !fl.ValidAggregation(e.Aggregation.Rule) {
 		return fmt.Errorf("config: unknown aggregation.rule %q", e.Aggregation.Rule)
 	}
-	sc := dataset.Scenario{Name: e.Data.Scenario, Alpha: e.Data.Alpha, Shards: e.Data.Shards}
+	sc := dataset.Scenario{Name: e.Data.Scenario, Alpha: e.Data.Alpha, Shards: e.Data.Shards, Period: e.Data.Period}
 	if _, err := sc.Partitioner(); err != nil {
 		return fmt.Errorf("config: data.scenario: %w", err)
 	}
 	if _, err := simnet.ParsePlan(e.Faults.Plan); err != nil {
 		return fmt.Errorf("config: faults.plan: %w", err)
+	}
+	if _, err := simnet.ParsePlan(e.Faults.Population); err != nil {
+		return fmt.Errorf("config: faults.population: %w", err)
 	}
 	for _, c := range []struct {
 		name string
@@ -236,6 +243,7 @@ func (e *Experiment) Validate() error {
 		{"aggregation.tree-fanout", e.Aggregation.TreeFanout},
 		{"aggregation.mux-workers", e.Aggregation.MuxWorkers},
 		{"data.shards", e.Data.Shards},
+		{"data.period", e.Data.Period},
 	} {
 		if c.v < 0 {
 			return fmt.Errorf("config: %s must be non-negative, got %d", c.name, c.v)
@@ -332,13 +340,14 @@ func (e *Experiment) CoreConfig() core.Config {
 		DropoutRate:     e.Runtime.Dropout,
 		RoundDeadline:   e.Runtime.Deadline,
 		MinQuorum:       e.Runtime.Quorum,
-		Scenario:        dataset.Scenario{Name: e.Data.Scenario, Alpha: e.Data.Alpha, Shards: e.Data.Shards},
+		Scenario:        dataset.Scenario{Name: e.Data.Scenario, Alpha: e.Data.Alpha, Shards: e.Data.Shards, Period: e.Data.Period},
 		Aggregation:     e.Aggregation.Rule,
 		Shards:          e.Aggregation.Shards,
 		TreeFanout:      e.Aggregation.TreeFanout,
 		Sampler:         e.Aggregation.Sampler,
 		MuxWorkers:      e.Aggregation.MuxWorkers,
 		Faults:          e.Faults.Plan,
+		Population:      e.Faults.Population,
 		ConfigDigest:    e.Digest(),
 	}
 }
@@ -357,6 +366,7 @@ func FromCore(cfg core.Config, simnetRun bool) *Experiment {
 			Scenario: cfg.Scenario.Name,
 			Alpha:    cfg.Scenario.Alpha,
 			Shards:   cfg.Scenario.Shards,
+			Period:   cfg.Scenario.Period,
 		},
 		Method: MethodBlock{
 			Name:            cfg.Method,
@@ -377,7 +387,7 @@ func FromCore(cfg core.Config, simnetRun bool) *Experiment {
 			Quorum:   cfg.MinQuorum,
 			Dropout:  cfg.DropoutRate,
 		},
-		Faults: FaultsBlock{Plan: cfg.Faults},
+		Faults: FaultsBlock{Plan: cfg.Faults, Population: cfg.Population},
 		Aggregation: AggregationBlock{
 			Rule:       cfg.Aggregation,
 			Shards:     cfg.Shards,

@@ -38,6 +38,7 @@ func schema() []field {
 		fStr("data", "scenario", "scenario", func(e *Experiment) *string { return &e.Data.Scenario }),
 		fF64("data", "alpha", "alpha", func(e *Experiment) *float64 { return &e.Data.Alpha }),
 		fInt("data", "shards", "shards", func(e *Experiment) *int { return &e.Data.Shards }),
+		fInt("data", "period", "period", func(e *Experiment) *int { return &e.Data.Period }),
 
 		fStr("method", "name", "method", func(e *Experiment) *string { return &e.Method.Name }),
 		fF64("method", "clip", "clip", func(e *Experiment) *float64 { return &e.Method.Clip }),
@@ -57,6 +58,7 @@ func schema() []field {
 		fF64("runtime", "dropout", "dropout", func(e *Experiment) *float64 { return &e.Runtime.Dropout }),
 
 		fStr("faults", "plan", "faults", func(e *Experiment) *string { return &e.Faults.Plan }),
+		fStr("faults", "population", "population", func(e *Experiment) *string { return &e.Faults.Population }),
 
 		fStr("aggregation", "rule", "agg", func(e *Experiment) *string { return &e.Aggregation.Rule }),
 		fInt("aggregation", "shards", "agg-shards", func(e *Experiment) *int { return &e.Aggregation.Shards }),

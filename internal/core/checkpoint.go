@@ -134,16 +134,24 @@ func (c *Checkpoint) Resume(rounds int) (*Result, error) {
 	// Account for the full composition: checkpointed + resumed rounds.
 	full := cfg
 	full.Rounds = c.NextRound + rounds
-	annotateEpsilonOffset(full, spec, hist, c.NextRound)
+	annotateEpsilonOffset(full, spec, hist, c.NextRound, fl.PopulationOf(cfg.K, faults))
 	res := &Result{History: hist, Spec: spec, Cfg: full}
 	return res, nil
 }
 
 // annotateEpsilonOffset is annotateEpsilon for a resumed run: it first
-// composes the checkpointed rounds, then annotates the new ones.
-func annotateEpsilonOffset(cfg Config, spec dataset.Spec, hist *fl.History, skip int) {
+// composes the checkpointed rounds, then annotates the new ones. The
+// checkpoint records parameters, not per-round commit outcomes, so the
+// checkpointed prefix is charged as committed — the sound (upper-bound)
+// assumption for rounds whose effect is already in the resumed parameters.
+func annotateEpsilonOffset(cfg Config, spec dataset.Spec, hist *fl.History, skip int, pop fl.Population) {
 	tmp := fl.History{Rounds: make([]fl.RoundStats, skip+len(hist.Rounds))}
-	annotateEpsilon(cfg, spec, &tmp)
+	for i := 0; i < skip; i++ {
+		tmp.Rounds[i].Round = i
+		tmp.Rounds[i].Committed = true
+	}
+	copy(tmp.Rounds[skip:], hist.Rounds)
+	annotateEpsilon(cfg, spec, &tmp, pop)
 	for i := range hist.Rounds {
 		hist.Rounds[i].Epsilon = tmp.Rounds[skip+i].Epsilon
 	}

@@ -154,6 +154,16 @@ type Config struct {
 	// transport level over the in-memory fabric.
 	Faults string
 
+	// Population is a deterministic open-world population plan in the same
+	// simnet grammar — join=n@r, leave=n@r, churn=rate clauses (see
+	// simnet.ParsePlan). It is concatenated with Faults and bound to
+	// (Seed, Rounds, K), so which clients exist in which rounds is a pure
+	// function of the configuration: cohorts are sampled only from each
+	// round's active set, and privacy is accounted per user (see
+	// Result.Ledger). The empty string is the closed world every
+	// pre-population run assumed.
+	Population string
+
 	// ConfigDigest is the canonical digest of the declarative experiment
 	// config this run was derived from (see internal/config). It is pure
 	// metadata — it never influences training — but it is stamped into the
@@ -237,6 +247,11 @@ type Result struct {
 	*fl.History
 	Spec dataset.Spec
 	Cfg  Config
+	// Ledger holds the per-user privacy accountants of an open-world run
+	// (Config.Population set and dynamic); History's per-round ε is then
+	// the max over the ledgers. Nil on closed-world runs, where every user
+	// spends identically and the single global accountant is exact.
+	Ledger *accountant.Ledger
 }
 
 // Run executes the configured experiment: it resolves the benchmark,
@@ -299,8 +314,22 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	annotateEpsilon(cfg, spec, hist)
-	return &Result{History: hist, Spec: spec, Cfg: cfg}, nil
+	ledger := annotateEpsilon(cfg, spec, hist, fl.PopulationOf(cfg.K, faults))
+	return &Result{History: hist, Spec: spec, Cfg: cfg, Ledger: ledger}, nil
+}
+
+// planSpec joins the fault and population clauses into the single simnet
+// plan the run binds — they share the grammar and the (Seed, Rounds, K)
+// binding, so "drop=0.2" and "churn=0.1" compose exactly like two clauses
+// of one plan string.
+func (c Config) planSpec() string {
+	switch {
+	case c.Faults == "":
+		return c.Population
+	case c.Population == "":
+		return c.Faults
+	}
+	return c.Faults + "," + c.Population
 }
 
 // faultPlan parses and binds the configured fault plan over a round
@@ -308,14 +337,43 @@ func Run(cfg Config) (*Result, error) {
 // The horizon matters for resumed runs: binding over the full plan keeps a
 // checkpoint-resumed run failing exactly like the uninterrupted one.
 func (c Config) faultPlan(horizon int) (fl.FaultPlan, error) {
-	if c.Faults == "" {
+	spec := c.planSpec()
+	if spec == "" {
 		return nil, nil
 	}
-	plan, err := simnet.ParsePlan(c.Faults)
+	plan, err := simnet.ParsePlan(spec)
 	if err != nil {
 		return nil, err
 	}
 	return plan.Bind(c.Seed, horizon, c.K)
+}
+
+// roundSamplingRate returns the method's per-step sampling rate for a round
+// whose sampling pool holds `active` clients. Fed-CDP samples instances at
+// q = B·kt/N; Fed-SDP samples clients at q = kt/active. kt is the cohort
+// actually drawable — capped at the active population, exactly as the
+// runtimes cap it.
+func roundSamplingRate(cfg Config, spec dataset.Spec, active int) float64 {
+	kt := cfg.Kt
+	if kt > active {
+		kt = active
+	}
+	var q float64
+	switch cfg.Method {
+	case MethodFedCDP, MethodFedCDPDecay:
+		p := accountant.Params{
+			TotalData:  spec.TrainN,
+			PerRoundKt: kt,
+			BatchSize:  cfg.BatchSize,
+		}
+		q = p.FedCDPSamplingRate()
+	case MethodFedSDP, MethodFedSDPSrv:
+		q = float64(kt) / float64(active)
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q
 }
 
 // annotateEpsilon fills RoundStats.Epsilon with cumulative privacy spending.
@@ -323,35 +381,55 @@ func (c Config) faultPlan(horizon int) (fl.FaultPlan, error) {
 // rate q = B·Kt/N; Fed-SDP composes one step per round at the client-level
 // rate q = Kt/K. Non-private methods and DSSGD provide no guarantee (ε stays
 // 0, i.e. "unbounded" — see History documentation).
-func annotateEpsilon(cfg Config, spec dataset.Spec, hist *fl.History) {
-	var q float64
+//
+// Only committed rounds are charged: a round below quorum leaves the global
+// model unchanged and publishes nothing, so composing its mechanism would
+// overstate the spend. (Before this rule, a drop-faulted run reported the
+// ε of the clean run it never performed.)
+//
+// On a closed world (static pop) every user is in every committed round's
+// sampling pool, so one global accountant is exact and cheap at any K. On an
+// open world the spend is per user: every client active in a committed
+// round's pool is charged at that round's rate, and the published ε is the
+// worst user's. The returned ledger is nil on the closed-world path.
+func annotateEpsilon(cfg Config, spec dataset.Spec, hist *fl.History, pop fl.Population) *accountant.Ledger {
 	var stepsPerRound int
 	switch cfg.Method {
 	case MethodFedCDP, MethodFedCDPDecay:
-		p := accountant.Params{
-			TotalData:  spec.TrainN,
-			PerRoundKt: cfg.Kt,
-			BatchSize:  cfg.BatchSize,
-		}
-		q = p.FedCDPSamplingRate()
 		stepsPerRound = cfg.LocalIters
 	case MethodFedSDP, MethodFedSDPSrv:
-		q = float64(cfg.Kt) / float64(cfg.K)
 		stepsPerRound = 1
 	default:
-		return
-	}
-	if q > 1 {
-		q = 1
+		return nil
 	}
 	sigma := cfg.Sigma
 	if cfg.AccountantSigma > 0 {
 		sigma = cfg.AccountantSigma
 	}
-	acc := accountant.New(cfg.Delta)
+	if !pop.Dynamic() {
+		q := roundSamplingRate(cfg, spec, cfg.K)
+		acc := accountant.New(cfg.Delta)
+		for i := range hist.Rounds {
+			if hist.Rounds[i].Committed {
+				acc.Accumulate(q, sigma, stepsPerRound)
+			}
+			eps, _ := acc.Epsilon()
+			hist.Rounds[i].Epsilon = eps
+		}
+		return nil
+	}
+	led := accountant.NewLedger(cfg.Delta)
 	for i := range hist.Rounds {
-		acc.Accumulate(q, sigma, stepsPerRound)
-		eps, _ := acc.Epsilon()
+		round := hist.Rounds[i].Round
+		if hist.Rounds[i].Committed {
+			active := pop.ActiveSet(round)
+			q := roundSamplingRate(cfg, spec, len(active))
+			for _, id := range active {
+				led.Participate(id, q, sigma, stepsPerRound)
+			}
+		}
+		eps, _, _ := led.MaxEpsilon()
 		hist.Rounds[i].Epsilon = eps
 	}
+	return led
 }

@@ -243,8 +243,8 @@ func TestRunEndToEndNonPrivate(t *testing.T) {
 	if len(res.Rounds) != 3 {
 		t.Fatalf("rounds = %d, want 3", len(res.Rounds))
 	}
-	if res.FinalAccuracy() < 0.5 {
-		t.Fatalf("cancer non-private accuracy %v, want > 0.5 after 3 rounds", res.FinalAccuracy())
+	if acc, ok := res.FinalAccuracy(); !ok || acc < 0.5 {
+		t.Fatalf("cancer non-private accuracy %v (ok=%v), want > 0.5 after 3 rounds", acc, ok)
 	}
 	if res.FinalEpsilon() != 0 {
 		t.Fatal("non-private run must not report privacy spending")

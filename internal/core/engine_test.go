@@ -109,7 +109,8 @@ func TestPrecisionEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.FinalAccuracy()
+		acc, _ := res.FinalAccuracy()
+		return acc
 	}
 	fp64 := run(tensor.PrecisionFP64)
 	fp32 := run(tensor.PrecisionFP32)

@@ -18,12 +18,11 @@ const simnetServerAddr = "server"
 func simnetClientHost(id int) string { return fmt.Sprintf("c%d", id) }
 
 // simnetCohort picks a round's participating clients honoring the
-// configured sampler — the same draw fl.Run would make.
-func simnetCohort(cfg Config, round int) []int {
-	if cfg.Sampler == fl.SamplerFloyd {
-		return fl.SampleCohortFloyd(cfg.Seed, round, cfg.K, cfg.Kt)
-	}
-	return fl.SampleCohort(cfg.Seed, round, cfg.K, cfg.Kt, false)
+// configured sampler and the open-world population — the same draw fl.Run
+// would make (fl.ActiveCohort's static branch is the pre-population draw
+// verbatim).
+func simnetCohort(cfg Config, pop fl.Population, round int) []int {
+	return fl.ActiveCohort(cfg.Seed, round, pop, cfg.Kt, cfg.Sampler, false)
 }
 
 // clientOutcome is one simnet client goroutine's terminal state. planned
@@ -64,7 +63,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	ds := dataset.NewPartitioned(spec, cfg.Seed, part)
-	plan, err := simnet.ParsePlan(cfg.Faults)
+	plan, err := simnet.ParsePlan(cfg.planSpec())
 	if err != nil {
 		return nil, err
 	}
@@ -72,6 +71,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pop := fl.PopulationOf(cfg.K, plan)
 	if cfg.MinQuorum < 0 || cfg.MinQuorum > cfg.Kt {
 		return nil, fmt.Errorf("core: quorum %d outside [0, Kt=%d]", cfg.MinQuorum, cfg.Kt)
 	}
@@ -164,7 +164,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 			}
 		}
 
-		cohort := simnetCohort(cfg, round)
+		cohort := simnetCohort(cfg, pop, round)
 		// Partitioned members cannot even open a session; they are excluded
 		// from the round's admission quota (the harness, unlike the server,
 		// is allowed to know who is unreachable).
@@ -175,7 +175,7 @@ func RunSimnet(cfg Config) (*Result, error) {
 			}
 		}
 
-		rs := fl.RoundStats{Round: round, Committed: 0 >= cfg.MinQuorum, Dropped: len(cohort)}
+		rs := fl.RoundStats{Round: round, Active: pop.ActiveCount(round), Committed: 0 >= cfg.MinQuorum, Dropped: len(cohort)}
 		wireBefore := n.BytesWritten()
 		if len(reachable) > 0 {
 			outcomes := make(chan clientOutcome, len(reachable))
@@ -231,6 +231,6 @@ func RunSimnet(cfg Config) (*Result, error) {
 		hist.Rounds = append(hist.Rounds, rs)
 	}
 	hist.Final = global
-	annotateEpsilon(cfg, spec, hist)
-	return &Result{History: hist, Spec: spec, Cfg: cfg}, nil
+	ledger := annotateEpsilon(cfg, spec, hist, pop)
+	return &Result{History: hist, Spec: spec, Cfg: cfg, Ledger: ledger}, nil
 }

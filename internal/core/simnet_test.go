@@ -166,7 +166,7 @@ func TestRunSimnetCleanDeployment(t *testing.T) {
 			t.Fatalf("clean round %+v, want 4 folded / 0 dropped / committed", r)
 		}
 	}
-	if res.FinalAccuracy() <= 0 {
+	if acc, ok := res.FinalAccuracy(); !ok || acc <= 0 {
 		t.Fatal("deployment never evaluated")
 	}
 }

@@ -47,6 +47,7 @@ type shardOutcome struct {
 
 func runSimnetTree(cfg Config, spec dataset.Spec, strat fl.Strategy, ds *dataset.Dataset, plan *simnet.Plan) (*Result, error) {
 	n := simnet.New(cfg.Seed, plan)
+	pop := fl.PopulationOf(cfg.K, plan)
 	global := nn.Build(spec.ModelSpec(), tensor.Split(cfg.Seed, 1))
 	valN := cfg.ValExamples
 	if valN <= 0 {
@@ -141,13 +142,14 @@ func runSimnetTree(cfg Config, spec dataset.Spec, strat fl.Strategy, ds *dataset
 	// workspaces persist across rounds. Per-task dialers bind each session
 	// to its client's host name so the plan's link streams key correctly.
 	mux := &fl.ClientMux{
-		Spec:      spec.ModelSpec(),
-		Data:      ds,
-		Strat:     strat,
-		Seed:      cfg.Seed,
-		Opt:       fl.ClientOptions{Codec: cfg.Codec},
-		Adversary: plan,
-		Workers:   cfg.MuxWorkers,
+		Spec:       spec.ModelSpec(),
+		Data:       ds,
+		Strat:      strat,
+		Seed:       cfg.Seed,
+		Opt:        fl.ClientOptions{Codec: cfg.Codec},
+		Adversary:  plan,
+		Workers:    cfg.MuxWorkers,
+		Population: pop,
 	}
 
 	hist := &fl.History{Strategy: strat.Name()}
@@ -160,7 +162,7 @@ func runSimnetTree(cfg Config, spec dataset.Spec, strat fl.Strategy, ds *dataset
 			}
 		}
 
-		cohort := simnetCohort(cfg, round)
+		cohort := simnetCohort(cfg, pop, round)
 		// Route each cohort member to its shard, excluding clients that
 		// cannot reach their edge and shards whose edge cannot reach the
 		// root — like the flat harness, the orchestrator (not any server)
@@ -192,7 +194,7 @@ func runSimnetTree(cfg Config, spec dataset.Spec, strat fl.Strategy, ds *dataset
 			}
 		}
 
-		rs := fl.RoundStats{Round: round, Committed: 0 >= cfg.MinQuorum, Dropped: len(cohort)}
+		rs := fl.RoundStats{Round: round, Active: pop.ActiveCount(round), Committed: 0 >= cfg.MinQuorum, Dropped: len(cohort)}
 		wireBefore := n.BytesWritten()
 		rootSessions := len(active)
 		if edges == 0 {
@@ -288,6 +290,6 @@ func runSimnetTree(cfg Config, spec dataset.Spec, strat fl.Strategy, ds *dataset
 		hist.Rounds = append(hist.Rounds, rs)
 	}
 	hist.Final = global
-	annotateEpsilon(cfg, spec, hist)
-	return &Result{History: hist, Spec: spec, Cfg: cfg}, nil
+	ledger := annotateEpsilon(cfg, spec, hist, pop)
+	return &Result{History: hist, Spec: spec, Cfg: cfg, Ledger: ledger}, nil
 }

@@ -17,6 +17,14 @@ import (
 // and every seeded golden in the repo pins that. All views of a dataset
 // share one cache (WithPartitioner copies the pointer); the underlying
 // draws are partitioner-independent and keys carry their Split labels.
+//
+// Stream-faithfulness rule: every key must carry every Split input of the
+// draw it memoizes. Round-varying partitioners (incremental classes,
+// decaying label noise) key their draw streams by a round/stage component,
+// so each key type carries a round field too; round-static streams use the
+// degenerate round 0, which keeps every closed-world draw on the exact key
+// it always had. Before this field existed, a round-varying partitioner
+// would have silently served round-r draws for round-r′.
 
 // sampleCacheFloats bounds the float64s held by cached sample tensors
 // (16 MiB); past it, samples are generated but not retained.
@@ -29,6 +37,7 @@ const drawCacheEntries = 1 << 17
 type sampleKey struct {
 	stream, idx int64
 	class       int
+	round       int64 // 0: sample streams are round-static today
 }
 
 // flipDraw holds the full draw sequence of one label-flip stream: the
@@ -44,15 +53,18 @@ type flipDraw struct {
 
 type flipKey struct {
 	label, stream, idx int64
+	round              int64 // Split round component; 0 on round-static streams
 }
 
 type pickKey struct {
 	label, id, i int64
 	n            int
+	round        int64 // Split round/stage component; 0 on round-static streams
 }
 
 type unitKey struct {
 	label, id, i int64
+	round        int64 // Split round component; 0 on round-static streams
 }
 
 type derivedCache struct {
@@ -142,9 +154,9 @@ func (c *derivedCache) putUnit(key unitKey, u float64) {
 }
 
 // pickAt returns the uniform class pick of stream (seed, label, id, i) over
-// n choices, memoized.
+// n choices, memoized. Round-static: the key's round component is 0.
 func (d *Dataset) pickAt(label, id, i int64, n int) int {
-	key := pickKey{label, id, i, n}
+	key := pickKey{label, id, i, n, 0}
 	if p, ok := d.cache.getPick(key); ok {
 		return p
 	}
@@ -153,10 +165,24 @@ func (d *Dataset) pickAt(label, id, i int64, n int) int {
 	return p
 }
 
+// pickAtRound returns the uniform pick of the round-keyed stream
+// (seed, label, id, i, round) over n choices, memoized on the full key —
+// the draw rule of round-varying partitioners (incremental classes keys it
+// by stage, so rounds inside one stage share entries).
+func (d *Dataset) pickAtRound(label, id, i, round int64, n int) int {
+	key := pickKey{label, id, i, n, round}
+	if p, ok := d.cache.getPick(key); ok {
+		return p
+	}
+	p := tensor.Split(d.seed, label, id, i, round).Intn(n)
+	d.cache.putPick(key, p)
+	return p
+}
+
 // unitAt returns the uniform [0,1) draw of stream (seed, label, id, i),
-// memoized.
+// memoized. Round-static: the key's round component is 0.
 func (d *Dataset) unitAt(label, id, i int64) float64 {
-	key := unitKey{label, id, i}
+	key := unitKey{label, id, i, 0}
 	if u, ok := d.cache.getUnit(key); ok {
 		return u
 	}
@@ -167,12 +193,28 @@ func (d *Dataset) unitAt(label, id, i int64) float64 {
 
 // flipDrawAt returns the memoized draw pair of label-flip stream
 // (seed, label, stream, idx). Callers must have checked Classes >= 2.
+// Round-static: the key's round component is 0.
 func (d *Dataset) flipDrawAt(label, stream, idx int64) flipDraw {
-	key := flipKey{label, stream, idx}
+	key := flipKey{label, stream, idx, 0}
 	if fd, ok := d.cache.getFlip(key); ok {
 		return fd
 	}
 	rng := tensor.Split(d.seed, label, stream, idx)
+	fd := flipDraw{u: rng.Float64(), other: rng.Intn(d.Spec.Classes - 1)}
+	d.cache.putFlip(key, fd)
+	return fd
+}
+
+// flipDrawAtRound returns the memoized draw pair of the round-keyed
+// label-flip stream (seed, label, stream, idx, round) — fresh coins every
+// round, the draw rule of the decaying-label-noise scenario. Callers must
+// have checked Classes >= 2.
+func (d *Dataset) flipDrawAtRound(label, stream, idx, round int64) flipDraw {
+	key := flipKey{label, stream, idx, round}
+	if fd, ok := d.cache.getFlip(key); ok {
+		return fd
+	}
+	rng := tensor.Split(d.seed, label, stream, idx, round)
 	fd := flipDraw{u: rng.Float64(), other: rng.Intn(d.Spec.Classes - 1)}
 	d.cache.putFlip(key, fd)
 	return fd

@@ -287,6 +287,25 @@ func (d *Dataset) extraFlip(class int, rho float64, stream, idx int64) int {
 	return other
 }
 
+// extraFlipAtRound is extraFlip on a round-keyed coin stream: fresh
+// per-(client, index, round) draws from the given Split label space (4200
+// for the decaying-label-noise scenario), so an example's noise is a pure
+// function of (seed, clientID, round) rather than frozen at partition time.
+func (d *Dataset) extraFlipAtRound(class int, rho float64, label, stream, idx, round int64) int {
+	if rho <= 0 || d.Spec.Classes < 2 {
+		return class
+	}
+	fd := d.flipDrawAtRound(label, stream, idx, round)
+	if fd.u >= rho {
+		return class
+	}
+	other := fd.other
+	if other >= class {
+		other++
+	}
+	return other
+}
+
 // Validation returns a deterministic, class-balanced validation set of up to
 // n examples.
 func (d *Dataset) Validation(n int) ([]*tensor.Tensor, []int) {
@@ -336,11 +355,31 @@ func (d *Dataset) Client(id int) *ClientData {
 	return &ClientData{ds: d, id: id, shard: d.part.Shard(d, id)}
 }
 
+// ClientAt returns the shard view for client id at a specific round.
+// Time-varying partitioners (RoundPartitioner) materialize the round's
+// shard — a pure function of (seed, id, round); static partitioners return
+// exactly Client(id), so closed-world runs are untouched by the round.
+func (d *Dataset) ClientAt(id, round int) *ClientData {
+	if rp, ok := d.part.(RoundPartitioner); ok {
+		return &ClientData{ds: d, id: id, shard: rp.ShardAt(d, id, round)}
+	}
+	return d.Client(id)
+}
+
 // Repartition returns this client's shard view under a different
 // partitioner (same dataset, same id) — how a remote client applies the
 // scenario its server publishes with the round config.
 func (c *ClientData) Repartition(p Partitioner) *ClientData {
 	nc := c.ds.WithPartitioner(p).Client(c.id)
+	nc.flip = c.flip
+	return nc
+}
+
+// RepartitionAt is Repartition pinned to a round: remote clients apply the
+// server-published scenario for the round they were asked to train, so a
+// time-varying scenario yields the same shard on every runtime.
+func (c *ClientData) RepartitionAt(p Partitioner, round int) *ClientData {
+	nc := c.ds.WithPartitioner(p).ClientAt(c.id, round)
 	nc.flip = c.flip
 	return nc
 }
@@ -362,7 +401,11 @@ func (c *ClientData) Get(i int) (*tensor.Tensor, int) {
 	class := c.shard.ClassAt(i)
 	y := c.ds.flipLabel(class, int64(c.id), int64(i))
 	if c.shard.FlipRate > 0 {
-		y = c.ds.extraFlip(y, c.shard.FlipRate, int64(c.id), int64(i))
+		if c.shard.FlipLabel != 0 {
+			y = c.ds.extraFlipAtRound(y, c.shard.FlipRate, c.shard.FlipLabel, int64(c.id), int64(i), int64(c.shard.Round))
+		} else {
+			y = c.ds.extraFlip(y, c.shard.FlipRate, int64(c.id), int64(i))
+		}
 	}
 	if c.flip != nil {
 		y = c.flip(i, y, c.ds.Spec.Classes)

@@ -92,5 +92,5 @@ func ExampleScenario() {
 	fmt.Println(dataset.ScenarioNames())
 	// Output:
 	// dirichlet(alpha=0.1) -> dirichlet
-	// [iid dirichlet pathological quantity labelnoise]
+	// [iid dirichlet pathological quantity labelnoise incremental decaynoise]
 }

@@ -24,8 +24,15 @@ import (
 //	3200  pathological shard permutation (shared by all clients)
 //	3250  per-client quantity-skew size draw
 //	3260  per-(client, index) quantity-skew class pick
-//	3300  per-client label-noise rate draw
+//	3300  per-client label-noise rate draw (LabelNoiseSkew, DecayingLabelNoise)
+//	3400  per-(client, index, stage) incremental-classes pick
 //	4100  per-(client, index) extra label-flip coin (label-noise skew)
+//	4200  per-(client, index, round) decaying-noise flip coin
+//
+// Time-varying partitioners (RoundPartitioner) additionally key their
+// draws by a round or stage component — still pure functions, now of
+// (seed, clientID, round) — so open-world scenarios materialize lazily and
+// replay bit-identically like everything else.
 
 // Scenario names accepted by Scenario.Name. The zero value ("" or
 // ScenarioIID) reproduces the paper's Table I partition exactly.
@@ -35,11 +42,13 @@ const (
 	ScenarioPathological = "pathological"
 	ScenarioQuantity     = "quantity"
 	ScenarioLabelNoise   = "labelnoise"
+	ScenarioIncremental  = "incremental"
+	ScenarioDecayNoise   = "decaynoise"
 )
 
 // ScenarioNames lists the scenario names in documentation order.
 func ScenarioNames() []string {
-	return []string{ScenarioIID, ScenarioDirichlet, ScenarioPathological, ScenarioQuantity, ScenarioLabelNoise}
+	return []string{ScenarioIID, ScenarioDirichlet, ScenarioPathological, ScenarioQuantity, ScenarioLabelNoise, ScenarioIncremental, ScenarioDecayNoise}
 }
 
 // Scenario selects a partitioner by name plus its parameters. It is a plain
@@ -55,6 +64,11 @@ type Scenario struct {
 	// Shards is the number of label shards per client (pathological
 	// scenario). 0 defaults to 2, McMahan et al.'s setting.
 	Shards int
+	// Period is the round cadence of the time-varying scenarios: the
+	// incremental scenario reveals one new class every Period rounds, the
+	// decaynoise scenario halves its extra flip rate every Period rounds.
+	// 0 defaults to 5.
+	Period int
 }
 
 // String renders the scenario with its effective parameters.
@@ -72,11 +86,23 @@ func (s Scenario) String() string {
 			m = 2
 		}
 		return fmt.Sprintf("pathological(shards=%d)", m)
+	case ScenarioIncremental:
+		return fmt.Sprintf("incremental(period=%d)", effectivePeriod(s.Period))
+	case ScenarioDecayNoise:
+		return fmt.Sprintf("decaynoise(period=%d)", effectivePeriod(s.Period))
 	case "", ScenarioIID:
 		return ScenarioIID
 	default:
 		return s.Name
 	}
+}
+
+// effectivePeriod resolves the time-varying scenarios' round cadence.
+func effectivePeriod(p int) int {
+	if p <= 0 {
+		return 5
+	}
+	return p
 }
 
 // Partitioner returns the partitioner this scenario selects, or an error
@@ -93,6 +119,10 @@ func (s Scenario) Partitioner() (Partitioner, error) {
 		return QuantitySkew{}, nil
 	case ScenarioLabelNoise:
 		return LabelNoiseSkew{}, nil
+	case ScenarioIncremental:
+		return IncrementalClasses{Period: s.Period}, nil
+	case ScenarioDecayNoise:
+		return DecayingLabelNoise{Period: s.Period}, nil
 	default:
 		return nil, fmt.Errorf("dataset: unknown scenario %q (have %v)", s.Name, ScenarioNames())
 	}
@@ -112,6 +142,14 @@ type Shard struct {
 	// FlipRate is an additional per-client label-flip probability applied
 	// on top of the spec's base LabelFlip (label-noise skew); 0 elsewhere.
 	FlipRate float64
+	// FlipLabel, when non-zero, redirects the extra-flip coins to a
+	// round-keyed Split label space (4200: per-(client, index, round)
+	// draws); 0 keeps the static per-(client, index) stream (4100).
+	FlipLabel int64
+	// Round is the round this shard view was materialized for — set by
+	// RoundPartitioner shards, consumed by the round-keyed flip stream;
+	// 0 on static shards.
+	Round int
 }
 
 // Partitioner determines each client's local data distribution. Shard must
@@ -123,6 +161,18 @@ type Partitioner interface {
 	Name() string
 	// Shard returns client id's local shard description.
 	Shard(d *Dataset, id int) Shard
+}
+
+// RoundPartitioner is a Partitioner whose shards vary over the round
+// horizon: client data that drifts (new classes appearing mid-run, noise
+// rates that decay). ShardAt must be a pure function of (d.seed, id,
+// round) — never of materialization order — so time-varying shards stay
+// lazily materializable and bit-reproducible like static ones. Shard(d,
+// id) must equal ShardAt(d, id, 0), the view round-blind callers see.
+type RoundPartitioner interface {
+	Partitioner
+	// ShardAt returns client id's local shard as of the given round.
+	ShardAt(d *Dataset, id, round int) Shard
 }
 
 // specClasses returns the class support the paper's Table I assigns to
@@ -347,6 +397,89 @@ func (LabelNoiseSkew) Shard(d *Dataset, id int) Shard {
 		Classes:  classes,
 		ClassAt:  uniformClassAt(d, id, classes),
 		FlipRate: rate,
+	}
+}
+
+// Split label spaces of the time-varying partitioners (see the table at
+// the top of the file).
+const (
+	labelIncrementalPick = 3400 // per-(client, index, stage) incremental class pick
+	labelDecayFlip       = 4200 // per-(client, index, round) decaying-noise flip coin
+)
+
+// incrementalStartClasses is the label support visible at round 0 under
+// the incremental scenario; one more class appears every Period rounds.
+const incrementalStartClasses = 2
+
+// IncrementalClasses is temporal label drift: the benchmark starts with
+// only incrementalStartClasses labels in circulation and a new class
+// enters every Period rounds (the incremental-classification framing) —
+// classes the horizon never reaches simply never appear. Every client
+// draws uniformly from the currently visible classes; the pick stream is
+// keyed by the stage (the visible-class count), so shards change exactly
+// at class-arrival boundaries and rounds within one stage share their
+// cached draws.
+type IncrementalClasses struct {
+	// Period is the rounds between class arrivals; 0 defaults to 5.
+	Period int
+}
+
+// Name implements Partitioner.
+func (IncrementalClasses) Name() string { return ScenarioIncremental }
+
+// Shard implements Partitioner: the round-0 view.
+func (p IncrementalClasses) Shard(d *Dataset, id int) Shard { return p.ShardAt(d, id, 0) }
+
+// ShardAt implements RoundPartitioner.
+func (p IncrementalClasses) ShardAt(d *Dataset, id, round int) Shard {
+	v := incrementalStartClasses + round/effectivePeriod(p.Period)
+	if v > d.Spec.Classes {
+		v = d.Spec.Classes
+	}
+	classes := make([]int, v)
+	for c := range classes {
+		classes[c] = c
+	}
+	return Shard{
+		N:       d.Spec.PerClient,
+		Classes: classes,
+		ClassAt: func(i int) int {
+			return classes[d.pickAtRound(labelIncrementalPick, int64(id), int64(i), int64(v), v)]
+		},
+		Round: round,
+	}
+}
+
+// DecayingLabelNoise is annotation quality that improves over time: each
+// client starts at a seeded rate ρ_k ~ Uniform[0, 0.4] (the same label-3300
+// draw LabelNoiseSkew uses) and the rate halves every Period rounds —
+// "users correct themselves". The flip coins are redrawn per round from
+// the round-keyed label-4200 stream, so which examples are mislabelled is
+// a pure function of (seed, clientID, round) — the scenario that exercises
+// the derived cache's round-keyed keys for real.
+type DecayingLabelNoise struct {
+	// Period is the rate's halving time in rounds; 0 defaults to 5.
+	Period int
+}
+
+// Name implements Partitioner.
+func (DecayingLabelNoise) Name() string { return ScenarioDecayNoise }
+
+// Shard implements Partitioner: the round-0 view.
+func (p DecayingLabelNoise) Shard(d *Dataset, id int) Shard { return p.ShardAt(d, id, 0) }
+
+// ShardAt implements RoundPartitioner.
+func (p DecayingLabelNoise) ShardAt(d *Dataset, id, round int) Shard {
+	classes := specClasses(d.Spec, id)
+	base := tensor.Split(d.seed, 3300, int64(id)).Float64() * labelNoiseMaxRate
+	rate := base * math.Pow(2, -float64(round)/float64(effectivePeriod(p.Period)))
+	return Shard{
+		N:         d.Spec.PerClient,
+		Classes:   classes,
+		ClassAt:   uniformClassAt(d, id, classes),
+		FlipRate:  rate,
+		FlipLabel: labelDecayFlip,
+		Round:     round,
 	}
 }
 

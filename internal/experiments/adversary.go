@@ -114,7 +114,9 @@ func AttackMatrix(o Options) (*Report, error) {
 	}
 	for _, c := range cells {
 		if c.Behavior == "" {
-			honest[key(c)] = c.Result.FinalAccuracy()
+			if acc, ok := c.Result.FinalAccuracy(); ok {
+				honest[key(c)] = acc
+			}
 		}
 	}
 	r := &Report{
@@ -137,16 +139,16 @@ func AttackMatrix(o Options) (*Report, error) {
 		if c.Scenario.Name == "" {
 			scenario = "iid"
 		}
-		acc := c.Result.FinalAccuracy()
-		base := honest[key(c)]
+		acc, accOK := c.Result.FinalAccuracy()
+		base, baseOK := honest[key(c)]
 		r.Rows = append(r.Rows, []string{
 			behavior,
 			c.Defense,
 			scenario,
 			c.Method,
-			f3(acc),
-			f3(base),
-			f3(acc - base),
+			f3ok(acc, accOK),
+			f3ok(base, baseOK),
+			f3ok(acc-base, accOK && baseOK),
 			f4(c.Result.FinalEpsilon()),
 		})
 	}

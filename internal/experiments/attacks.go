@@ -338,7 +338,7 @@ func Fig5(o Options) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig5 %s ratio %.1f: %w", method, ratio, err)
 			}
-			accRow = append(accRow, f3(res.FinalAccuracy()))
+			accRow = append(accRow, f3ok(res.FinalAccuracy()))
 
 			// Type-2 attack on the compressed per-example gradient.
 			noise := tensor.Split(o.Seed, 12, int64(ratio*100))

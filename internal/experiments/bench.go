@@ -38,6 +38,7 @@ func BenchSpecs() []BenchSpec {
 		{"BENCH_wire.json", "^BenchmarkWire$", "./internal/fl"},
 		{"BENCH_scale.json", "^BenchmarkSimnetScale$", "."},
 		{"BENCH_robust.json", "^BenchmarkRobustAgg$", "."},
+		{"BENCH_churn.json", "^BenchmarkChurn$", "."},
 	}
 }
 
@@ -81,7 +82,7 @@ type BenchOptions struct {
 	// instead of failing on regression.
 	Update bool
 	// Only restricts the run to baselines whose file name contains the
-	// substring (e.g. "wire"); "" runs all six.
+	// substring (e.g. "wire"); "" runs every baseline.
 	Only string
 	// Out receives the per-benchmark report; nil discards it.
 	Out io.Writer

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"testing"
+
+	"fedcdp/internal/core"
+	"fedcdp/internal/fl"
+	"fedcdp/internal/simnet"
+)
+
+// The churn matrix's standing invariants: every cell of
+// {runtime × scenario × method × plan} draws cohorts only from the round's
+// active set, charges per-user ledgers for realized participation only,
+// collapses closed worlds to the global accountant, and keeps the two
+// in-process runtimes bit-identical under every plan.
+func TestChurnMatrixInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	cells, err := RunChurnMatrix(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtimes, scenarios, methods, plans := churnMatrixAxes()
+	if want := len(runtimes) * len(scenarios) * len(methods) * len(plans); len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+	type coord struct {
+		scenario, method, plan string
+	}
+	digests := map[coord]map[string]uint64{}
+	for _, c := range cells {
+		res := c.Result
+		cfg := res.Cfg
+		// Reconstruct the cell's population registry.
+		var pop fl.Population
+		if c.Plan == "" {
+			pop = fl.PopulationOf(cfg.K, nil)
+		} else {
+			plan, err := simnet.ParsePlan(c.Plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := plan.Bind(cfg.Seed, cfg.Rounds, cfg.K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pop = fl.PopulationOf(cfg.K, bound)
+		}
+		dynamic := pop.Dynamic()
+		// Ledgers exist exactly for private methods on open-world plans.
+		wantLedger := dynamic && c.Method != core.MethodNonPrivate
+		if (res.Ledger != nil) != wantLedger {
+			t.Fatalf("%s/%s/%q: ledger %v, want %v", c.Runtime, c.Method, c.Plan, res.Ledger != nil, wantLedger)
+		}
+		prevEps := 0.0
+		for _, rd := range res.Rounds {
+			if rd.Active != pop.ActiveCount(rd.Round) {
+				t.Fatalf("%s/%s/%q round %d: reported %d active, registry says %d",
+					c.Runtime, c.Method, c.Plan, rd.Round, rd.Active, pop.ActiveCount(rd.Round))
+			}
+			if rd.Clients > rd.Active {
+				t.Fatalf("%s/%s/%q round %d: folded %d updates from %d active clients",
+					c.Runtime, c.Method, c.Plan, rd.Round, rd.Clients, rd.Active)
+			}
+			// ε discipline: committed rounds of a private method spend,
+			// uncommitted rounds are exactly flat.
+			if c.Method == core.MethodNonPrivate {
+				if rd.Epsilon != 0 {
+					t.Fatalf("%s/%q: non-private round %d spent ε %v", c.Runtime, c.Plan, rd.Round, rd.Epsilon)
+				}
+			} else if rd.Committed {
+				if rd.Epsilon <= prevEps {
+					t.Fatalf("%s/%q round %d: committed round did not grow ε (%v → %v)",
+						c.Runtime, c.Plan, rd.Round, prevEps, rd.Epsilon)
+				}
+			} else if rd.Epsilon != prevEps {
+				t.Fatalf("%s/%q round %d: uncommitted round moved ε %v → %v",
+					c.Runtime, c.Plan, rd.Round, prevEps, rd.Epsilon)
+			}
+			prevEps = rd.Epsilon
+		}
+		if res.Ledger != nil {
+			maxEps, _, _ := res.Ledger.MaxEpsilon()
+			if maxEps != res.FinalEpsilon() {
+				t.Fatalf("%s/%q: published ε %v is not the ledger max %v", c.Runtime, c.Plan, res.FinalEpsilon(), maxEps)
+			}
+		}
+		key := coord{c.Scenario.String(), c.Method, c.Plan}
+		if digests[key] == nil {
+			digests[key] = map[string]uint64{}
+		}
+		digests[key][c.Runtime] = digestParams(res.Final.Params())
+	}
+	// Streaming and barrier fold the same committed model in every cell.
+	for key, byRuntime := range digests {
+		if len(byRuntime) != len(runtimes) {
+			t.Fatalf("cell %+v ran on %d runtimes, want %d", key, len(byRuntime), len(runtimes))
+		}
+		if byRuntime[fl.RuntimeStreaming] != byRuntime[fl.RuntimeBarrier] {
+			t.Fatalf("cell %+v: streaming and barrier disagree under an open-world plan", key)
+		}
+	}
+}
+
+func TestChurnMatrixReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	rep, err := Run("churn", Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtimes, scenarios, methods, plans := churnMatrixAxes()
+	if want := len(runtimes) * len(scenarios) * len(methods) * len(plans); len(rep.Rows) != want {
+		t.Fatalf("report has %d rows, want %d", len(rep.Rows), want)
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Header) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(rep.Header))
+		}
+		// Open-world private cells report the ledger columns; everything else
+		// renders the closed-world dash.
+		openWorld := row[0] != "closed"
+		private := row[3] != core.MethodNonPrivate
+		if openWorld && private {
+			if row[8] == "-" || row[9] == "-" {
+				t.Fatalf("open-world private row %v missing ledger columns", row)
+			}
+		} else if row[8] != "-" || row[9] != "-" {
+			t.Fatalf("closed-world or non-private row %v reports ledger columns", row)
+		}
+	}
+}

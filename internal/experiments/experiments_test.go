@@ -51,7 +51,7 @@ func TestOptionsScaling(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	want := []string{"byzantine", "faults", "fig1", "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "table6", "table7"}
+	want := []string{"byzantine", "churn", "faults", "fig1", "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "table6", "table7"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %v, want %v", names, want)
 	}

@@ -135,7 +135,7 @@ func FaultMatrix(o Options) (*Report, error) {
 			fmt.Sprint(folded),
 			fmt.Sprint(dropped),
 			fmt.Sprint(uncommitted),
-			f3(c.Result.FinalAccuracy()),
+			f3ok(c.Result.FinalAccuracy()),
 			f4(c.Result.FinalEpsilon()),
 		})
 	}

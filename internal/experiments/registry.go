@@ -26,6 +26,7 @@ func Registry() map[string]Driver {
 		"fig5":      Fig5,
 		"faults":    FaultMatrix,
 		"byzantine": AttackMatrix,
+		"churn":     ChurnMatrix,
 	}
 }
 

@@ -87,6 +87,23 @@ func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 
+// f3ok/f1ok render History's (value, ok) metrics: a run that never
+// evaluated (or never committed a client) prints "-" instead of a
+// fabricated 0 — the sentinel-zero conflation these accessors fixed.
+func f3ok(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return f3(v)
+}
+
+func f1ok(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return f1(v)
+}
+
 func yn(b bool) string {
 	if b {
 		return "Y"

@@ -76,9 +76,9 @@ func Table1(o Options) (*Report, error) {
 			fmt.Sprint(spec.BatchSize),
 			fmt.Sprint(spec.LocalIters),
 			fmt.Sprint(spec.Rounds),
-			f3(res.FinalAccuracy()),
+			f3ok(res.FinalAccuracy()),
 			f3(paperNonPrivateAcc[name]),
-			f1(res.MeanMsPerIter()),
+			f1ok(res.MeanMsPerIter()),
 			f1(paperNonPrivateCost[name]),
 		})
 	}
@@ -131,7 +131,7 @@ func Table2(o Options) (*Report, error) {
 				if err != nil {
 					return nil, fmt.Errorf("table2 %s K=%d Kt=%d: %w", m, k, kt, err)
 				}
-				row = append(row, f3(res.FinalAccuracy()))
+				row = append(row, f3ok(res.FinalAccuracy()))
 			}
 		}
 		r.Rows = append(r.Rows, row)
@@ -167,7 +167,7 @@ func Table3(o Options) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s %s: %w", m, name, err)
 			}
-			ms := res.MeanMsPerIter()
+			ms, _ := res.MeanMsPerIter()
 			row = append(row, f1(ms))
 			if m == core.MethodNonPrivate {
 				base[name] = ms
@@ -239,7 +239,7 @@ func sweepTable(o Options, name, title string, values []float64, apply func(*cor
 			if err != nil {
 				return nil, fmt.Errorf("%s %s %g: %w", name, ds, v, err)
 			}
-			row = append(row, f3(res.FinalAccuracy()), f3(paper[ds][v]))
+			row = append(row, f3ok(res.FinalAccuracy()), f3(paper[ds][v]))
 		}
 		r.Rows = append(r.Rows, row)
 	}

@@ -500,6 +500,7 @@ func appendParamPayload(b []byte, m *ParamMsg) []byte {
 	b = appendStr(b, m.Cfg.Scenario.Name)
 	b = appendF64(b, m.Cfg.Scenario.Alpha)
 	b = appendI64(b, int64(m.Cfg.Scenario.Shards))
+	b = appendI64(b, int64(m.Cfg.Scenario.Period))
 	b = appendStr(b, m.Cfg.Engine)
 	b = appendStr(b, m.Cfg.NoiseEngine)
 	b = appendStr(b, m.Cfg.Precision)
@@ -522,6 +523,7 @@ func parseParamPayload(b []byte, m *ParamMsg) error {
 				Name:   r.str(),
 				Alpha:  r.f64(),
 				Shards: int(r.i64()),
+				Period: int(r.i64()),
 			},
 			Engine:       r.str(),
 			NoiseEngine:  r.str(),

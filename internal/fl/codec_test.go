@@ -496,6 +496,7 @@ func TestBinaryHostileTensorSections(t *testing.T) {
 	qp = appendStr(qp, "")  // Scenario.Name
 	qp = appendF64(qp, 0)   // Scenario.Alpha
 	qp = appendI64(qp, 0)   // Scenario.Shards
+	qp = appendI64(qp, 0)   // Scenario.Period
 	qp = appendStr(qp, "")  // Engine
 	qp = appendStr(qp, "")  // NoiseEngine
 	qp = appendStr(qp, "")  // Precision

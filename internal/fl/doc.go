@@ -49,8 +49,22 @@
 // Reserved Split/CounterRNG label spaces under the root seed: 1 model init,
 // 2 server RNG, 3 cohort sampling, 4 client RNG streams, 5 dropout coins,
 // 6 client-side counter noise, 7 server-side counter noise; labels 8–11
-// belong to internal/simnet's benign fault coins and 13–16 to its
-// adversarial draws (attacker identities, gauss corruption, poison coins).
+// belong to internal/simnet's benign fault coins, 13–16 to its adversarial
+// draws (attacker identities, gauss corruption, poison coins), and 17–19
+// to its population draws (joiner identities, leaver identities, churn
+// coins).
+//
+// # Open-world populations
+//
+// Config.Faults may additionally carry a PopulationPlan (join=n@r,
+// leave=n@r, churn=rate clauses — also simnet.Plan): the Population
+// registry built from it decides, per round, which clients exist.
+// ActiveCohort draws cohorts only from the round's active set (static
+// populations reproduce the legacy SampleCohort/SampleCohortFloyd draws
+// verbatim), and a ClientMux with a dynamic Population resets a returning
+// client's quantization residuals (Population.AwayBetween) so rounding
+// debt banked before a departure is never replayed against a model that
+// moved on. See DESIGN.md, "Open-world population".
 //
 // # Fault injection
 //

@@ -126,7 +126,9 @@ func TestServerRestartKeepsTraining(t *testing.T) {
 		return h
 	}
 	h1, h2 := run(), run()
-	if h1.FinalAccuracy() != h2.FinalAccuracy() {
+	a1, ok1 := h1.FinalAccuracy()
+	a2, ok2 := h2.FinalAccuracy()
+	if a1 != a2 || ok1 != ok2 {
 		t.Fatal("restarted runs must be reproducible")
 	}
 	p1, p2 := h1.Final.Params(), h2.Final.Params()

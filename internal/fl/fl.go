@@ -469,11 +469,12 @@ func AdversaryShard(adv AdversaryPlan, id int, data *dataset.ClientData) *datase
 	})
 }
 
-// clientShard returns a cohort member's training data view — the poisoned
-// view when the fault plan targets it — the single data rule shared by the
-// barrier and streaming runtimes.
-func clientShard(cfg Config, id int) *dataset.ClientData {
-	data := cfg.Data.Client(id)
+// clientShard returns a cohort member's training data view for a round —
+// the round-keyed view under time-varying partition scenarios, the
+// poisoned view when the fault plan targets it — the single data rule
+// shared by the barrier and streaming runtimes.
+func clientShard(cfg Config, round, id int) *dataset.ClientData {
+	data := cfg.Data.ClientAt(id, round)
 	if adv, ok := adversary(cfg); ok {
 		data = AdversaryShard(adv, id, data)
 	}
@@ -574,6 +575,7 @@ func Run(cfg Config) (*History, error) {
 	hist := &History{Strategy: cfg.Strategy.Name(), Config: cfg}
 
 	serverRNG := tensor.Split(cfg.Seed, 2)
+	pop := population(cfg)
 	workers := newWorkerPool(par, cfg.Model)
 	// Rule and shard count validated above; Shards=0 is the legacy fold.
 	agg, _ := NewAggregatorFor(cfg.Aggregation, cfg.Shards, cfg.TreeFanout, cfg.K)
@@ -609,6 +611,7 @@ func Run(cfg Config) (*History, error) {
 			rs = runStreamingRound(cfg, global, cohort, round, workers, serverRNG, agg, clock)
 		}
 		rs.Round = round
+		rs.Active = pop.ActiveCount(round)
 		if round%evalEvery == 0 || r == cfg.Rounds-1 {
 			rs.Accuracy = Evaluate(global, valX, valY)
 			rs.Evaluated = true
@@ -685,12 +688,10 @@ func clientNoiseFor(rc RoundConfig, seed int64, round, clientID int) *tensor.Cou
 	return &n
 }
 
-// sampleCohort picks the participating client IDs for a round.
+// sampleCohort picks the participating client IDs for a round, drawing
+// only from the population's active set (see ActiveCohort).
 func sampleCohort(cfg Config, round int) []int {
-	if cfg.Sampler == SamplerFloyd && !cfg.SampleWithReplacement {
-		return SampleCohortFloyd(cfg.Seed, round, cfg.K, cfg.Kt)
-	}
-	return SampleCohort(cfg.Seed, round, cfg.K, cfg.Kt, cfg.SampleWithReplacement)
+	return ActiveCohort(cfg.Seed, round, population(cfg), cfg.Kt, cfg.Sampler, cfg.SampleWithReplacement)
 }
 
 // SampleCohort returns the participating client ids fl.Run would draw for
@@ -816,7 +817,7 @@ func trainCohort(cfg Config, global *nn.Model, cohort []int, round int, workers 
 			}
 			w.model.SetParams(globalParams)
 			w.model.SetPrecision(cfg.Round.Precision)
-			data := clientShard(cfg, id)
+			data := clientShard(cfg, round, id)
 			weights[i] = float64(data.Len())
 			updates[i], stats[i] = cfg.Strategy.ClientUpdate(w.envFor(cfg, round, id, data))
 			// Byzantine corruption happens client-side, after training and

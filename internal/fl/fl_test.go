@@ -261,25 +261,53 @@ func TestDelta(t *testing.T) {
 
 func TestHistoryAccessors(t *testing.T) {
 	h := &History{Rounds: []RoundStats{
-		{Round: 0, Accuracy: 0.5, Evaluated: true, MsPerIter: 2, Epsilon: 0.1},
-		{Round: 1, Accuracy: 0.8, Evaluated: true, MsPerIter: 4, Epsilon: 0.2},
-		{Round: 2, Evaluated: false, MsPerIter: 6, Epsilon: 0.3},
+		{Round: 0, Accuracy: 0.5, Evaluated: true, Clients: 1, MsPerIter: 2, Epsilon: 0.1},
+		{Round: 1, Accuracy: 0.8, Evaluated: true, Clients: 1, MsPerIter: 4, Epsilon: 0.2},
+		{Round: 2, Evaluated: false, Clients: 1, MsPerIter: 6, Epsilon: 0.3},
 	}}
-	if got := h.FinalAccuracy(); got != 0.8 {
-		t.Fatalf("FinalAccuracy = %v, want 0.8 (last evaluated)", got)
+	if got, ok := h.FinalAccuracy(); !ok || got != 0.8 {
+		t.Fatalf("FinalAccuracy = %v (ok=%v), want 0.8 (last evaluated)", got, ok)
 	}
-	if got := h.BestAccuracy(); got != 0.8 {
-		t.Fatalf("BestAccuracy = %v, want 0.8", got)
+	if got, ok := h.BestAccuracy(); !ok || got != 0.8 {
+		t.Fatalf("BestAccuracy = %v (ok=%v), want 0.8", got, ok)
 	}
-	if got := h.MeanMsPerIter(); got != 4 {
-		t.Fatalf("MeanMsPerIter = %v, want 4", got)
+	if got, ok := h.MeanMsPerIter(); !ok || got != 4 {
+		t.Fatalf("MeanMsPerIter = %v (ok=%v), want 4", got, ok)
 	}
 	if got := h.FinalEpsilon(); got != 0.3 {
 		t.Fatalf("FinalEpsilon = %v, want 0.3", got)
 	}
+	// Sentinel-zero fix: a history that never evaluated (or never folded a
+	// client) reports ok=false instead of a fabricated 0.0 — genuine 0%
+	// accuracy and "never measured" used to be indistinguishable.
 	empty := &History{}
-	if empty.FinalAccuracy() != 0 || empty.MeanMsPerIter() != 0 || empty.FinalEpsilon() != 0 {
-		t.Fatal("empty history accessors must return 0")
+	if _, ok := empty.FinalAccuracy(); ok {
+		t.Fatal("empty FinalAccuracy must report ok=false")
+	}
+	if _, ok := empty.BestAccuracy(); ok {
+		t.Fatal("empty BestAccuracy must report ok=false")
+	}
+	if _, ok := empty.MeanMsPerIter(); ok {
+		t.Fatal("empty MeanMsPerIter must report ok=false")
+	}
+	if empty.FinalEpsilon() != 0 {
+		t.Fatal("empty FinalEpsilon must return 0")
+	}
+	unevaluated := &History{Rounds: []RoundStats{{Round: 0, Accuracy: 0, Evaluated: false, Clients: 2, MsPerIter: 3}}}
+	if _, ok := unevaluated.FinalAccuracy(); ok {
+		t.Fatal("never-evaluated FinalAccuracy must report ok=false")
+	}
+	if got, ok := unevaluated.MeanMsPerIter(); !ok || got != 3 {
+		t.Fatalf("MeanMsPerIter = %v (ok=%v), want 3 over the one participating round", got, ok)
+	}
+	// MeanMsPerIter skips rounds that folded nobody: averaging their zero
+	// MsPerIter used to drag the reported cost toward 0 under faults.
+	uncommitted := &History{Rounds: []RoundStats{
+		{Round: 0, Clients: 2, MsPerIter: 6},
+		{Round: 1, Clients: 0, MsPerIter: 0},
+	}}
+	if got, ok := uncommitted.MeanMsPerIter(); !ok || got != 6 {
+		t.Fatalf("MeanMsPerIter = %v (ok=%v), want 6 (client-less rounds skipped)", got, ok)
 	}
 }
 

@@ -19,6 +19,10 @@ type RoundStats struct {
 	// Committed reports whether the round met MinQuorum and its fold was
 	// applied; a round below quorum leaves the global model unchanged.
 	Committed bool
+	// Active is the size of the round's active client population (the
+	// open-world registry's active set; K on closed-world runs). Cohorts
+	// are drawn from — and privacy is charged to — exactly this set.
+	Active int
 	// WireBytes is the network traffic the round generated, when the run
 	// went over an instrumented fabric (core.RunSimnet); zero elsewhere.
 	WireBytes int64
@@ -32,37 +36,46 @@ type History struct {
 	Final    *nn.Model
 }
 
-// FinalAccuracy returns the last evaluated validation accuracy.
-func (h *History) FinalAccuracy() float64 {
+// FinalAccuracy returns the last evaluated validation accuracy; ok is
+// false when no round was ever evaluated, which is distinguishable from a
+// genuine 0% accuracy (the old sentinel-zero return conflated the two).
+func (h *History) FinalAccuracy() (acc float64, ok bool) {
 	for i := len(h.Rounds) - 1; i >= 0; i-- {
 		if h.Rounds[i].Evaluated {
-			return h.Rounds[i].Accuracy
+			return h.Rounds[i].Accuracy, true
 		}
 	}
-	return 0
+	return 0, false
 }
 
-// BestAccuracy returns the highest evaluated validation accuracy.
-func (h *History) BestAccuracy() float64 {
-	best := 0.0
+// BestAccuracy returns the highest evaluated validation accuracy; ok is
+// false when no round was ever evaluated.
+func (h *History) BestAccuracy() (best float64, ok bool) {
 	for _, r := range h.Rounds {
-		if r.Evaluated && r.Accuracy > best {
-			best = r.Accuracy
+		if r.Evaluated && (!ok || r.Accuracy > best) {
+			best, ok = r.Accuracy, true
 		}
 	}
-	return best
+	return best, ok
 }
 
-// MeanMsPerIter returns the run-average local iteration cost in ms.
-func (h *History) MeanMsPerIter() float64 {
-	if len(h.Rounds) == 0 {
-		return 0
-	}
+// MeanMsPerIter returns the run-average local iteration cost in ms over
+// the rounds that actually trained clients; rounds whose whole cohort was
+// lost (their MsPerIter is a measurement-free zero) no longer drag the
+// mean down. ok is false when no round trained anybody.
+func (h *History) MeanMsPerIter() (ms float64, ok bool) {
 	var s float64
+	n := 0
 	for _, r := range h.Rounds {
-		s += r.MsPerIter
+		if r.Clients > 0 {
+			s += r.MsPerIter
+			n++
+		}
 	}
-	return s / float64(len(h.Rounds))
+	if n == 0 {
+		return 0, false
+	}
+	return s / float64(n), true
 }
 
 // GradNormSeries returns the per-round mean gradient norm trajectory

@@ -35,6 +35,11 @@ type VirtualClient struct {
 	// rounds below it are honest duplicate re-submissions (see
 	// ClientOptions.MinRound for the protocol contract).
 	NextRound int
+	// LastRound is the last round this client actually trained (-1 before
+	// its first session). Open-world muxes compare it against the round
+	// being served to detect depart-and-return gaps (Population.AwayBetween)
+	// and reset stale error-feedback residuals.
+	LastRound int
 	// Quant carries quantization error-feedback residuals across this
 	// client's rounds; allocated on first quantized session.
 	Quant *QuantState
@@ -105,6 +110,12 @@ type ClientMux struct {
 	Adversary AdversaryPlan
 	// Workers bounds concurrent sessions (0 = GOMAXPROCS).
 	Workers int
+	// Population is the open-world registry (see PopulationOf). The zero
+	// value is the closed world; with a dynamic plan, a virtual client that
+	// departed and returned has its quantization residuals reset before its
+	// next session — the rounding debt it banked describes updates against a
+	// model state that moved on without it.
+	Population Population
 
 	mu  sync.Mutex
 	vcs map[int]*VirtualClient
@@ -123,7 +134,7 @@ func (m *ClientMux) client(id int) *VirtualClient {
 	}
 	vc := m.vcs[id]
 	if vc == nil {
-		vc = &VirtualClient{ID: id}
+		vc = &VirtualClient{ID: id, LastRound: -1}
 		m.vcs[id] = vc
 	}
 	return vc
@@ -199,6 +210,7 @@ func (m *ClientMux) runTask(ws *ClientWorkspace, task MuxTask) MuxResult {
 	vc.Backoff = 0
 	if res.Round >= vc.NextRound {
 		vc.NextRound = res.Round + 1
+		vc.LastRound = res.Round
 	}
 	return res
 }
@@ -242,7 +254,7 @@ func (m *ClientMux) runSession(ws *ClientWorkspace, vc *VirtualClient, addr stri
 		if err != nil {
 			return 0, err
 		}
-		data = data.Repartition(p)
+		data = data.RepartitionAt(p, pm.Round)
 	}
 	ws.model.SetParams(TensorsFromWire(pm.Params))
 	ws.model.SetPrecision(pm.Cfg.Precision)
@@ -269,6 +281,13 @@ func (m *ClientMux) runSession(ws *ClientWorkspace, vc *VirtualClient, addr stri
 		// Error-feedback residuals bank each round exactly once; a
 		// re-served round re-submits the identical update without touching
 		// them (the MinRound contract, tracked per virtual client).
+		if vc.LastRound >= 0 && m.Population.AwayBetween(vc.LastRound+1, pm.Round, vc.ID) {
+			// The client departed and returned since it last trained: its
+			// banked rounding debt describes a model state the federation
+			// moved past without it. Replaying it would inject a stale
+			// correction, so a returning client starts debt-free.
+			vc.Quant.Reset()
+		}
 		if vc.Quant == nil {
 			vc.Quant = &QuantState{}
 		}

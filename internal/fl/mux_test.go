@@ -139,3 +139,94 @@ func TestClientMuxCursorsAndAbandon(t *testing.T) {
 		t.Fatalf("abandoning client NextRound = %d, want 0", got)
 	}
 }
+
+// awayAt is a PopulationPlan stub: client `id` is away exactly at `round`,
+// everyone else is always active.
+type awayAt struct{ round, id int }
+
+func (a awayAt) PopulationDynamic() bool { return true }
+func (a awayAt) ClientActive(round, client int) bool {
+	return !(round == a.round && client == a.id)
+}
+
+// A client that departs and returns must not replay quantization
+// error-feedback residuals banked before its absence: the mux resets them,
+// so its first session back is bit-identical to a client with no history.
+// A client that stayed keeps its residuals — repaying rounding debt is the
+// whole point of error feedback.
+func TestClientMuxQuantResetOnReturn(t *testing.T) {
+	spec, err := dataset.Get("cancer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.New(spec, 42)
+	cfg := RoundConfig{BatchSize: 4, LocalIters: 2, LR: 0.1, TotalRounds: 3}
+
+	// serve runs one single-client round through the mux against a fresh,
+	// identically seeded model, returning the folded params. Quantized
+	// binary frames so error feedback is live.
+	serve := func(t *testing.T, mux *ClientMux, round int) []*tensor.Tensor {
+		t.Helper()
+		model := nn.Build(spec.ModelSpec(), tensor.NewRNG(7))
+		srv, err := NewRoundServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		srv.Codec = CodecBinary
+		done := make(chan []MuxResult, 1)
+		go func() {
+			done <- mux.RunRound([]MuxTask{{ClientID: 0, Addr: srv.Addr()}})
+		}()
+		agg, err := NewExact(AggFedSGD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.StreamRound(round, model.Params(), cfg, agg, RoundOptions{Clients: 1, Deadline: time.Hour, MinQuorum: 1}); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range <-done {
+			if r.Err != nil {
+				t.Fatalf("round %d: %v", round, r.Err)
+			}
+		}
+		return model.Params()
+	}
+	newMux := func(pop Population) *ClientMux {
+		return &ClientMux{
+			Spec: spec.ModelSpec(), Data: ds, Strat: sgdStrategy{}, Seed: 42,
+			Opt: ClientOptions{Codec: CodecBinary, Quant: QuantInt8}, Workers: 1,
+			Population: pop,
+		}
+	}
+
+	// Steady client: trains round 0, banks residuals, repays them at round 2.
+	steady := newMux(Population{})
+	serve(t, steady, 0)
+	steadyP := serve(t, steady, 2)
+	// Returning client: same history, but away at round 1 — residuals reset.
+	returning := newMux(PopulationOf(10, awayAt{round: 1, id: 0}))
+	serve(t, returning, 0)
+	returningP := serve(t, returning, 2)
+	// Fresh client: no history at all — the returning client's reference.
+	fresh := newMux(Population{})
+	freshP := serve(t, fresh, 2)
+
+	for i := range freshP {
+		if !returningP[i].Equal(freshP[i], 0) {
+			t.Fatalf("param %d: returning client differs from a debt-free fresh client — stale residuals replayed", i)
+		}
+	}
+	same := true
+	for i := range steadyP {
+		if !steadyP[i].Equal(returningP[i], 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("steady and returning clients folded identically — round-0 residuals never banked, test is vacuous")
+	}
+	if vc := returning.client(0); vc.LastRound != 2 || vc.NextRound != 3 {
+		t.Fatalf("returning cursor %+v, want LastRound 2 NextRound 3", vc)
+	}
+}

@@ -1,0 +1,145 @@
+package fl
+
+// Open-world client population. Production federations never see a fixed K
+// clients: devices arrive mid-horizon, depart, and return. The Population
+// type is the round-indexed registry every runtime consults — cohort
+// sampling draws only from the round's active set, so the barrier,
+// streaming, RPC-deployment and mux runtimes all agree on who exists in a
+// round without sharing any state beyond the seed. Activity is a pure
+// function of (seed, clientID, round), provided by the fault plan's
+// join/leave/churn clauses (see simnet.ParsePlan), so open-world runs
+// replay bit-identically at any GOMAXPROCS.
+
+// PopulationPlan describes an open-world client population: which clients
+// are active in which rounds. Every method must be a pure function of its
+// arguments plus the plan's seed. simnet.Plan implements it (join=n@r,
+// leave=n@r and churn=rate clauses); the runtimes probe Config.Faults for
+// it exactly as they probe for AdversaryPlan.
+type PopulationPlan interface {
+	// PopulationDynamic reports whether the active set can ever differ from
+	// the full registry; false means every client is active every round and
+	// the runtimes keep their static fast paths.
+	PopulationDynamic() bool
+	// ClientActive reports whether the client is part of the active
+	// population in the round: arrived, not departed, and not churned away.
+	ClientActive(round, client int) bool
+}
+
+// Population is the round-indexed client registry: K registered client ids
+// and, when the plan is dynamic, the per-round active subset. The zero
+// Population (and any with a nil/static plan) is the closed world every
+// pre-existing run assumed — all K clients active in every round.
+type Population struct {
+	K    int
+	plan PopulationPlan
+}
+
+// PopulationOf builds the registry for a K-client run governed by plan
+// (typically Config.Faults), probing it structurally for PopulationPlan;
+// plans without population clauses — and nil — yield the static registry.
+func PopulationOf(k int, plan any) Population {
+	p, _ := plan.(PopulationPlan)
+	return Population{K: k, plan: p}
+}
+
+// population returns the run's registry — the single probe shared by the
+// in-process runtimes.
+func population(cfg Config) Population {
+	return PopulationOf(cfg.K, cfg.Faults)
+}
+
+// Dynamic reports whether the active set can differ from the registry.
+func (p Population) Dynamic() bool {
+	return p.plan != nil && p.plan.PopulationDynamic()
+}
+
+// Active reports whether client id participates in the population at round.
+func (p Population) Active(round, id int) bool {
+	return !p.Dynamic() || p.plan.ClientActive(round, id)
+}
+
+// ActiveSet returns the round's active client ids in ascending order; the
+// static registry returns [0, K).
+func (p Population) ActiveSet(round int) []int {
+	ids := make([]int, 0, p.K)
+	for id := 0; id < p.K; id++ {
+		if p.Active(round, id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// ActiveCount returns the size of the round's active set.
+func (p Population) ActiveCount(round int) int {
+	if !p.Dynamic() {
+		return p.K
+	}
+	n := 0
+	for id := 0; id < p.K; id++ {
+		if p.plan.ClientActive(round, id) {
+			n++
+		}
+	}
+	return n
+}
+
+// AwayBetween reports whether the client was inactive in any round of
+// [from, to) — the rejoin-detection rule: a client whose last participation
+// was at from-1 and who trains again at to has, if AwayBetween(from, to,
+// id), departed and returned in between, so any client-side state banked
+// against the old global model (quantization error-feedback residuals) must
+// be reset rather than folded into the new one.
+func (p Population) AwayBetween(from, to, id int) bool {
+	if !p.Dynamic() {
+		return false
+	}
+	if from < 0 {
+		from = 0
+	}
+	for r := from; r < to; r++ {
+		if !p.plan.ClientActive(r, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveCohort returns the participating client ids fl.Run draws for a
+// round under an open-world population — exposed so out-of-process drivers
+// (the simnet deployment harness, the mux scheduler, ops tooling) agree
+// with the in-process simulator on round membership.
+//
+// Static populations take the pre-existing draws verbatim (SampleCohort /
+// SampleCohortFloyd over [0, K)), so every seeded closed-world run stays
+// byte-identical. Dynamic populations materialize the round's active set
+// and draw positions into it with the same seeded streams; kt caps at the
+// active count, and an empty active set yields an empty cohort (the round
+// trains nobody and cannot meet a positive quorum).
+func ActiveCohort(seed int64, round int, pop Population, kt int, sampler string, withReplacement bool) []int {
+	if !pop.Dynamic() {
+		if sampler == SamplerFloyd && !withReplacement {
+			return SampleCohortFloyd(seed, round, pop.K, kt)
+		}
+		return SampleCohort(seed, round, pop.K, kt, withReplacement)
+	}
+	active := pop.ActiveSet(round)
+	n := len(active)
+	if kt > n {
+		kt = n
+	}
+	if kt == 0 {
+		return nil
+	}
+	var pos []int
+	if sampler == SamplerFloyd && !withReplacement {
+		pos = SampleCohortFloyd(seed, round, n, kt)
+	} else {
+		pos = SampleCohort(seed, round, n, kt, withReplacement)
+	}
+	ids := make([]int, len(pos))
+	for i, at := range pos {
+		ids[i] = active[at]
+	}
+	return ids
+}

@@ -105,6 +105,20 @@ type QuantState struct {
 	residual [][]float64
 }
 
+// Reset discards all banked residuals. Open-world sessions call it when a
+// client returns after an absence: the residual describes the rounding error
+// of the LAST update the client shipped, and replaying it against a model
+// that moved on for rounds the client never saw injects a stale correction
+// rather than repaying a real debt. A fresh arrival starts with no debt.
+func (st *QuantState) Reset() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.residual = nil
+	st.mu.Unlock()
+}
+
 // QuantizeUpdate converts a dense update to quantized wire form at the given
 // width, folding in (and refreshing) st's error-feedback residuals when st is
 // non-nil. The input tensors are not modified.

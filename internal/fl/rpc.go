@@ -726,12 +726,14 @@ func RunRemoteClientRound(addr string, clientID int, strat Strategy, data *datas
 	if pm.Cfg.Scenario.Name != "" {
 		// The server published a heterogeneity scenario with the round
 		// config: repartition the local dataset view so this client's shard
-		// matches the assignment every other participant uses.
+		// matches the assignment every other participant uses. Pinned to the
+		// announced round so time-varying scenarios (incremental classes,
+		// decaying label noise) resolve to the same shard on every runtime.
 		p, err := pm.Cfg.Scenario.Partitioner()
 		if err != nil {
 			return 0, err
 		}
-		data = data.Repartition(p)
+		data = data.RepartitionAt(p, pm.Round)
 	}
 	model := nn.Build(spec, tensor.NewRNG(0))
 	model.SetParams(TensorsFromWire(pm.Params))

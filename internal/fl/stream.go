@@ -63,7 +63,7 @@ func dispatchCohort(cfg Config, cohort []int, round int, workers *workerPool, gl
 			}
 			w.model.SetParams(globalParams)
 			w.model.SetPrecision(cfg.Round.Precision)
-			data := clientShard(cfg, id)
+			data := clientShard(cfg, round, id)
 			upd, st := cfg.Strategy.ClientUpdate(w.envFor(cfg, round, id, data))
 			// Client-side Byzantine corruption: applied after training,
 			// before the transit-loss coin — a corrupted update can still be

@@ -38,6 +38,19 @@
 // bit-identically and never under-reports its attack load. See DESIGN.md,
 // "Adversarial clients & robust aggregation".
 //
+// # Open-world population
+//
+// A third clause family makes the client population itself a scheduled,
+// seeded input: "join=n@r" admits n fresh clients at round r, "leave=n@r"
+// departs n clients permanently at round r, and "churn=rate" flips a
+// seeded per-(round, client) coin so clients sit rounds out and return.
+// Joiner and leaver identities are disjoint Bind-time draws on dedicated
+// Split labels (17–19); Plan.ClientActive is the pure
+// (seed, clientID, round) activity function every runtime consults
+// through fl.Population. Event rounds outside [1, rounds) and join+leave
+// budgets exceeding the registry are Bind errors. See DESIGN.md,
+// "Open-world population".
+//
 // # Layering
 //
 // simnet depends only on internal/tensor (for the splittable RNG). The fl

@@ -26,6 +26,9 @@ const (
 	labelPoison     = 14 // seeded poisoned-client identities
 	labelAttack     = 15 // per-(round, client) Byzantine noise draws (gauss mode)
 	labelPoisonFlip = 16 // per-(client, example) targeted label-flip coins
+	labelJoin       = 17 // seeded late-joiner identities (open-world population)
+	labelLeave      = 18 // seeded leaver identities (open-world population)
+	labelChurn      = 19 // per-(round, client) away-this-round churn coins
 )
 
 // Byzantine update-corruption modes (the byzantine=n:mode clause).
@@ -48,6 +51,13 @@ const (
 type partition struct {
 	from, to           string
 	fromRound, toRound int
+}
+
+// PopEvent is one structural population event from a join=n@r or leave=n@r
+// clause: Count seeded client identities arrive (or depart) at Round.
+type PopEvent struct {
+	Count int
+	Round int
 }
 
 // Plan is a deterministic fault plan: every decision it makes is a pure
@@ -94,11 +104,23 @@ type Plan struct {
 	PoisonCount int
 	PoisonRate  float64
 
-	crashes  map[[2]int]bool // explicit + bound (round, client) crash events
-	restarts map[int]bool    // explicit + bound restart-before rounds
-	byz      map[int]bool    // bound Byzantine attacker identities
-	poisoned map[int]bool    // bound poisoned-client identities
-	parts    []partition
+	// ChurnRate is the per-(round, client) probability that an otherwise
+	// registered client is away this round — memoryless availability churn,
+	// so departed clients return on their own seeded schedule. Joins and
+	// Leaves are the plan's structural population events: each entry joins
+	// (or removes) Count seeded client identities starting at Round.
+	// Together they define the open-world population (see ClientActive).
+	ChurnRate float64
+	Joins     []PopEvent
+	Leaves    []PopEvent
+
+	crashes    map[[2]int]bool // explicit + bound (round, client) crash events
+	restarts   map[int]bool    // explicit + bound restart-before rounds
+	byz        map[int]bool    // bound Byzantine attacker identities
+	poisoned   map[int]bool    // bound poisoned-client identities
+	arrivals   map[int]int     // bound late-joiner id → first active round
+	departures map[int]int     // bound leaver id → first inactive round
+	parts      []partition
 
 	seed  int64
 	bound bool
@@ -121,10 +143,14 @@ type Plan struct {
 //	byzantine=2:scale:10    ... scale their updates by λ=10 (needs Bind)
 //	byzantine=2:gauss:0.5   ... add seeded N(0, 0.5²) noise per coordinate
 //	poison=2:0.8        2 seeded clients label-flip 80% of their shard
+//	join=2@3            2 seeded clients first arrive at round 3 (needs Bind)
+//	leave=1@5           1 seeded client departs at round 5 (needs Bind)
+//	churn=0.1           per-(round,client) away-this-round probability
 //
 // The empty string is the null plan. Probabilities must lie in [0,1];
 // counts, rounds and durations must be non-negative. Adversarial clauses
-// (byzantine, poison) carry seeded identity budgets and need Bind.
+// (byzantine, poison) and population clauses (join, leave) carry seeded
+// identity budgets and need Bind; churn is a per-round coin like drop.
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{crashes: map[[2]int]bool{}, restarts: map[int]bool{}}
 	spec = strings.TrimSpace(spec)
@@ -225,6 +251,12 @@ func (p *Plan) parseClause(clause string) error {
 		return p.parseByzantine(val)
 	case "poison":
 		return p.parsePoison(val)
+	case "churn":
+		return prob(&p.ChurnRate)
+	case "join":
+		return parsePopEvent(val, &p.Joins)
+	case "leave":
+		return parsePopEvent(val, &p.Leaves)
 	case "latency":
 		return dur(&p.Latency)
 	case "jitter":
@@ -293,6 +325,25 @@ func (p *Plan) parseByzantine(val string) error {
 		param = v
 	}
 	p.ByzantineCount, p.ByzantineMode, p.ByzantineParam = n, mode, param
+	return nil
+}
+
+// parsePopEvent parses "n@r" — a count of seeded client identities and the
+// round the event takes effect — for the join and leave clauses.
+func parsePopEvent(val string, dst *[]PopEvent) error {
+	ns, rs, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want n@round")
+	}
+	n, err1 := strconv.Atoi(ns)
+	r, err2 := strconv.Atoi(rs)
+	if err1 != nil || n < 0 {
+		return fmt.Errorf("invalid count %q", ns)
+	}
+	if err2 != nil || r < 0 {
+		return fmt.Errorf("invalid round %q", rs)
+	}
+	*dst = append(*dst, PopEvent{Count: n, Round: r})
 	return nil
 }
 
@@ -401,7 +452,64 @@ func (p *Plan) Bind(seed int64, rounds, clients int) (*Plan, error) {
 		}
 		drawIdentities(b.poisoned, tensor.Split(seed, labelPoison), p.PoisonCount, clients)
 	}
+	if err := b.bindPopulation(seed, rounds, clients); err != nil {
+		return nil, err
+	}
 	return &b, nil
+}
+
+// bindPopulation materializes the join/leave identity budgets: joiners are
+// distinct seeded ids across all join events (in clause order), leavers are
+// distinct seeded ids drawn from the clients that are not late joiners —
+// so every materialized lifecycle is coherent (arrive, then maybe depart).
+// Events at round 0 or past the horizon are configuration errors: a "join"
+// before the first round is not an arrival, and an event the run never
+// reaches would lie about the population the experiment was told it had.
+func (p *Plan) bindPopulation(seed int64, rounds, clients int) error {
+	p.arrivals = map[int]int{}
+	p.departures = map[int]int{}
+	joining, leaving := 0, 0
+	for _, e := range p.Joins {
+		joining += e.Count
+	}
+	for _, e := range p.Leaves {
+		leaving += e.Count
+	}
+	if joining == 0 && leaving == 0 {
+		return nil
+	}
+	for _, e := range append(append([]PopEvent{}, p.Joins...), p.Leaves...) {
+		if e.Round < 1 || e.Round >= rounds {
+			return fmt.Errorf("simnet: population event round %d outside [1, %d) of a %d-round run", e.Round, rounds, rounds)
+		}
+	}
+	if joining+leaving > clients {
+		return fmt.Errorf("simnet: join+leave budgets (%d+%d) exceed the %d-client population", joining, leaving, clients)
+	}
+	joinRNG := tensor.Split(seed, labelJoin)
+	taken := map[int]bool{}
+	for _, e := range p.Joins {
+		for n := 0; n < e.Count; {
+			id := joinRNG.Intn(clients)
+			if !taken[id] {
+				taken[id] = true
+				p.arrivals[id] = e.Round
+				n++
+			}
+		}
+	}
+	leaveRNG := tensor.Split(seed, labelLeave)
+	for _, e := range p.Leaves {
+		for n := 0; n < e.Count; {
+			id := leaveRNG.Intn(clients)
+			if !taken[id] {
+				taken[id] = true
+				p.departures[id] = e.Round
+				n++
+			}
+		}
+	}
+	return nil
 }
 
 // MustBind is Bind panicking on error (tests, fixed literals known valid).
@@ -430,7 +538,8 @@ func drawIdentities(set map[int]bool, rng *tensor.RNG, n, clients int) {
 // which is the one failure mode a fault-injection harness must not have.
 func (p *Plan) mustBeBound() {
 	if !p.bound && (p.CrashCount > 0 || p.RestartCount > 0 || p.DropRate > 0 ||
-		p.ByzantineCount > 0 || p.PoisonCount > 0) {
+		p.ByzantineCount > 0 || p.PoisonCount > 0 ||
+		p.ChurnRate > 0 || len(p.Joins) > 0 || len(p.Leaves) > 0) {
 		panic("simnet: plan with seeded faults used before Bind (call Plan.Bind(seed, rounds, clients))")
 	}
 }
@@ -546,6 +655,42 @@ func (p *Plan) PoisonLabel(client, index, label, classes int) int {
 	return label
 }
 
+// PopulationDynamic reports whether the plan carries any open-world
+// population clauses (join, leave, churn) — i.e. whether the active client
+// set can differ from the full registry in some round. Part of
+// fl.PopulationPlan (structurally).
+func (p *Plan) PopulationDynamic() bool {
+	if p == nil {
+		return false
+	}
+	return p.ChurnRate > 0 || len(p.Joins) > 0 || len(p.Leaves) > 0
+}
+
+// ClientActive reports whether client belongs to the active population in
+// round: it has arrived (its seeded join round, if any, has passed), has
+// not departed (its seeded leave round, if any, is still ahead), and its
+// per-(round, client) churn coin says present. A pure function of
+// (seed, round, client), so the population replays bit-identically. Static
+// plans keep every client active in every round. Part of fl.PopulationPlan
+// (structurally).
+func (p *Plan) ClientActive(round, client int) bool {
+	if !p.PopulationDynamic() {
+		return true
+	}
+	p.mustBeBound()
+	if r, ok := p.arrivals[client]; ok && round < r {
+		return false
+	}
+	if r, ok := p.departures[client]; ok && round >= r {
+		return false
+	}
+	if p.ChurnRate > 0 &&
+		tensor.Split(p.seed, labelChurn, int64(round), int64(client)).Float64() < p.ChurnRate {
+		return false
+	}
+	return true
+}
+
 // Events returns a human-readable summary of the plan's materialized
 // events (bound crashes, restarts and adversary identities), for logs and
 // reports.
@@ -565,6 +710,12 @@ func (p *Plan) Events() string {
 	}
 	for id := range p.poisoned {
 		parts = append(parts, fmt.Sprintf("poison@%d", id))
+	}
+	for id, r := range p.arrivals {
+		parts = append(parts, fmt.Sprintf("join@%d:%d", r, id))
+	}
+	for id, r := range p.departures {
+		parts = append(parts, fmt.Sprintf("leave@%d:%d", r, id))
 	}
 	if len(parts) == 0 {
 		return "none"
